@@ -1,0 +1,49 @@
+/// Regenerates paper Figure 4 (case 2): throughput of groups 1-4 on 4 nodes
+/// when the GPUs form two clusters *without* a shared high-speed switch.
+/// "InfiniBand & Ethernet" / "RoCE & Ethernet" are two same-NIC clusters
+/// joined only by Ethernet; the homogeneous environments bound the result
+/// from above (IB/RoCE) and below (Ethernet).
+
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+int main() {
+  std::cout << "Figure 4: throughput (samples/s) on 4 nodes, case-2 split "
+               "clusters vs homogeneous bounds\n\n";
+
+  const std::vector<int> groups = {1, 2, 3, 4};
+  const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
+                                    NicEnv::kEthernet,   NicEnv::kHybrid,
+                                    NicEnv::kSplitIB,    NicEnv::kSplitRoCE};
+  const FrameworkConfig framework =
+      FrameworkConfig::holmes().without_self_adapting();
+
+  std::vector<double> thr(groups.size() * envs.size());
+  ThreadPool pool;
+  pool.parallel_for(thr.size(), [&](std::size_t i) {
+    const std::size_t gi = i / envs.size();
+    const std::size_t ei = i % envs.size();
+    thr[i] = run_experiment(framework, envs[ei], 4, groups[gi]).throughput;
+  });
+
+  std::vector<std::string> headers = {"Group"};
+  for (NicEnv env : envs) headers.push_back(to_string(env));
+  TextTable table(std::move(headers));
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    std::vector<std::string> row = {
+        TextTable::num(static_cast<std::int64_t>(groups[gi]))};
+    for (std::size_t ei = 0; ei < envs.size(); ++ei) {
+      row.push_back(TextTable::num(thr[gi * envs.size() + ei], 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

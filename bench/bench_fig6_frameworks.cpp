@@ -1,0 +1,37 @@
+/// Regenerates paper Figure 6: Holmes vs Megatron-LM, Megatron-DeepSpeed
+/// and Megatron-LLaMA on parameter group 3, 8 nodes (4 RoCE + 4 IB).
+/// Paper shape: Holmes clearly first; Megatron-LLaMA ahead of the other
+/// two thanks to its Overlapped Distributed Optimizer.
+
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+int main() {
+  std::cout << "Figure 6: frameworks on group 3, 8 nodes (4 RoCE + 4 IB)\n"
+            << "(paper: LM ~132, DeepSpeed ~133, LLaMA ~150, Holmes ~183)\n\n";
+
+  const std::vector<FrameworkConfig> frameworks = {
+      FrameworkConfig::megatron_lm(),
+      FrameworkConfig::megatron_deepspeed(),
+      FrameworkConfig::megatron_llama(),
+      FrameworkConfig::holmes(),
+  };
+
+  TextTable table({"Framework", "TFLOPS", "Throughput", "vs Megatron-LM"});
+  double lm_throughput = 0;
+  for (const FrameworkConfig& fw : frameworks) {
+    const IterationMetrics m = run_experiment(fw, NicEnv::kHybrid, 8, 3);
+    if (lm_throughput == 0) lm_throughput = m.throughput;
+    table.add_row({fw.name, TextTable::num(m.tflops_per_gpu, 0),
+                   TextTable::num(m.throughput, 2),
+                   TextTable::num(m.throughput / lm_throughput, 2) + "x"});
+  }
+  table.print();
+  return 0;
+}

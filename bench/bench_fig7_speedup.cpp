@@ -1,0 +1,81 @@
+/// Regenerates paper Figure 7: speedup ratio of Holmes over the mainstream
+/// frameworks on the large models (groups 7 and 8, tensor parallel 8) as
+/// the node count grows. Paper shape: Holmes' advantage widens with scale.
+///
+/// Group 7 (p=2) needs N divisible by 16 and runs on the two-cluster
+/// Hybrid environment (4/6/8 nodes). Group 8 (p=3) needs N divisible by 24
+/// and a number of clusters matching its pipeline depth, so it runs on
+/// three equal clusters (RoCE + RoCE + IB; 6 and 12 nodes) — the same
+/// environment as Table 4.
+
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+int main() {
+  std::cout << "Figure 7: Holmes speedup over mainstream frameworks, groups "
+               "7-8 on Hybrid clusters\n\n";
+
+  const std::vector<FrameworkConfig> baselines = {
+      FrameworkConfig::megatron_lm(),
+      FrameworkConfig::megatron_deepspeed(),
+      FrameworkConfig::megatron_llama(),
+  };
+  auto three_clusters = [](int nodes_each) {
+    return net::Topology({
+        net::ClusterSpec{"roce-a", nodes_each, 8, net::NicType::kRoCE},
+        net::ClusterSpec{"roce-b", nodes_each, 8, net::NicType::kRoCE},
+        net::ClusterSpec{"ib", nodes_each, 8, net::NicType::kInfiniBand},
+    });
+  };
+  struct Scenario {
+    int group;
+    int nodes;
+    net::Topology topo;
+  };
+  std::vector<Scenario> scenarios;
+  for (int nodes : {4, 6, 8}) {
+    scenarios.push_back({7, nodes, make_environment(NicEnv::kHybrid, nodes)});
+  }
+  for (int nodes : {6, 12}) {
+    scenarios.push_back({8, nodes, three_clusters(nodes / 3)});
+  }
+
+  struct Cell {
+    double holmes_thr = 0;
+    std::vector<double> baseline_thr;
+  };
+  std::vector<Cell> cells(scenarios.size());
+  ThreadPool pool;
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const Scenario& s = scenarios[i];
+    cells[i].holmes_thr =
+        run_experiment(FrameworkConfig::holmes(), s.topo, s.group).throughput;
+    for (const FrameworkConfig& fw : baselines) {
+      cells[i].baseline_thr.push_back(
+          run_experiment(fw, s.topo, s.group).throughput);
+    }
+  });
+
+  TextTable table({"Group", "Nodes", "Holmes thr", "vs Megatron-LM",
+                   "vs Megatron-DeepSpeed", "vs Megatron-LLaMA"});
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Cell& c = cells[i];
+    std::vector<std::string> row = {
+        TextTable::num(static_cast<std::int64_t>(scenarios[i].group)),
+        TextTable::num(static_cast<std::int64_t>(scenarios[i].nodes)),
+        TextTable::num(c.holmes_thr, 2)};
+    for (double thr : c.baseline_thr) {
+      row.push_back(TextTable::num(c.holmes_thr / thr, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

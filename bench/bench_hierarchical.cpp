@@ -1,0 +1,59 @@
+/// Ablation beyond the paper: flat ring vs hierarchical (node-aware)
+/// all-reduce. The flat ring crosses node boundaries through one NIC pair
+/// and matches the paper's measured testbed behaviour (the calibration
+/// baseline); the hierarchical algorithm drives every GPU's NIC during the
+/// inter-node phase, quantifying what NCCL-style multi-NIC rings would buy
+/// each fabric.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "core/experiment.h"
+#include "sim/executor.h"
+#include "util/table.h"
+
+using namespace holmes;
+
+namespace {
+
+SimTime simulate(const net::Topology& topo, Bytes bytes, bool hierarchical) {
+  std::vector<int> ranks;
+  for (int r = 0; r < topo.world_size(); ++r) ranks.push_back(r);
+  const comm::Communicator comm(topo, ranks);
+  sim::TaskGraph graph;
+  const net::PortMap ports(topo, graph);
+  const comm::TaskHandles done =
+      hierarchical ? comm.lower_hierarchical_all_reduce(graph, ports, bytes, {})
+                   : comm.lower_all_reduce(graph, ports, bytes, {});
+  const auto result = sim::TaskGraphExecutor{}.run(graph);
+  SimTime latest = 0;
+  for (sim::TaskId t : done) latest = std::max(latest, result.timing(t).finish);
+  return latest;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "All-reduce algorithm comparison: 4 nodes x 8 GPUs, 4 GiB "
+               "gradient buffer\n\n";
+
+  const Bytes bytes = 4LL * 1024 * 1024 * 1024;
+  TextTable table({"Fabric", "Flat ring (s)", "Hierarchical (s)", "Speedup"});
+  for (net::NicType nic : {net::NicType::kInfiniBand, net::NicType::kRoCE,
+                           net::NicType::kEthernet}) {
+    const net::Topology topo = net::Topology::homogeneous(4, nic);
+    const SimTime flat = simulate(topo, bytes, false);
+    const SimTime hier = simulate(topo, bytes, true);
+    table.add_row({net::to_string(nic), TextTable::num(flat, 3),
+                   TextTable::num(hier, 3), TextTable::num(flat / hier, 2) + "x"});
+  }
+  table.print();
+
+  std::cout << "\nRDMA fabrics gain ~L x from driving all per-GPU NICs; "
+               "Ethernet gains less per ring because its NICs\nare "
+               "node-shared (net::PortMap) — the 8 shard rings contend for "
+               "4 port pairs per node.\n";
+  return 0;
+}

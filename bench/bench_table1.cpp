@@ -1,0 +1,38 @@
+/// Regenerates paper Table 1: TFLOPS / throughput / NIC bandwidth when
+/// training the 3.6 B GPT model (parameter group 1) on 4 nodes under the
+/// three homogeneous NIC environments.
+///
+/// Paper reference values: InfiniBand 197 / 99.23, RoCE 160 / 80.54,
+/// Ethernet 122 / 61.32 (200 / 200 / 25 Gbps NICs).
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+int main() {
+  std::cout << "Table 1: GPT-3.6B (group 1) on 4 nodes x 8 A100s, per NIC "
+               "environment\n"
+            << "(paper: IB 197/99.23, RoCE 160/80.54, Ethernet 122/61.32)\n\n";
+
+  // Tables 1 and 3 predate the self-adapting partition (paper §4.1), so the
+  // uniform-partition Holmes configuration is what their rows measure.
+  const FrameworkConfig framework =
+      FrameworkConfig::holmes().without_self_adapting();
+
+  TextTable table({"NIC Env", "TFLOPS", "Throughput", "Bandwidth (Gbps)"});
+  for (NicEnv env :
+       {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kEthernet}) {
+    const net::Topology topo = make_environment(env, 4);
+    const IterationMetrics m = run_experiment(framework, topo, 1);
+    const net::FabricKind fabric = topo.fabric_between(0, 8);
+    table.add_row({to_string(env), TextTable::num(m.tflops_per_gpu, 0),
+                   TextTable::num(m.throughput, 2),
+                   TextTable::num(topo.catalog().spec(fabric).bandwidth_gbps, 0)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// Regenerates paper Table 4: three-cluster heterogeneous environments with
+/// pipeline degree 3. The paper evaluates the 7.5 B model at batch 1536 and
+/// 2688 (its row labels "3"/"6" correspond to our p=3 parameter groups 5
+/// and 6) on:
+///   6 nodes:  2 RoCE + 2 RoCE + 2 IB   and   2 RoCE + 2 IB + 2 IB
+///   12 nodes: 4 RoCE + 4 IB + 4 IB
+/// comparing the pure-Ethernet environment against Holmes on the hybrid
+/// clusters.
+
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+namespace {
+
+net::Topology three_clusters(int nodes_each, net::NicType a, net::NicType b,
+                             net::NicType c) {
+  return net::Topology({
+      net::ClusterSpec{"cluster-a", nodes_each, 8, a},
+      net::ClusterSpec{"cluster-b", nodes_each, 8, b},
+      net::ClusterSpec{"cluster-c", nodes_each, 8, c},
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 4: three-cluster environments, pipeline degree 3 "
+               "(TFLOPS / throughput)\n"
+            << "Rows use the 7.5B model at p=3: batch 1536 (group 5) and "
+               "2688 (group 6)\n\n";
+
+  using net::NicType;
+  struct Scenario {
+    std::string label;
+    net::Topology hybrid;
+    int total_nodes;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"6N 2RoCE&2RoCE&2IB",
+                       three_clusters(2, NicType::kRoCE, NicType::kRoCE,
+                                      NicType::kInfiniBand),
+                       6});
+  scenarios.push_back({"6N 2RoCE&2IB&2IB",
+                       three_clusters(2, NicType::kRoCE, NicType::kInfiniBand,
+                                      NicType::kInfiniBand),
+                       6});
+  scenarios.push_back({"12N 4RoCE&4IB&4IB",
+                       three_clusters(4, NicType::kRoCE, NicType::kInfiniBand,
+                                      NicType::kInfiniBand),
+                       12});
+
+  const std::vector<int> groups = {5, 6};
+  const FrameworkConfig holmes = FrameworkConfig::holmes();
+  const FrameworkConfig ethernet_baseline =
+      FrameworkConfig::holmes().without_self_adapting();
+
+  struct Cell {
+    double eth_tflops, eth_thr, hyb_tflops, hyb_thr;
+  };
+  std::vector<Cell> cells(groups.size() * scenarios.size());
+  ThreadPool pool;
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const std::size_t gi = i / scenarios.size();
+    const std::size_t si = i % scenarios.size();
+    const IterationMetrics eth =
+        run_experiment(ethernet_baseline, NicEnv::kEthernet,
+                       scenarios[si].total_nodes, groups[gi]);
+    const IterationMetrics hyb =
+        run_experiment(holmes, scenarios[si].hybrid, groups[gi]);
+    cells[i] = {eth.tflops_per_gpu, eth.throughput, hyb.tflops_per_gpu,
+                hyb.throughput};
+  });
+
+  TextTable table({"Group", "Scenario", "Ethernet TFLOPS/Thr",
+                   "Hybrid TFLOPS/Thr"});
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+      const Cell& c = cells[gi * scenarios.size() + si];
+      table.add_row({TextTable::num(static_cast<std::int64_t>(groups[gi])),
+                     scenarios[si].label,
+                     TextTable::num(c.eth_tflops, 0) + " / " +
+                         TextTable::num(c.eth_thr, 2),
+                     TextTable::num(c.hyb_tflops, 0) + " / " +
+                         TextTable::num(c.hyb_thr, 2)});
+    }
+  }
+  table.print();
+  return 0;
+}

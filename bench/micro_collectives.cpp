@@ -1,0 +1,54 @@
+/// Micro-benchmarks of the collective machinery itself: step-program
+/// generation, numeric in-process execution, and timed lowering + DES
+/// simulation of ring all-reduce at realistic group sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/inprocess.h"
+#include "sim/executor.h"
+
+using namespace holmes;
+
+static void BM_RingAllReduceSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::ring_all_reduce_steps(n, 1 << 20));
+  }
+}
+BENCHMARK(BM_RingAllReduceSteps)->Arg(8)->Arg(32)->Arg(128);
+
+static void BM_InProcessAllReduce(benchmark::State& state) {
+  const int n = 8;
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> bufs(n, std::vector<float>(elems, 1.0f));
+  for (auto _ : state) {
+    comm::BufferSet spans;
+    for (auto& b : bufs) spans.emplace_back(b);
+    comm::all_reduce_inplace(spans);
+    benchmark::DoNotOptimize(bufs[0][0]);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems) * n * 4);
+}
+BENCHMARK(BM_InProcessAllReduce)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_LowerAndSimulateAllReduce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const net::Topology topo =
+      net::Topology::homogeneous(n, net::NicType::kInfiniBand, 1);
+  std::vector<int> ranks;
+  for (int i = 0; i < n; ++i) ranks.push_back(i);
+  const comm::Communicator comm(topo, ranks);
+  for (auto _ : state) {
+    sim::TaskGraph graph;
+    const net::PortMap ports(topo, graph);
+    comm.lower_all_reduce(graph, ports, 1'000'000'000, {});
+    benchmark::DoNotOptimize(sim::TaskGraphExecutor{}.run(graph).makespan());
+  }
+}
+BENCHMARK(BM_LowerAndSimulateAllReduce)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// Micro-benchmarks of the planning layer: group construction, partition
+/// strategies, and a full end-to-end plan + simulate of one training
+/// scenario (the unit of work every experiment bench repeats).
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "parallel/group_builder.h"
+#include "pipeline/partition.h"
+
+using namespace holmes;
+
+static void BM_HolmesGroupBuild(benchmark::State& state) {
+  const int nodes_per_cluster = static_cast<int>(state.range(0));
+  const net::Topology topo =
+      net::Topology::hybrid_two_clusters(nodes_per_cluster);
+  const parallel::ParallelConfig config =
+      parallel::derive_config(topo, 1, 2);
+  const parallel::HolmesGroupBuilder builder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(topo, config));
+  }
+}
+BENCHMARK(BM_HolmesGroupBuild)->Arg(2)->Arg(8)->Arg(32);
+
+static void BM_SelfAdaptingPartition(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  std::vector<net::NicType> nics;
+  for (int s = 0; s < stages; ++s) {
+    nics.push_back(s % 2 == 0 ? net::NicType::kInfiniBand
+                              : net::NicType::kRoCE);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline::self_adapting_partition(96, nics, 1.05));
+  }
+}
+BENCHMARK(BM_SelfAdaptingPartition)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_FullScenarioSimulation(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_experiment(
+        core::FrameworkConfig::holmes(), core::NicEnv::kHybrid, nodes, 1));
+  }
+}
+BENCHMARK(BM_FullScenarioSimulation)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

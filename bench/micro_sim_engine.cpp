@@ -1,0 +1,60 @@
+/// Micro-benchmarks of the discrete-event substrate: event queue churn and
+/// task-graph execution throughput (the quantity that bounds how many
+/// training scenarios per second the experiment benches can evaluate).
+
+#include <benchmark/benchmark.h>
+
+#include "sim/executor.h"
+#include "sim/simulator.h"
+
+using namespace holmes;
+using namespace holmes::sim;
+
+static void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator s;
+    for (int i = 0; i < events; ++i) {
+      s.after(static_cast<SimTime>(i % 97) * 1e-6, [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1 << 10)->Arg(1 << 14);
+
+static void BM_TaskGraphChain(benchmark::State& state) {
+  const auto tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TaskGraph g;
+    const ResourceId r = g.add_resource("r");
+    TaskId prev = kInvalidTask;
+    for (int i = 0; i < tasks; ++i) {
+      const TaskId t = g.add_compute(r, 1e-6);
+      if (prev != kInvalidTask) g.add_dep(t, prev);
+      prev = t;
+    }
+    benchmark::DoNotOptimize(TaskGraphExecutor{}.run(g).makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_TaskGraphChain)->Arg(1 << 12)->Arg(1 << 16);
+
+static void BM_TaskGraphWide(benchmark::State& state) {
+  // Fan-out/fan-in: many independent tasks on many resources joining once.
+  const auto width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TaskGraph g;
+    const TaskId join = g.add_noop("join");
+    for (int i = 0; i < width; ++i) {
+      const ResourceId r = g.add_resource("r");
+      const TaskId t = g.add_compute(r, 1e-6);
+      g.add_dep(join, t);
+    }
+    benchmark::DoNotOptimize(TaskGraphExecutor{}.run(g).makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_TaskGraphWide)->Arg(1 << 10)->Arg(1 << 14);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/// Auto-tuning the parallel layout: given hardware and a model, search all
+/// feasible (tensor, pipeline, data) decompositions, simulate each, and
+/// rank them — the "scheduling methods for diverse environments" the paper
+/// names as future work.
+///
+///   autotune_layout [env] [nodes] [group]
+///
+/// Defaults: Hybrid, 4 nodes, parameter group 1.
+
+#include <iostream>
+#include <string>
+
+#include "core/autotune.h"
+#include "core/experiment.h"
+#include "util/error.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+int main(int argc, char** argv) {
+  try {
+    NicEnv env = NicEnv::kHybrid;
+    if (argc > 1) {
+      const std::string name = argv[1];
+      if (name == "ib") env = NicEnv::kInfiniBand;
+      else if (name == "roce") env = NicEnv::kRoCE;
+      else if (name == "eth") env = NicEnv::kEthernet;
+      else if (name == "hybrid") env = NicEnv::kHybrid;
+      else throw ConfigError("env must be ib|roce|eth|hybrid, got " + name);
+    }
+    const int nodes = argc > 2 ? std::stoi(argv[2]) : 4;
+    const int group = argc > 3 ? std::stoi(argv[3]) : 1;
+
+    const net::Topology topo = make_environment(env, nodes);
+    const model::ParameterGroup& workload = model::parameter_group(group);
+    std::cout << "Searching layouts for the "
+              << workload.config.parameter_count() / 1e9 << "B model on "
+              << nodes << " " << to_string(env) << " nodes ("
+              << topo.world_size() << " GPUs, batch " << workload.batch_size
+              << ")\n\n";
+
+    TuneOptions options;
+    options.max_pipeline = 8;
+    const auto ranked =
+        autotune(FrameworkConfig::holmes(), topo, workload, options);
+
+    TextTable table({"Rank", "t", "p", "d", "TFLOPS", "Throughput",
+                     "Memory/GPU"});
+    const std::size_t shown = std::min<std::size_t>(ranked.size(), 10);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const TuneCandidate& c = ranked[i];
+      table.add_row({TextTable::num(static_cast<std::int64_t>(i + 1)),
+                     TextTable::num(static_cast<std::int64_t>(c.tensor)),
+                     TextTable::num(static_cast<std::int64_t>(c.pipeline)),
+                     TextTable::num(static_cast<std::int64_t>(c.data)),
+                     TextTable::num(c.metrics.tflops_per_gpu, 0),
+                     TextTable::num(c.metrics.throughput, 2),
+                     format_bytes(c.estimated_memory)});
+    }
+    table.print();
+    std::cout << "\n(" << ranked.size() << " feasible layouts simulated; "
+              << "the paper's Table 2 fixed t=" << workload.tensor_parallel
+              << ", p=" << workload.pipeline_parallel << " for this group)\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,125 @@
+/// NIC-selection explorer: a small CLI over the planning API.
+///
+///   nic_selection_explorer [env] [nodes] [group] [framework] [trace.json]
+///
+///   env        InfiniBand | RoCE | Ethernet | Hybrid | SplitIB | SplitRoCE,
+///              or a topology spec like "2x8:ib+2x8:roce" (nodes ignored)
+///   nodes      total node count (default 4)
+///   group      parameter group 1-8 (default 1)
+///   framework  holmes | megatron-lm | megatron-deepspeed | megatron-llama
+///   trace.json optional: dump a Chrome trace of one iteration's task
+///              timeline (open in https://ui.perfetto.dev)
+///
+/// Prints the resolved plan — stage-to-cluster mapping, the fabric every
+/// data-parallel group ends up on, the layer partition — and the simulated
+/// steady-state metrics. Useful for exploring what Automatic NIC Selection
+/// changes on a given topology.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "net/topology_parse.h"
+#include "util/error.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+namespace {
+
+NicEnv parse_env(const std::string& name) {
+  if (name == "InfiniBand" || name == "ib") return NicEnv::kInfiniBand;
+  if (name == "RoCE" || name == "roce") return NicEnv::kRoCE;
+  if (name == "Ethernet" || name == "eth") return NicEnv::kEthernet;
+  if (name == "Hybrid" || name == "hybrid") return NicEnv::kHybrid;
+  if (name == "SplitIB") return NicEnv::kSplitIB;
+  if (name == "SplitRoCE") return NicEnv::kSplitRoCE;
+  throw ConfigError("unknown environment: " + name);
+}
+
+FrameworkConfig parse_framework(const std::string& name) {
+  if (name == "holmes") return FrameworkConfig::holmes();
+  if (name == "megatron-lm") return FrameworkConfig::megatron_lm();
+  if (name == "megatron-deepspeed") return FrameworkConfig::megatron_deepspeed();
+  if (name == "megatron-llama") return FrameworkConfig::megatron_llama();
+  throw ConfigError("unknown framework: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string env_arg = argc > 1 ? argv[1] : "Hybrid";
+    const int nodes = argc > 2 ? std::stoi(argv[2]) : 4;
+    const int group = argc > 3 ? std::stoi(argv[3]) : 1;
+    const FrameworkConfig framework =
+        argc > 4 ? parse_framework(argv[4]) : FrameworkConfig::holmes();
+    const std::string trace_path = argc > 5 ? argv[5] : "";
+
+    // Either a named paper environment or a raw topology spec like
+    // "2x8:ib+2x8:roce".
+    const bool is_spec = env_arg.find(':') != std::string::npos;
+    const net::Topology topo = is_spec
+                                   ? net::parse_topology(env_arg)
+                                   : make_environment(parse_env(env_arg), nodes);
+    const TrainingPlan plan =
+        Planner(framework).plan(topo, model::parameter_group(group));
+
+    std::cout << framework.name << " on "
+              << (is_spec ? net::format_topology(topo) : env_arg) << " ("
+              << topo.total_nodes() << " nodes), parameter group " << group
+              << " (" << plan.degrees.to_string() << ")\n\n";
+
+    std::cout << "Pipeline stages:\n";
+    const auto clusters = parallel::stage_clusters(plan.groups, topo);
+    for (std::size_t s = 0; s < clusters.size(); ++s) {
+      std::cout << "  stage " << s << ": " << plan.partition[s] << " layers on "
+                << (clusters[s] >= 0 ? topo.cluster(clusters[s]).name
+                                     : std::string("MIXED clusters"))
+                << " (effective NIC " << net::to_string(plan.stage_nics[s])
+                << ")\n";
+    }
+    if (plan.ethernet_fallback) {
+      std::cout << "  !! NIC-oblivious stack: all inter-node traffic forced "
+                   "onto Ethernet\n";
+    }
+
+    std::cout << "\nData-parallel groups (" << plan.groups.dp_groups().size()
+              << " of size " << plan.degrees.data << "):\n";
+    TextTable dp({"Group", "First rank", "Transport"});
+    for (std::size_t i = 0; i < plan.groups.dp_groups().size(); ++i) {
+      const auto& g = plan.groups.dp_groups()[i];
+      const std::string transport =
+          plan.ethernet_fallback
+              ? "Ethernet (fallback)"
+              : net::to_string(g.size() > 1 ? topo.fastest_common_fabric(g)
+                                            : net::FabricKind::kNVLink);
+      dp.add_row({TextTable::num(static_cast<std::int64_t>(i)),
+                  TextTable::num(static_cast<std::int64_t>(g.front())),
+                  transport});
+    }
+    dp.print();
+
+    IterationMetrics m;
+    if (trace_path.empty()) {
+      m = TrainingSimulator{}.run(topo, plan);
+    } else {
+      std::ofstream trace(trace_path);
+      if (!trace) throw ConfigError("cannot open trace file " + trace_path);
+      m = TrainingSimulator{}.run(topo, plan, 3, {}, &trace);
+      std::cout << "\nChrome trace written to " << trace_path
+                << " (open in https://ui.perfetto.dev)\n";
+    }
+    std::cout << "\nSteady state: " << format_time(m.iteration_time)
+              << " per iteration, " << TextTable::num(m.tflops_per_gpu, 0)
+              << " TFLOPS/GPU, " << TextTable::num(m.throughput, 2)
+              << " samples/s\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file communicator.h
+/// A communicator binds a group of global ranks to a topology, mirroring an
+/// NCCL communicator. It offers:
+///  - numeric collectives on real buffers (eager; tests and small demos),
+///  - timed lowerings that emit the same step program as transfer tasks
+///    into a sim::TaskGraph (benches and the training simulator).
+///
+/// Transport: every hop resolves the fabric of its concrete device pair, so
+/// a ring whose neighbours sit in one cluster runs on RDMA while a hop that
+/// crosses clusters (or crosses the IB/RoCE divide) drops to Ethernet. A
+/// round completes when its slowest hop completes, so one bad hop gates the
+/// whole collective — precisely the pathology the paper's Automatic NIC
+/// Selection removes by never *forming* such groups.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/collective_steps.h"
+#include "comm/inprocess.h"
+#include "net/ports.h"
+#include "net/topology.h"
+#include "sim/task_graph.h"
+
+namespace holmes::comm {
+
+/// Per-group-member dependency handles for timed collectives: `ready[i]`
+/// gates member i's first send (kInvalidTask = ready at time zero), and the
+/// returned `done[i]` fires when member i's buffer holds the final result
+/// and its last send has drained.
+using TaskHandles = std::vector<sim::TaskId>;
+
+class Communicator {
+ public:
+  /// Creates a communicator over `ranks` (global topology ranks, at least
+  /// one, all distinct). The topology must outlive the communicator.
+  Communicator(const net::Topology& topo, std::vector<int> ranks,
+               std::string name = "comm");
+
+  /// Forces every *inter-node* hop of this communicator onto `fabric`
+  /// (intra-node hops keep NVLink/PCIe). This models a NIC-oblivious stack:
+  /// when a job spans incompatible RDMA NIC types, stock NCCL cannot bring
+  /// up a uniform RDMA transport and falls back to TCP over Ethernet for
+  /// all inter-node traffic. Holmes' Automatic NIC Selection is precisely
+  /// the removal of this global fallback.
+  void force_internode_fabric(net::FabricKind fabric) {
+    internode_override_ = fabric;
+  }
+  std::optional<net::FabricKind> internode_fabric_override() const {
+    return internode_override_;
+  }
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  const std::vector<int>& ranks() const { return ranks_; }
+  const std::string& name() const { return name_; }
+  const net::Topology& topology() const { return *topo_; }
+
+  /// The fastest fabric shared by *all* members (diagnostic; individual
+  /// hops may ride faster per-pair fabrics). Size-1 groups report NVLink.
+  net::FabricKind transport() const;
+
+  /// True when every member pair can use RDMA or better — the property
+  /// Automatic NIC Selection establishes for data-parallel groups.
+  bool is_rdma_capable() const;
+
+  // ---- Numeric collectives (eager, real data; buffers[i] belongs to
+  //      group member i) ----
+
+  void all_reduce(const BufferSet& buffers) const;
+  void reduce_scatter(const BufferSet& buffers) const;
+  void all_gather(const BufferSet& buffers) const;
+  void broadcast(const BufferSet& buffers, int root_member) const;
+  void all_to_all(const BufferSet& send, const BufferSet& recv) const;
+
+  // ---- Timed lowerings (emit transfer tasks; return per-member done
+  //      handles) ----
+
+  TaskHandles lower_all_reduce(sim::TaskGraph& graph, const net::PortMap& ports,
+                               Bytes bytes, const TaskHandles& ready,
+                               sim::TaskTag tag = sim::kUntagged) const;
+
+  /// Node-aware hierarchical all-reduce (see comm/hierarchical.h): uses
+  /// every member's NIC for the inter-node phase instead of one flat ring.
+  /// Requires each node's members to be contiguous in group order and
+  /// equally sized per node.
+  TaskHandles lower_hierarchical_all_reduce(
+      sim::TaskGraph& graph, const net::PortMap& ports, Bytes bytes,
+      const TaskHandles& ready, sim::TaskTag tag = sim::kUntagged) const;
+
+  /// Numeric hierarchical all-reduce on real buffers (same step program as
+  /// the timed lowering).
+  void hierarchical_all_reduce(const BufferSet& buffers) const;
+  TaskHandles lower_reduce_scatter(sim::TaskGraph& graph,
+                                   const net::PortMap& ports, Bytes bytes,
+                                   const TaskHandles& ready,
+                                   sim::TaskTag tag = sim::kUntagged) const;
+  TaskHandles lower_all_gather(sim::TaskGraph& graph, const net::PortMap& ports,
+                               Bytes bytes, const TaskHandles& ready,
+                               sim::TaskTag tag = sim::kUntagged) const;
+  TaskHandles lower_broadcast(sim::TaskGraph& graph, const net::PortMap& ports,
+                              Bytes bytes, int root_member,
+                              const TaskHandles& ready,
+                              sim::TaskTag tag = sim::kUntagged) const;
+  TaskHandles lower_all_to_all(sim::TaskGraph& graph, const net::PortMap& ports,
+                               Bytes bytes_per_block, const TaskHandles& ready,
+                               sim::TaskTag tag = sim::kUntagged) const;
+
+  /// Barrier: a zero-payload all-reduce (latency-only ring).
+  TaskHandles lower_barrier(sim::TaskGraph& graph, const net::PortMap& ports,
+                            const TaskHandles& ready,
+                            sim::TaskTag tag = sim::kUntagged) const;
+
+ private:
+  TaskHandles lower_steps(sim::TaskGraph& graph, const net::PortMap& ports,
+                          const std::vector<CollectiveStep>& steps,
+                          const TaskHandles& ready, sim::TaskTag tag,
+                          const std::string& op) const;
+
+  const net::Topology* topo_;
+  std::vector<int> ranks_;
+  std::string name_;
+  std::optional<net::FabricKind> internode_override_;
+};
+
+}  // namespace holmes::comm

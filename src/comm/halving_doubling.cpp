@@ -1,0 +1,93 @@
+#include "comm/halving_doubling.h"
+
+#include "util/error.h"
+#include "util/math_util.h"
+
+namespace holmes::comm {
+
+namespace {
+
+/// Element span of the chunk range [first, first + count) of `layout`.
+std::pair<std::int64_t, std::int64_t> chunk_span(const ChunkLayout& layout,
+                                                 int first, int count) {
+  const std::int64_t begin = layout.offset(first);
+  const std::int64_t end = first + count < layout.chunks()
+                               ? layout.offset(first + count)
+                               : layout.elems();
+  return {begin, end - begin};
+}
+
+}  // namespace
+
+std::vector<CollectiveStep> halving_doubling_all_reduce_steps(
+    int n, std::int64_t elems) {
+  if (n < 1) throw ConfigError("group must be non-empty");
+  if (!is_pow2(n)) {
+    throw ConfigError("halving-doubling needs a power-of-two group, got " +
+                      std::to_string(n));
+  }
+  std::vector<CollectiveStep> steps;
+  if (n == 1 || elems == 0) return steps;
+
+  const ChunkLayout layout(elems, n);
+  // Per-rank chunk window [lo, lo + cnt).
+  std::vector<int> lo(static_cast<std::size_t>(n), 0);
+  int cnt = n;
+  int round = 0;
+
+  // Recursive halving (reduce-scatter): partners at distance n/2, n/4, ...
+  // exchange the half of their window they will not keep.
+  while (cnt > 1) {
+    const int half = cnt / 2;
+    for (int i = 0; i < n; ++i) {
+      const int partner = i ^ half;
+      // i sends the half it discards; the partner keeps that half.
+      const bool keeps_upper = (i & half) != 0;
+      const int sent_first = lo[static_cast<std::size_t>(i)] +
+                             (keeps_upper ? 0 : half);
+      const auto [offset, count] = chunk_span(layout, sent_first, half);
+      if (count > 0) {
+        steps.push_back(CollectiveStep{round, i, partner, offset, offset,
+                                       count, /*reduce=*/true});
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if ((i & half) != 0) lo[static_cast<std::size_t>(i)] += half;
+    }
+    cnt = half;
+    ++round;
+  }
+  // Invariant of the halving phase: rank i now owns exactly chunk i.
+
+  // Recursive doubling (all-gather): partners at distance 1, 2, ... copy
+  // their whole window to each other.
+  for (int distance = 1; distance < n; distance *= 2) {
+    for (int i = 0; i < n; ++i) {
+      const int partner = i ^ distance;
+      const auto [offset, count] =
+          chunk_span(layout, lo[static_cast<std::size_t>(i)], cnt);
+      if (count > 0) {
+        steps.push_back(CollectiveStep{round, i, partner, offset, offset,
+                                       count, /*reduce=*/false});
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      lo[static_cast<std::size_t>(i)] =
+          std::min(lo[static_cast<std::size_t>(i)],
+                   lo[static_cast<std::size_t>(i ^ distance)]);
+    }
+    cnt *= 2;
+    ++round;
+  }
+  return steps;
+}
+
+std::vector<CollectiveStep> suggested_all_reduce_steps(
+    int n, std::int64_t elems, std::int64_t threshold_elems) {
+  if (n >= 2 && is_pow2(n) && elems < threshold_elems) {
+    return halving_doubling_all_reduce_steps(n, elems);
+  }
+  return ring_all_reduce_steps(n, elems);
+}
+
+}  // namespace holmes::comm

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file halving_doubling.h
+/// Recursive halving-doubling all-reduce.
+///
+/// The ring algorithm is bandwidth-optimal but pays 2(n-1) latency rounds;
+/// recursive halving (reduce-scatter) + recursive doubling (all-gather)
+/// moves the same 2(n-1)/n volume in only 2*log2(n) rounds, winning for
+/// small payloads and large groups — exactly NCCL's reasoning when it
+/// switches algorithms by buffer size. Restricted to power-of-two group
+/// sizes (the classic formulation); callers fall back to the ring
+/// otherwise (see suggested_all_reduce_steps).
+
+#include <vector>
+
+#include "comm/collective_steps.h"
+
+namespace holmes::comm {
+
+/// Step program for halving-doubling all-reduce over n ranks (n must be a
+/// power of two; throws holmes::ConfigError otherwise). Empty for n == 1
+/// or elems == 0.
+std::vector<CollectiveStep> halving_doubling_all_reduce_steps(
+    int n, std::int64_t elems);
+
+/// Size-based algorithm selection, mirroring NCCL's protocol switch:
+/// payloads below `threshold_elems` on power-of-two groups use
+/// halving-doubling; everything else uses the ring.
+std::vector<CollectiveStep> suggested_all_reduce_steps(
+    int n, std::int64_t elems, std::int64_t threshold_elems = 1 << 20);
+
+}  // namespace holmes::comm

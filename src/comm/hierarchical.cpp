@@ -1,0 +1,97 @@
+#include "comm/hierarchical.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace holmes::comm {
+
+std::vector<CollectiveStep> hierarchical_all_reduce_steps(
+    const std::vector<int>& node_of_member, std::int64_t elems) {
+  const int n = static_cast<int>(node_of_member.size());
+  if (n <= 0) throw ConfigError("hierarchical all-reduce needs members");
+  if (elems < 0) throw ConfigError("negative element count");
+
+  // Collect node blocks; members of one node must be contiguous.
+  std::vector<std::pair<int, int>> blocks;  // (first member, count)
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || node_of_member[static_cast<std::size_t>(i)] !=
+                      node_of_member[static_cast<std::size_t>(i - 1)]) {
+      blocks.emplace_back(i, 0);
+    }
+    ++blocks.back().second;
+  }
+  {
+    std::map<int, int> seen;
+    for (int node : node_of_member) ++seen[node];
+    if (seen.size() != blocks.size()) {
+      throw ConfigError("members of one node must be contiguous in group order");
+    }
+  }
+  const int locals = blocks.front().second;  // L
+  for (const auto& [first, count] : blocks) {
+    if (count != locals) {
+      throw ConfigError("every node must host the same number of members");
+    }
+  }
+  const int nodes = static_cast<int>(blocks.size());  // M
+
+  // Degenerate shapes: a single node (pure NVLink ring) or one member per
+  // node (pure inter-node ring) — the flat ring is already optimal.
+  if (nodes == 1 || locals == 1) return ring_all_reduce_steps(n, elems);
+
+  std::vector<CollectiveStep> steps;
+  const ChunkLayout local(elems, locals);
+
+  // Phase A: ring reduce-scatter inside each node.
+  int round_base = 0;
+  for (int k = 0; k < nodes; ++k) {
+    const int base = blocks[static_cast<std::size_t>(k)].first;
+    for (CollectiveStep s : ring_reduce_scatter_steps(locals, elems)) {
+      s.round += round_base;
+      s.src += base;
+      s.dst += base;
+      steps.push_back(s);
+    }
+  }
+  round_base += locals - 1;
+
+  // Phase B: per shard j, an inter-node ring all-reduce over the shard's
+  // region among its owners (local rank (j-1) mod L of every node).
+  for (int j = 0; j < locals; ++j) {
+    const std::int64_t offset = local.offset(j);
+    if (local.count(j) == 0) continue;
+    const int owner_local = (j - 1 + locals) % locals;
+    for (CollectiveStep s : ring_all_reduce_steps(nodes, local.count(j))) {
+      s.round += round_base;
+      s.src = blocks[static_cast<std::size_t>(s.src)].first + owner_local;
+      s.dst = blocks[static_cast<std::size_t>(s.dst)].first + owner_local;
+      s.src_offset += offset;
+      s.dst_offset += offset;
+      steps.push_back(s);
+    }
+  }
+  round_base += 2 * (nodes - 1);
+
+  // Phase C: ring all-gather inside each node.
+  for (int k = 0; k < nodes; ++k) {
+    const int base = blocks[static_cast<std::size_t>(k)].first;
+    for (CollectiveStep s : ring_all_gather_steps(locals, elems)) {
+      s.round += round_base;
+      s.src += base;
+      s.dst += base;
+      steps.push_back(s);
+    }
+  }
+
+  // Keep emission order round-major so in-place sequential application and
+  // the round-by-round timed lowering both stay valid.
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const CollectiveStep& a, const CollectiveStep& b) {
+                     return a.round < b.round;
+                   });
+  return steps;
+}
+
+}  // namespace holmes::comm

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file hierarchical.h
+/// Hierarchical (node-aware) all-reduce.
+///
+/// The flat rank-order ring crosses the inter-node fabric through a single
+/// NIC pair per node boundary, leaving the other GPUs' NICs idle — which is
+/// what the paper's testbed numbers reflect (see EXPERIMENTS.md). NCCL's
+/// hierarchical algorithm uses *all* NICs:
+///
+///   phase A: ring reduce-scatter inside each node (NVLink) — local rank i
+///            ends up owning 1/L of the node's partial sum;
+///   phase B: L concurrent inter-node ring all-reduces, one per shard,
+///            each running between the shard's owners across nodes — every
+///            GPU's NIC carries 1/L of the inter-node volume;
+///   phase C: ring all-gather inside each node (NVLink).
+///
+/// Provided as the library's optional optimization (bench_hierarchical
+/// quantifies the gain); the flat ring stays the default because it is what
+/// reproduces the paper's measurements.
+
+#include <vector>
+
+#include "comm/collective_steps.h"
+
+namespace holmes::comm {
+
+/// Step program for a hierarchical all-reduce. `node_of_member[i]` is the
+/// node hosting group member i; every node must host the same number of
+/// members (>= 1) and members of one node must be contiguous in group
+/// order. Throws holmes::ConfigError otherwise. Degenerates to a flat ring
+/// when there is a single node, and to the inter-node phase alone when
+/// every node hosts exactly one member.
+std::vector<CollectiveStep> hierarchical_all_reduce_steps(
+    const std::vector<int>& node_of_member, std::int64_t elems);
+
+}  // namespace holmes::comm

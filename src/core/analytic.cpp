@@ -1,0 +1,117 @@
+#include "core/analytic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace holmes::core {
+
+namespace {
+
+/// Ring collective time over `members` moving `volume` bytes per rank:
+/// (d-1)/d * V through the slowest hop, plus one latency per round.
+SimTime ring_time(const net::Topology& topo, const TrainingPlan& plan,
+                  const std::vector<int>& members, Bytes volume) {
+  const int d = static_cast<int>(members.size());
+  if (d <= 1 || volume == 0) return 0;
+  double min_bandwidth = std::numeric_limits<double>::infinity();
+  SimTime max_latency = 0;
+  for (int j = 0; j < d; ++j) {
+    const int src = members[static_cast<std::size_t>(j)];
+    const int dst = members[static_cast<std::size_t>((j + 1) % d)];
+    const net::PathInfo path =
+        plan.ethernet_fallback && topo.node_of(src) != topo.node_of(dst)
+            ? topo.path_on(src, dst, net::FabricKind::kEthernet)
+            : topo.path(src, dst);
+    min_bandwidth = std::min(min_bandwidth, path.bandwidth);
+    max_latency = std::max(max_latency, path.latency);
+  }
+  return static_cast<double>(d - 1) / d * static_cast<double>(volume) /
+             min_bandwidth +
+         (d - 1) * max_latency;
+}
+
+}  // namespace
+
+AnalyticBreakdown analytic_iteration(const net::Topology& topo,
+                                     const TrainingPlan& plan,
+                                     const CostModel& cost) {
+  const model::TransformerConfig& cfg = plan.workload.config;
+  const int t = plan.degrees.tensor;
+  const int p = plan.degrees.pipeline;
+  const int d = plan.degrees.data;
+  const int virtual_stages = plan.virtual_stages();
+  const int mb = plan.workload.micro_batch_size;
+  const auto m = static_cast<double>(plan.micro_batches);
+  HOLMES_CHECK_MSG(static_cast<int>(plan.partition.size()) == virtual_stages,
+                   "partition/virtual-stage count mismatch");
+
+  // Per-physical-stage micro-batch time (summing the device's chunks) and
+  // parameter count.
+  std::vector<SimTime> stage_time(static_cast<std::size_t>(p), 0);
+  std::vector<double> stage_params(static_cast<std::size_t>(p), 0);
+  for (int v = 0; v < virtual_stages; ++v) {
+    double emb_share = 0;
+    if (virtual_stages == 1) {
+      emb_share = 1.0;
+    } else if (v == 0 || v == virtual_stages - 1) {
+      emb_share = 0.5;
+    }
+    const int layers = plan.partition[static_cast<std::size_t>(v)];
+    const double flops =
+        (layers * cfg.layer_flops(mb) + emb_share * cfg.embedding_flops(mb)) / t;
+    const double interference =
+        cost.nic_interference(plan.stage_nics[static_cast<std::size_t>(v % p)]);
+    stage_time[static_cast<std::size_t>(v % p)] +=
+        cost.compute_seconds(flops, t) * interference;
+    stage_params[static_cast<std::size_t>(v % p)] +=
+        (layers * cfg.layer_parameters() + emb_share * cfg.embedding_parameters()) /
+        t;
+  }
+
+  AnalyticBreakdown out;
+  out.overhead = cost.iteration_overhead;
+  SimTime slowest = 0;
+  SimTime average = 0;
+  for (SimTime time : stage_time) {
+    slowest = std::max(slowest, time);
+    average += time / p;
+  }
+  out.steady_compute = m * slowest;
+  out.pipeline_bubble = (p - 1) * average;
+
+  // Slowest stage's data-parallel synchronization bounds the flush phase.
+  for (int s = 0; s < p; ++s) {
+    const double params = stage_params[static_cast<std::size_t>(s)];
+    // Every tp index shares the same member geometry; tp=0 is
+    // representative.
+    std::vector<int> members;
+    members.reserve(static_cast<std::size_t>(d));
+    for (int dp = 0; dp < d; ++dp) {
+      members.push_back(plan.groups.rank_at({0, dp, s}));
+    }
+    const SimTime rs = ring_time(
+        topo, plan, members,
+        static_cast<Bytes>(params * cost.grad_bytes_per_param));
+    const SimTime ag = ring_time(
+        topo, plan, members,
+        static_cast<Bytes>(params * cost.param_bytes *
+                           plan.framework.dp_sync.allgather_passes()));
+    const bool shards = plan.framework.dp_sync.shards_optimizer();
+    const SimTime opt =
+        cost.optimizer_seconds(shards ? params / d : params);
+    // Classic DDP all-reduces (2x the reduce-scatter volume) and skips the
+    // all-gather.
+    const SimTime sync = shards ? rs + ag : 2 * rs;
+    if (sync + opt >
+        out.grad_reduce_scatter + out.param_allgather + out.optimizer) {
+      out.grad_reduce_scatter = shards ? rs : 2 * rs;
+      out.param_allgather = shards ? ag : 0;
+      out.optimizer = opt;
+    }
+  }
+  return out;
+}
+
+}  // namespace holmes::core

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file analytic.h
+/// Closed-form first-order estimate of the steady-state iteration time.
+///
+/// Serves two purposes: (1) cross-validation — the DES should agree with
+/// the textbook pipeline/ring formulas within tens of percent wherever the
+/// formulas apply (homogeneous clusters, 1F1B, no overlap), which the
+/// `AnalyticAgreement` tests assert; (2) a fast pre-filter for layout
+/// search (evaluating the formula is ~10^4x cheaper than a simulation).
+///
+/// Model (plain 1F1B, non-overlapped distributed optimizer):
+///   T ~= overhead + m * max_stage(tf + tb)            (steady cadence)
+///        + (p - 1) * avg_stage(tf + tb)               (fill/drain bubble)
+///        + RS(d, grads) + params/d / opt_rate + AG(d, params)
+/// with ring time X(d, V) = (d-1)/d * V / bw_bottleneck + (d-1) * latency.
+
+#include "core/cost_model.h"
+#include "core/plan.h"
+
+namespace holmes::core {
+
+struct AnalyticBreakdown {
+  SimTime overhead = 0;
+  SimTime steady_compute = 0;   ///< m * slowest-stage per-micro-batch time
+  SimTime pipeline_bubble = 0;  ///< (p-1) fill/drain
+  SimTime grad_reduce_scatter = 0;
+  SimTime optimizer = 0;
+  SimTime param_allgather = 0;
+
+  SimTime total() const {
+    return overhead + steady_compute + pipeline_bubble + grad_reduce_scatter +
+           optimizer + param_allgather;
+  }
+};
+
+/// First-order breakdown for `plan` on `topo`. Meaningful for 1F1B without
+/// communication overlap (the formula ignores overlap and p2p exposure);
+/// other plans still produce a value, interpreted as their non-overlapped
+/// bound.
+AnalyticBreakdown analytic_iteration(const net::Topology& topo,
+                                     const TrainingPlan& plan,
+                                     const CostModel& cost = {});
+
+}  // namespace holmes::core

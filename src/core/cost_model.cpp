@@ -1,0 +1,29 @@
+#include "core/cost_model.h"
+
+#include "util/error.h"
+
+namespace holmes::core {
+
+SimTime CostModel::compute_seconds(double flops, int tensor_parallel) const {
+  HOLMES_CHECK_MSG(flops >= 0, "negative FLOP count");
+  HOLMES_CHECK_MSG(tensor_parallel >= 1, "tensor parallel degree must be >= 1");
+  double rate = peak_tflops * 1e12 * mfu;
+  if (tensor_parallel > 1) rate *= tp_efficiency;
+  return flops / rate;
+}
+
+SimTime CostModel::optimizer_seconds(double elems) const {
+  HOLMES_CHECK_MSG(elems >= 0, "negative element count");
+  return elems / optimizer_elems_per_sec;
+}
+
+double CostModel::nic_interference(net::NicType nic) const {
+  switch (nic) {
+    case net::NicType::kInfiniBand: return 1.0;
+    case net::NicType::kRoCE: return roce_interference;
+    case net::NicType::kEthernet: return ethernet_interference;
+  }
+  return 1.0;
+}
+
+}  // namespace holmes::core

@@ -1,0 +1,66 @@
+#include "core/experiment.h"
+
+#include "util/error.h"
+
+namespace holmes::core {
+
+std::string to_string(NicEnv env) {
+  switch (env) {
+    case NicEnv::kInfiniBand: return "InfiniBand";
+    case NicEnv::kRoCE: return "RoCE";
+    case NicEnv::kEthernet: return "Ethernet";
+    case NicEnv::kHybrid: return "Hybrid";
+    case NicEnv::kSplitIB: return "InfiniBand & Ethernet";
+    case NicEnv::kSplitRoCE: return "RoCE & Ethernet";
+  }
+  return "?";
+}
+
+net::Topology make_environment(NicEnv env, int total_nodes,
+                               int gpus_per_node) {
+  const bool split = env == NicEnv::kHybrid || env == NicEnv::kSplitIB ||
+                     env == NicEnv::kSplitRoCE;
+  if (split && total_nodes % 2 != 0) {
+    throw ConfigError("environment '" + to_string(env) +
+                      "' needs an even node count, got " +
+                      std::to_string(total_nodes));
+  }
+  switch (env) {
+    case NicEnv::kInfiniBand:
+      return net::Topology::homogeneous(total_nodes, net::NicType::kInfiniBand,
+                                        gpus_per_node);
+    case NicEnv::kRoCE:
+      return net::Topology::homogeneous(total_nodes, net::NicType::kRoCE,
+                                        gpus_per_node);
+    case NicEnv::kEthernet:
+      return net::Topology::homogeneous(total_nodes, net::NicType::kEthernet,
+                                        gpus_per_node);
+    case NicEnv::kHybrid:
+      return net::Topology::hybrid_two_clusters(total_nodes / 2, gpus_per_node);
+    case NicEnv::kSplitIB:
+      return net::Topology::split_clusters(total_nodes / 2,
+                                           net::NicType::kInfiniBand,
+                                           gpus_per_node);
+    case NicEnv::kSplitRoCE:
+      return net::Topology::split_clusters(total_nodes / 2,
+                                           net::NicType::kRoCE, gpus_per_node);
+  }
+  throw ConfigError("unknown environment");
+}
+
+IterationMetrics run_experiment(const FrameworkConfig& framework,
+                                const net::Topology& topo, int group_id,
+                                const CostModel& cost, int iterations) {
+  const Planner planner(framework);
+  const TrainingPlan plan = planner.plan(topo, model::parameter_group(group_id));
+  return TrainingSimulator(cost).run(topo, plan, iterations);
+}
+
+IterationMetrics run_experiment(const FrameworkConfig& framework, NicEnv env,
+                                int total_nodes, int group_id,
+                                const CostModel& cost, int iterations) {
+  const net::Topology topo = make_environment(env, total_nodes);
+  return run_experiment(framework, topo, group_id, cost, iterations);
+}
+
+}  // namespace holmes::core

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file experiment.h
+/// Named NIC environments from the paper's evaluation and a one-call
+/// experiment runner shared by the bench binaries and integration tests.
+
+#include <string>
+
+#include "core/training_sim.h"
+
+namespace holmes::core {
+
+/// The environments of §4.1 ("NIC Environment") plus Fig. 4's split cases.
+enum class NicEnv {
+  kInfiniBand,  ///< one cluster, IB NICs
+  kRoCE,        ///< one cluster, RoCE NICs
+  kEthernet,    ///< one cluster, Ethernet NICs only
+  kHybrid,      ///< two equal clusters, IB + RoCE, no shared switch
+  kSplitIB,     ///< two equal IB clusters, no shared switch (Fig. 4)
+  kSplitRoCE,   ///< two equal RoCE clusters, no shared switch (Fig. 4)
+};
+
+std::string to_string(NicEnv env);
+
+/// Builds the topology for `env` over `total_nodes` nodes (split
+/// environments need an even count). Throws holmes::ConfigError otherwise.
+net::Topology make_environment(NicEnv env, int total_nodes,
+                               int gpus_per_node = 8);
+
+/// Plans and simulates parameter group `group_id` with `framework` on the
+/// given topology; returns steady-state metrics.
+IterationMetrics run_experiment(const FrameworkConfig& framework,
+                                const net::Topology& topo, int group_id,
+                                const CostModel& cost = {},
+                                int iterations = 3);
+
+/// Convenience overload building the topology from a named environment.
+IterationMetrics run_experiment(const FrameworkConfig& framework, NicEnv env,
+                                int total_nodes, int group_id,
+                                const CostModel& cost = {},
+                                int iterations = 3);
+
+}  // namespace holmes::core

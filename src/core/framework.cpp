@@ -1,0 +1,68 @@
+#include "core/framework.h"
+
+namespace holmes::core {
+
+FrameworkConfig FrameworkConfig::holmes() {
+  FrameworkConfig config;
+  config.name = "Holmes";
+  config.groups = GroupPolicy::kClusterAligned;
+  config.transport = TransportPolicy::kPerGroupBest;
+  config.partition = PartitionPolicy::kSelfAdapting;
+  config.dp_sync = optimizer::DpSyncConfig::overlapped();
+  return config;
+}
+
+FrameworkConfig FrameworkConfig::megatron_lm() {
+  FrameworkConfig config;
+  config.name = "Megatron-LM";
+  config.groups = GroupPolicy::kLauncherOrder;
+  config.transport = TransportPolicy::kGlobalEthernetFallback;
+  config.partition = PartitionPolicy::kUniform;
+  config.dp_sync = optimizer::DpSyncConfig::all_reduce();
+  return config;
+}
+
+FrameworkConfig FrameworkConfig::megatron_deepspeed() {
+  FrameworkConfig config = megatron_lm();
+  config.name = "Megatron-DeepSpeed";
+  config.dp_sync = optimizer::DpSyncConfig::distributed();
+  return config;
+}
+
+FrameworkConfig FrameworkConfig::megatron_llama() {
+  FrameworkConfig config = megatron_lm();
+  config.name = "Megatron-LLaMA";
+  config.dp_sync = optimizer::DpSyncConfig::overlapped();
+  return config;
+}
+
+FrameworkConfig FrameworkConfig::without_self_adapting() const {
+  FrameworkConfig config = *this;
+  config.name += " w/o Self-Adapting-Partition";
+  config.partition = PartitionPolicy::kUniform;
+  return config;
+}
+
+FrameworkConfig FrameworkConfig::with_schedule(SchedulePolicy policy,
+                                               int chunks) const {
+  FrameworkConfig config = *this;
+  config.schedule = policy;
+  config.virtual_chunks = policy == SchedulePolicy::kInterleaved ? chunks : 1;
+  switch (policy) {
+    case SchedulePolicy::kGPipe: config.name += " [gpipe]"; break;
+    case SchedulePolicy::kOneFOneB: break;
+    case SchedulePolicy::kInterleaved:
+      config.name += " [interleaved-" + std::to_string(chunks) + "]";
+      break;
+  }
+  return config;
+}
+
+FrameworkConfig FrameworkConfig::without_overlapped_optimizer() const {
+  FrameworkConfig config = *this;
+  config.name += " w/o Overlapped Optimizer";
+  config.dp_sync = optimizer::DpSyncConfig::distributed();
+  return config;
+}
+
+}  // namespace holmes::core

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file framework.h
+/// Framework descriptors: each LLM training framework the paper compares is
+/// a bundle of documented planning choices over the shared substrate, so
+/// performance differences are attributable to policy, not implementation.
+///
+///  | framework          | groups          | transport       | partition      | dp sync     |
+///  |--------------------|-----------------|-----------------|----------------|-------------|
+///  | Holmes             | cluster-aligned | per-group best  | self-adapting  | overlapped  |
+///  | Megatron-LM        | launcher order  | global fallback | uniform        | all-reduce  |
+///  | Megatron-DeepSpeed | launcher order  | global fallback | uniform        | ZeRO-1      |
+///  | Megatron-LLaMA     | launcher order  | global fallback | uniform        | overlapped  |
+///
+/// "Global fallback": in a heterogeneous job (multiple clusters or mixed
+/// NIC types) stock NCCL cannot establish a uniform RDMA transport and
+/// downgrades all inter-node traffic to TCP/Ethernet. Holmes' Automatic
+/// NIC Selection builds per-group communicators that keep RDMA wherever
+/// the group's members allow it.
+
+#include <string>
+
+#include "optimizer/dp_strategy.h"
+
+namespace holmes::core {
+
+enum class GroupPolicy { kLauncherOrder, kClusterAligned };
+enum class TransportPolicy { kPerGroupBest, kGlobalEthernetFallback };
+enum class PartitionPolicy { kUniform, kSelfAdapting };
+enum class SchedulePolicy { kGPipe, kOneFOneB, kInterleaved };
+
+struct FrameworkConfig {
+  std::string name;
+  GroupPolicy groups = GroupPolicy::kLauncherOrder;
+  TransportPolicy transport = TransportPolicy::kGlobalEthernetFallback;
+  PartitionPolicy partition = PartitionPolicy::kUniform;
+  optimizer::DpSyncConfig dp_sync = optimizer::DpSyncConfig::all_reduce();
+  /// Self-adapting partition hyper-parameter (paper: 1.05).
+  double alpha = 1.05;
+  /// Pipeline execution schedule. All frameworks default to PipeDream-Flush
+  /// (1F1B); the interleaved schedule adds `virtual_chunks` model chunks
+  /// per device (ignored otherwise).
+  SchedulePolicy schedule = SchedulePolicy::kOneFOneB;
+  int virtual_chunks = 1;
+
+  /// Number of model chunks each device hosts under the configured
+  /// schedule (1 unless interleaved).
+  int effective_chunks() const {
+    return schedule == SchedulePolicy::kInterleaved ? virtual_chunks : 1;
+  }
+
+  /// Returns a copy running the given schedule (chunks only meaningful for
+  /// kInterleaved).
+  FrameworkConfig with_schedule(SchedulePolicy policy, int chunks = 2) const;
+
+  static FrameworkConfig holmes();
+  static FrameworkConfig megatron_lm();
+  static FrameworkConfig megatron_deepspeed();
+  static FrameworkConfig megatron_llama();
+
+  // ---- Ablations (Table 5) ----
+
+  /// Holmes without Self-Adapting Pipeline Partition (uniform instead).
+  FrameworkConfig without_self_adapting() const;
+  /// Holmes without the Overlapped Distributed Optimizer (plain ZeRO-1).
+  FrameworkConfig without_overlapped_optimizer() const;
+};
+
+}  // namespace holmes::core

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file perturbation.h
+/// Runtime perturbations: stragglers and compute jitter.
+///
+/// The paper assumes "communication between devices is stable and all
+/// devices are consistently online" and names fault handling as future
+/// work. This module takes the first step: deterministic (seeded)
+/// perturbation of the simulated execution, so the sensitivity of each
+/// scheduling policy to slow devices can be measured — see
+/// bench_straggler.
+
+#include <cstdint>
+#include <map>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace holmes::core {
+
+struct Perturbations {
+  /// Per-rank compute slowdown multipliers (> 1 = straggler). Ranks not
+  /// listed run at nominal speed.
+  std::map<int, double> device_slowdown;
+
+  /// Log-uniform compute jitter: every compute task's duration is scaled
+  /// by a factor drawn uniformly from [1, 1 + compute_jitter]. 0 disables.
+  double compute_jitter = 0.0;
+
+  /// Seed for the jitter stream; identical seeds reproduce identical runs.
+  std::uint64_t seed = 0x5EED;
+
+  bool empty() const {
+    return device_slowdown.empty() && compute_jitter == 0.0;
+  }
+
+  /// Effective multiplier for one compute task on `rank`. `rng` must be the
+  /// simulation's perturbation stream (advanced once per call when jitter
+  /// is enabled, so call order must be deterministic — it is: task creation
+  /// order).
+  double factor(int rank, Rng& rng) const {
+    double f = 1.0;
+    const auto it = device_slowdown.find(rank);
+    if (it != device_slowdown.end()) f *= it->second;
+    if (compute_jitter > 0) f *= rng.uniform(1.0, 1.0 + compute_jitter);
+    return f;
+  }
+};
+
+}  // namespace holmes::core

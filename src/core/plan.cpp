@@ -1,0 +1,86 @@
+#include "core/plan.h"
+
+#include "util/error.h"
+
+namespace holmes::core {
+
+bool is_heterogeneous_job(const net::Topology& topo) {
+  return topo.cluster_count() > 1;
+}
+
+TrainingPlan Planner::plan(const net::Topology& topo,
+                           const model::ParameterGroup& workload) const {
+  const parallel::ParallelConfig degrees = parallel::derive_config(
+      topo, workload.tensor_parallel, workload.pipeline_parallel);
+
+  const parallel::MegatronGroupBuilder megatron_builder;
+  const parallel::HolmesGroupBuilder holmes_builder;
+  const parallel::GroupBuilder& builder =
+      config_.groups == GroupPolicy::kClusterAligned
+          ? static_cast<const parallel::GroupBuilder&>(holmes_builder)
+          : static_cast<const parallel::GroupBuilder&>(megatron_builder);
+  parallel::ParallelGroups groups = builder.build(topo, degrees);
+  parallel::validate_groups(groups, topo);
+
+  // Effective NIC per stage: the hosting cluster's NIC, or Ethernet when
+  // the stage straddles clusters (its DP traffic can only use Ethernet).
+  std::vector<net::NicType> stage_nics;
+  for (int cluster : parallel::stage_clusters(groups, topo)) {
+    stage_nics.push_back(cluster >= 0 ? topo.cluster(cluster).nic
+                                      : net::NicType::kEthernet);
+  }
+
+  const bool fallback =
+      config_.transport == TransportPolicy::kGlobalEthernetFallback &&
+      is_heterogeneous_job(topo);
+  if (fallback) {
+    // With every inter-node byte on Ethernet, per-stage NIC distinctions
+    // vanish; partitioning must see the NICs the traffic actually uses.
+    for (auto& nic : stage_nics) nic = net::NicType::kEthernet;
+  }
+
+  // The interleaved schedule needs micro-batch counts divisible by the
+  // stage count (Megatron's own constraint); check early for a clear error.
+  const int chunks = config_.effective_chunks();
+  const std::int64_t micro_batches = workload.micro_batches(degrees.data);
+  if (chunks > 1 && micro_batches % degrees.pipeline != 0) {
+    throw ConfigError("interleaved schedule needs micro-batches (" +
+                      std::to_string(micro_batches) +
+                      ") divisible by pipeline degree " +
+                      std::to_string(degrees.pipeline));
+  }
+
+  // Partition layers over *virtual* stages (p * chunks entries; plain
+  // schedules have chunks == 1). Virtual stage v runs on physical stage
+  // v % p, so its NIC weight is that stage's.
+  std::vector<net::NicType> virtual_nics;
+  virtual_nics.reserve(static_cast<std::size_t>(degrees.pipeline) * chunks);
+  for (int v = 0; v < degrees.pipeline * chunks; ++v) {
+    virtual_nics.push_back(
+        stage_nics[static_cast<std::size_t>(v % degrees.pipeline)]);
+  }
+
+  // Eq. (2)'s S(NIC) values are measured under full data-parallel load
+  // (Table 1, d = 16). With d <= 2 the gradient synchronization volume is
+  // too small to differentiate stage speed by NIC, so adapting the
+  // partition to those stale speeds would overfit; fall back to uniform.
+  const bool adapt = config_.partition == PartitionPolicy::kSelfAdapting &&
+                     degrees.data >= 4;
+  pipeline::StagePartition partition =
+      adapt ? pipeline::self_adapting_partition(workload.config.layers,
+                                                virtual_nics, config_.alpha)
+            : pipeline::uniform_partition(workload.config.layers,
+                                          degrees.pipeline * chunks);
+
+  TrainingPlan plan{config_,
+                    degrees,
+                    std::move(groups),
+                    std::move(partition),
+                    std::move(stage_nics),
+                    fallback,
+                    workload,
+                    micro_batches};
+  return plan;
+}
+
+}  // namespace holmes::core

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file plan.h
+/// Planning: a FrameworkConfig plus a topology and a workload resolve into
+/// a TrainingPlan — the complete set of scheduling decisions (groups,
+/// stage partition, per-stage NICs, transport fallback, DP sync strategy)
+/// the training simulator then executes.
+
+#include <vector>
+
+#include "core/framework.h"
+#include "model/gpt_zoo.h"
+#include "net/topology.h"
+#include "parallel/group_builder.h"
+#include "pipeline/partition.h"
+
+namespace holmes::core {
+
+struct TrainingPlan {
+  FrameworkConfig framework;
+  parallel::ParallelConfig degrees;
+  parallel::ParallelGroups groups;
+  /// Layers per *virtual* stage: size p for GPipe/1F1B, p * chunks for the
+  /// interleaved schedule (virtual stage v runs on physical stage v % p).
+  pipeline::StagePartition partition;
+  std::vector<net::NicType> stage_nics;    ///< effective NIC per physical stage
+  bool ethernet_fallback = false;          ///< all inter-node comm on Ethernet
+  model::ParameterGroup workload;
+  std::int64_t micro_batches = 0;          ///< per pipeline replica
+
+  /// Model chunks per device (>1 only for the interleaved schedule).
+  int chunks() const { return framework.effective_chunks(); }
+  /// Virtual pipeline depth p * chunks.
+  int virtual_stages() const { return degrees.pipeline * chunks(); }
+};
+
+class Planner {
+ public:
+  explicit Planner(FrameworkConfig config) : config_(std::move(config)) {}
+
+  /// Resolves every scheduling decision for `workload` on `topo`. Throws
+  /// holmes::ConfigError when the workload cannot be laid out (degrees do
+  /// not divide the world, batch not divisible, fewer layers than stages).
+  TrainingPlan plan(const net::Topology& topo,
+                    const model::ParameterGroup& workload) const;
+
+  const FrameworkConfig& framework() const { return config_; }
+
+ private:
+  FrameworkConfig config_;
+};
+
+/// True when the job spans multiple clusters (no shared high-speed switch)
+/// — the condition under which a NIC-oblivious stack downgrades to
+/// Ethernet.
+bool is_heterogeneous_job(const net::Topology& topo);
+
+}  // namespace holmes::core

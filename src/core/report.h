@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file report.h
+/// Experiment result grids with human- and machine-readable renderers.
+///
+/// Benches and the CLI accumulate (row, column) -> metrics cells and render
+/// them as an aligned text table (stdout), GitHub markdown (reports), or
+/// CSV (plotting pipelines). One grid holds one metric view; the value
+/// extractor picks which IterationMetrics field a rendering shows.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/training_sim.h"
+
+namespace holmes::core {
+
+class ExperimentGrid {
+ public:
+  /// `title` heads every rendering; `row_header` labels the first column.
+  ExperimentGrid(std::string title, std::string row_header);
+
+  /// Records the metrics of one scenario cell. Rows/columns appear in
+  /// first-insertion order. Re-setting a cell overwrites it.
+  void set(const std::string& row, const std::string& column,
+           const IterationMetrics& metrics);
+
+  bool has(const std::string& row, const std::string& column) const;
+  const IterationMetrics& at(const std::string& row,
+                             const std::string& column) const;
+
+  const std::vector<std::string>& rows() const { return rows_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::string& title() const { return title_; }
+
+  /// Extracts the rendered value from a cell (e.g. TFLOPS or throughput).
+  using Extractor = std::function<double(const IterationMetrics&)>;
+  static Extractor tflops();
+  static Extractor throughput();
+  static Extractor iteration_seconds();
+  static Extractor grad_sync_seconds();
+
+  /// Aligned text table of one metric (missing cells render as "-").
+  std::string to_text(const Extractor& extract, int precision = 2) const;
+
+  /// GitHub-flavoured markdown table of one metric.
+  std::string to_markdown(const Extractor& extract, int precision = 2) const;
+
+  /// CSV with one line per cell: row,column,tflops,throughput,
+  /// iteration_s,grad_sync_s,allgather_s,optimizer_s. Includes a header.
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::string row_header_;
+  std::vector<std::string> rows_;
+  std::vector<std::string> columns_;
+  std::map<std::pair<std::string, std::string>, IterationMetrics> cells_;
+};
+
+}  // namespace holmes::core

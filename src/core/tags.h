@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file tags.h
+/// Canonical task-tag values used by the training simulator for per-op
+/// accounting (e.g. Fig. 3's grads-reduce-scatter timing). Tags are scoped
+/// per simulated iteration: iteration `i` uses base + i * kIterationStride,
+/// so metrics can read the steady-state iteration in isolation.
+
+#include "sim/task_graph.h"
+
+namespace holmes::core::tags {
+
+inline constexpr sim::TaskTag kForward = 1;
+inline constexpr sim::TaskTag kBackward = 2;
+inline constexpr sim::TaskTag kActivationP2P = 3;
+inline constexpr sim::TaskTag kGradReduceScatter = 4;
+inline constexpr sim::TaskTag kGradAllReduce = 5;
+inline constexpr sim::TaskTag kParamAllGather = 6;
+inline constexpr sim::TaskTag kOptimizerStep = 7;
+inline constexpr sim::TaskTag kIterationEnd = 8;
+
+inline constexpr sim::TaskTag kIterationStride = 16;
+
+/// Tag value for `base` within iteration `iteration`.
+constexpr sim::TaskTag for_iteration(sim::TaskTag base, int iteration) {
+  return base + iteration * kIterationStride;
+}
+
+}  // namespace holmes::core::tags

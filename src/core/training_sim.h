@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file training_sim.h
+/// Lowers a TrainingPlan into per-iteration task graphs and simulates them.
+///
+/// Several iterations are chained (default 3) and the metrics are read from
+/// the *last* one, so steady-state effects — the overlapped optimizer's
+/// parameter all-gather hiding under the next iteration's forward pass,
+/// warm pipelines — emerge from the dependency structure rather than being
+/// modeled analytically.
+
+#include <iosfwd>
+
+#include "core/cost_model.h"
+#include "core/perturbation.h"
+#include "core/plan.h"
+#include "util/units.h"
+
+namespace holmes::core {
+
+struct IterationMetrics {
+  SimTime iteration_time = 0;   ///< steady-state seconds per iteration
+  double tflops_per_gpu = 0;    ///< Eq. (6) FLOPs / (time * N), in TFLOP/s
+  double throughput = 0;        ///< samples (sequences) per second, aggregate
+
+  /// Wall-span of the gradient reduce-scatter (or all-reduce, for the
+  /// classic DDP strategy) in the measured iteration — Fig. 3's metric.
+  SimTime grad_sync_span = 0;
+  /// Wall-span of the parameter all-gather (distributed optimizers only).
+  SimTime param_allgather_span = 0;
+  /// Wall-span of the optimizer step compute.
+  SimTime optimizer_span = 0;
+  /// Aggregate busy seconds of forward / backward compute across devices.
+  SimTime forward_busy = 0;
+  SimTime backward_busy = 0;
+
+  std::size_t task_count = 0;   ///< simulated tasks across all iterations
+};
+
+class TrainingSimulator {
+ public:
+  explicit TrainingSimulator(CostModel cost = {}) : cost_(cost) {}
+
+  /// Simulates `iterations` chained training iterations of `plan` on
+  /// `topo` and reports steady-state metrics from the last one.
+  /// `iterations` must be >= 2 (one warm-up minimum). `perturbations`
+  /// optionally slows individual devices or adds seeded compute jitter
+  /// (see core/perturbation.h).
+  IterationMetrics run(const net::Topology& topo, const TrainingPlan& plan,
+                       int iterations = 3,
+                       const Perturbations& perturbations = {},
+                       std::ostream* chrome_trace = nullptr) const;
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  CostModel cost_;
+};
+
+}  // namespace holmes::core

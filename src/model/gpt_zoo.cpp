@@ -1,0 +1,79 @@
+#include "model/gpt_zoo.h"
+
+#include "util/error.h"
+
+namespace holmes::model {
+
+std::int64_t ParameterGroup::micro_batches(int data_parallel) const {
+  if (data_parallel <= 0) throw ConfigError("data parallel degree must be positive");
+  const std::int64_t per_replica = batch_size / data_parallel;
+  if (batch_size % data_parallel != 0) {
+    throw ConfigError("batch size " + std::to_string(batch_size) +
+                      " not divisible by data parallel degree " +
+                      std::to_string(data_parallel));
+  }
+  if (per_replica % micro_batch_size != 0) {
+    throw ConfigError("per-replica batch " + std::to_string(per_replica) +
+                      " not divisible by micro batch " +
+                      std::to_string(micro_batch_size));
+  }
+  return per_replica / micro_batch_size;
+}
+
+const std::vector<ParameterGroup>& table2_groups() {
+  static const std::vector<ParameterGroup> groups = [] {
+    // Architectures (Table 2): vocab 51,200 and sequence length 2,048
+    // everywhere.
+    const TransformerConfig gpt_3_6b{30, 3072, 32, 51200, 2048};
+    const TransformerConfig gpt_7_5b{36, 4096, 32, 51200, 2048};
+    const TransformerConfig gpt_39b{48, 8192, 64, 51200, 2048};
+    std::vector<ParameterGroup> g;
+    g.push_back({1, gpt_3_6b, 3.6, 1, 2, 4, 768});
+    g.push_back({2, gpt_3_6b, 3.6, 1, 2, 4, 1536});
+    g.push_back({3, gpt_7_5b, 7.5, 1, 2, 4, 1536});
+    g.push_back({4, gpt_7_5b, 7.5, 1, 2, 4, 2688});
+    g.push_back({5, gpt_7_5b, 7.5, 1, 3, 4, 1536});
+    g.push_back({6, gpt_7_5b, 7.5, 1, 3, 4, 2688});
+    g.push_back({7, gpt_39b, 39.1, 8, 2, 4, 1536});
+    g.push_back({8, gpt_39b, 39.1, 8, 3, 4, 1536});
+    for (const auto& group : g) group.config.validate();
+    return g;
+  }();
+  return groups;
+}
+
+TransformerConfig gpt3(const std::string& name) {
+  // layers / hidden / heads per Brown et al. 2020 Table 2.1 (13B uses the
+  // round 5120 hidden size).
+  static const std::vector<std::pair<std::string, TransformerConfig>> family = {
+      {"125M", {12, 768, 12, 51200, 2048}},
+      {"350M", {24, 1024, 16, 51200, 2048}},
+      {"760M", {24, 1536, 16, 51200, 2048}},
+      {"1.3B", {24, 2048, 16, 51200, 2048}},
+      {"2.7B", {32, 2560, 32, 51200, 2048}},
+      {"6.7B", {32, 4096, 32, 51200, 2048}},
+      {"13B", {40, 5120, 40, 51200, 2048}},
+      {"175B", {96, 12288, 96, 51200, 2048}},
+  };
+  for (const auto& [key, config] : family) {
+    if (key == name) return config;
+  }
+  throw ConfigError("unknown GPT-3 family member: '" + name + "'");
+}
+
+const std::vector<std::string>& gpt3_names() {
+  static const std::vector<std::string> names = {
+      "125M", "350M", "760M", "1.3B", "2.7B", "6.7B", "13B", "175B"};
+  return names;
+}
+
+const ParameterGroup& parameter_group(int id) {
+  const auto& groups = table2_groups();
+  if (id < 1 || id > static_cast<int>(groups.size())) {
+    throw ConfigError("parameter group id must be in 1..8, got " +
+                      std::to_string(id));
+  }
+  return groups[static_cast<std::size_t>(id - 1)];
+}
+
+}  // namespace holmes::model

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file memory.h
+/// Per-GPU memory footprint estimate for a training configuration.
+///
+/// Used by planners to reject configurations that could not run on the
+/// paper's 80 GB A100s, and by tests to confirm Table 2's groups fit their
+/// stated device counts. Mixed-precision Adam accounting (bytes per
+/// parameter): 2 (bf16 weights) + 2 (bf16 grads) + 4 + 4 + 4 (fp32 master
+/// weights, momentum, variance) = 16, with the optimizer-state share
+/// optionally sharded across the data-parallel group (ZeRO-1 /
+/// distributed optimizer).
+
+#include "model/transformer.h"
+
+namespace holmes::model {
+
+struct MemoryEstimate {
+  Bytes weights = 0;
+  Bytes gradients = 0;
+  Bytes optimizer_state = 0;
+  Bytes activations = 0;
+  Bytes total() const { return weights + gradients + optimizer_state + activations; }
+};
+
+struct MemoryModelParams {
+  int weight_bytes = 2;
+  int gradient_bytes = 2;
+  int optimizer_bytes = 12;  ///< fp32 master + two Adam moments
+  /// Activation bytes per layer per sample ≈ s*h*(34 + 5*a*s/h) in the
+  /// selective-recomputation regime; we use the standard 34*s*h lower part.
+  int activation_factor = 34;
+};
+
+/// Estimates the footprint of one GPU holding `layers_on_device` layers of
+/// `config`, with tensor parallel degree t (weights/activations divide by
+/// t), `in_flight_microbatches` micro-batches of activations resident
+/// (pipeline depth for 1F1B), optimizer state sharded `optimizer_shards`
+/// ways (1 = no distributed optimizer), and weights/gradients additionally
+/// sharded `weight_shards` ways (> 1 only for ZeRO-3/FSDP).
+MemoryEstimate estimate_device_memory(const TransformerConfig& config,
+                                      int layers_on_device, int tensor_parallel,
+                                      int micro_batch_size,
+                                      int in_flight_microbatches,
+                                      int optimizer_shards,
+                                      const MemoryModelParams& params = {},
+                                      int weight_shards = 1);
+
+}  // namespace holmes::model

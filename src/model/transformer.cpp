@@ -1,0 +1,57 @@
+#include "model/transformer.h"
+
+#include "util/error.h"
+
+namespace holmes::model {
+
+void TransformerConfig::validate() const {
+  if (layers <= 0) throw ConfigError("model needs at least one layer");
+  if (hidden <= 0) throw ConfigError("hidden size must be positive");
+  if (heads <= 0) throw ConfigError("head count must be positive");
+  if (vocab <= 0) throw ConfigError("vocab size must be positive");
+  if (seq_len <= 0) throw ConfigError("sequence length must be positive");
+  if (hidden % heads != 0) {
+    throw ConfigError("hidden size must be divisible by head count");
+  }
+}
+
+double TransformerConfig::parameter_count() const {
+  const double l = layers, h = hidden, V = vocab, s = seq_len;
+  return 12.0 * l * h * h *
+         (1.0 + 13.0 / (12.0 * h) + (V + s) / (12.0 * l * h));
+}
+
+double TransformerConfig::flops_per_iteration(std::int64_t batch_size) const {
+  const double B = static_cast<double>(batch_size);
+  const double l = layers, h = hidden, V = vocab, s = seq_len;
+  return 96.0 * B * s * l * h * h *
+         (1.0 + s / (6.0 * h) + V / (16.0 * l * h));
+}
+
+double TransformerConfig::layer_flops(std::int64_t samples) const {
+  const double b = static_cast<double>(samples);
+  const double h = hidden, s = seq_len;
+  return 96.0 * b * s * h * h + 16.0 * b * s * s * h;
+}
+
+double TransformerConfig::embedding_flops(std::int64_t samples) const {
+  const double b = static_cast<double>(samples);
+  const double h = hidden, s = seq_len, V = vocab;
+  return 6.0 * b * s * h * V;
+}
+
+Bytes TransformerConfig::activation_bytes(std::int64_t samples,
+                                          int bytes_per_value) const {
+  return samples * static_cast<Bytes>(seq_len) * hidden * bytes_per_value;
+}
+
+double TransformerConfig::layer_parameters() const {
+  const double h = hidden;
+  return 12.0 * h * h + 13.0 * h;
+}
+
+double TransformerConfig::embedding_parameters() const {
+  return (static_cast<double>(vocab) + seq_len) * hidden;
+}
+
+}  // namespace holmes::model

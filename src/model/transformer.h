@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file transformer.h
+/// GPT-style transformer model description and the paper's analytic
+/// formulas: parameter count (Eq. 5) and FLOPs per training iteration
+/// (Eq. 6). These two formulas define the TFLOPS metric every experiment
+/// reports, so they live here as the single source of truth.
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace holmes::model {
+
+struct TransformerConfig {
+  int layers = 0;        ///< l — number of transformer layers
+  int hidden = 0;        ///< h — hidden size
+  int heads = 0;         ///< attention heads (sanity only; FLOPs ignore it)
+  int vocab = 51200;     ///< V — vocabulary size (paper: 51,200)
+  int seq_len = 2048;    ///< s — sequence length (paper: 2,048)
+
+  /// Throws holmes::ConfigError when any dimension is non-positive or the
+  /// hidden size is not divisible by the head count.
+  void validate() const;
+
+  /// Eq. (5): P = 12 l h^2 (1 + 13/(12h) + (V+s)/(12 l h)).
+  double parameter_count() const;
+
+  /// Eq. (6): F = 96 B s l h^2 (1 + s/(6h) + V/(16 l h)) — the GEMM-only
+  /// FLOPs of one full iteration (forward + backward) over batch size B.
+  double flops_per_iteration(std::int64_t batch_size) const;
+
+  /// FLOPs of one transformer layer for `samples` sequences, forward and
+  /// backward combined: 96 b s h^2 + 16 b s^2 h (the per-layer share of
+  /// Eq. 6).
+  double layer_flops(std::int64_t samples) const;
+
+  /// FLOPs of the embedding/logit GEMMs for `samples` sequences, forward
+  /// and backward combined: 6 b s h V (the non-layer share of Eq. 6).
+  double embedding_flops(std::int64_t samples) const;
+
+  /// Bytes of one activation tensor crossing a pipeline-stage boundary for
+  /// `samples` micro-batch sequences: samples * s * h * bytes_per_value.
+  Bytes activation_bytes(std::int64_t samples, int bytes_per_value = 2) const;
+
+  /// Parameters held by one transformer layer: 12 h^2 + 13 h (the per-layer
+  /// share of Eq. 5).
+  double layer_parameters() const;
+
+  /// Parameters of the embedding table (shared input/output): (V + s) * h.
+  double embedding_parameters() const;
+};
+
+}  // namespace holmes::model

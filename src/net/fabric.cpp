@@ -1,0 +1,45 @@
+#include "net/fabric.h"
+
+#include "util/error.h"
+
+namespace holmes::net {
+
+namespace {
+std::size_t index_of(FabricKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  HOLMES_CHECK(i < 5);
+  return i;
+}
+}  // namespace
+
+FabricCatalog::FabricCatalog() {
+  // NVLink third-gen (A100): 300 GB/s usable per direction = 2400 Gbps.
+  set({FabricKind::kNVLink, 2400.0, 0.85, units::microseconds(1.5)});
+  // PCIe 4.0 x16: ~32 GB/s nominal.
+  set({FabricKind::kPCIe, 256.0, 0.80, units::microseconds(2.5)});
+  // 200 Gbps HDR InfiniBand: near-wire-rate RDMA, microsecond latency.
+  set({FabricKind::kInfiniBand, 200.0, 0.92, units::microseconds(3.0)});
+  // 200 Gbps RoCE v2: same wire speed, but under ring-collective training
+  // load PFC pause storms, ECN back-off, and switch-buffer incast leave a
+  // fraction of nominal as goodput (paper Table 1: 160 vs 197 TFLOPS at
+  // identical nominal bandwidth; EXPERIMENTS.md documents the calibration).
+  set({FabricKind::kRoCE, 200.0, 0.30, units::microseconds(25.0)});
+  // 25 Gbps commodity Ethernet with TCP: node-shared NICs (see
+  // net::PortMap), single-stream TCP goodput well under wire rate,
+  // kernel-stack latency.
+  set({FabricKind::kEthernet, 25.0, 0.60, units::microseconds(80.0)});
+}
+
+const FabricSpec& FabricCatalog::spec(FabricKind kind) const {
+  return specs_[index_of(kind)];
+}
+
+FabricSpec& FabricCatalog::spec(FabricKind kind) {
+  return specs_[index_of(kind)];
+}
+
+void FabricCatalog::set(const FabricSpec& spec) {
+  specs_[index_of(spec.kind)] = spec;
+}
+
+}  // namespace holmes::net

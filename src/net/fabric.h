@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file fabric.h
+/// Performance characteristics of each interconnect fabric.
+///
+/// Nominal bandwidths follow the paper's testbed (Table 1: 200 Gbps IB and
+/// RoCE, 25 Gbps Ethernet) and public A100 specs for NVLink/PCIe. The
+/// `efficiency` factor folds protocol overhead, congestion sensitivity, and
+/// flow-control quality into a single achievable fraction: this is where the
+/// paper's empirical observation lives that RoCE at the same nominal 200 Gbps
+/// delivers noticeably lower training throughput than InfiniBand (Table 1).
+
+#include <array>
+
+#include "net/nic.h"
+#include "util/units.h"
+
+namespace holmes::net {
+
+struct FabricSpec {
+  FabricKind kind = FabricKind::kEthernet;
+  double bandwidth_gbps = 0;  ///< nominal per-port bandwidth, Gbit/s
+  double efficiency = 1.0;    ///< achievable fraction of nominal
+  SimTime latency = 0;        ///< per-message one-way latency, seconds
+
+  /// Achievable bandwidth in bytes/second.
+  double effective_bandwidth() const {
+    return units::gbps_to_bytes_per_sec(bandwidth_gbps) * efficiency;
+  }
+};
+
+/// Table of fabric specs; value-type, copy to customise. The defaults are
+/// the library's calibration baseline (see src/core/cost_model.h and
+/// EXPERIMENTS.md for how they were chosen).
+class FabricCatalog {
+ public:
+  /// Catalog prefilled with the calibrated defaults.
+  FabricCatalog();
+
+  const FabricSpec& spec(FabricKind kind) const;
+  FabricSpec& spec(FabricKind kind);
+
+  void set(const FabricSpec& spec);
+
+ private:
+  std::array<FabricSpec, 5> specs_;
+};
+
+}  // namespace holmes::net

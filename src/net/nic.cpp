@@ -1,0 +1,40 @@
+#include "net/nic.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.h"
+
+namespace holmes::net {
+
+std::string to_string(NicType type) {
+  switch (type) {
+    case NicType::kInfiniBand: return "InfiniBand";
+    case NicType::kRoCE: return "RoCE";
+    case NicType::kEthernet: return "Ethernet";
+  }
+  return "?";
+}
+
+std::string to_string(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::kNVLink: return "NVLink";
+    case FabricKind::kPCIe: return "PCIe";
+    case FabricKind::kInfiniBand: return "InfiniBand";
+    case FabricKind::kRoCE: return "RoCE";
+    case FabricKind::kEthernet: return "Ethernet";
+  }
+  return "?";
+}
+
+NicType parse_nic_type(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "infiniband" || lower == "ib") return NicType::kInfiniBand;
+  if (lower == "roce") return NicType::kRoCE;
+  if (lower == "ethernet" || lower == "eth") return NicType::kEthernet;
+  throw ConfigError("unknown NIC type: '" + name + "'");
+}
+
+}  // namespace holmes::net

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file nic.h
+/// NIC and fabric taxonomy.
+///
+/// The paper's core constraint: InfiniBand and RoCE are both RDMA
+/// implementations but are mutually incompatible, so two devices whose NICs
+/// differ can only talk over commodity Ethernet. This header defines the
+/// vocabulary; holmes::net::Topology applies the rules.
+
+#include <string>
+
+namespace holmes::net {
+
+/// The RDMA/Ethernet NIC installed in a cluster's nodes.
+enum class NicType {
+  kInfiniBand,  ///< dedicated RDMA fabric
+  kRoCE,        ///< RDMA over Converged Ethernet
+  kEthernet,    ///< commodity NIC only (no RDMA capability)
+};
+
+/// The interconnect a particular device pair communicates over once NIC
+/// compatibility has been resolved.
+enum class FabricKind {
+  kNVLink,      ///< intra-node GPU-GPU
+  kPCIe,        ///< intra-node fallback when NVLink is absent
+  kInfiniBand,  ///< intra-cluster RDMA (IB clusters)
+  kRoCE,        ///< intra-cluster RDMA (RoCE clusters)
+  kEthernet,    ///< everything else: cross-cluster, or mixed-NIC pairs
+};
+
+/// True when two NICs of the given types can establish an RDMA connection
+/// with each other. IB and RoCE are incompatible; Ethernet NICs never speak
+/// RDMA at all.
+constexpr bool rdma_compatible(NicType a, NicType b) {
+  return a == b && a != NicType::kEthernet;
+}
+
+/// The fabric an RDMA connection between NICs of type `t` runs on.
+constexpr FabricKind rdma_fabric(NicType t) {
+  return t == NicType::kInfiniBand ? FabricKind::kInfiniBand
+                                   : FabricKind::kRoCE;
+}
+
+std::string to_string(NicType type);
+std::string to_string(FabricKind kind);
+
+/// Parses "InfiniBand" / "IB", "RoCE", "Ethernet" / "Eth" (case-insensitive).
+/// Throws holmes::ConfigError on anything else.
+NicType parse_nic_type(const std::string& name);
+
+}  // namespace holmes::net

@@ -1,0 +1,46 @@
+#include "optimizer/adam.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace holmes::optimizer {
+
+void adam_step(std::span<float> params, std::span<const float> grads,
+               std::span<float> m, std::span<float> v, long step,
+               const AdamParams& hp) {
+  HOLMES_CHECK_MSG(params.size() == grads.size() && params.size() == m.size() &&
+                       params.size() == v.size(),
+                   "adam buffers must have equal length");
+  HOLMES_CHECK_MSG(step >= 1, "step count is 1-based");
+  const double bias1 = 1.0 - std::pow(hp.beta1, static_cast<double>(step));
+  const double bias2 = 1.0 - std::pow(hp.beta2, static_cast<double>(step));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    double g = grads[i];
+    if (hp.weight_decay != 0.0) g += hp.weight_decay * params[i];
+    const double m_new = hp.beta1 * m[i] + (1.0 - hp.beta1) * g;
+    const double v_new = hp.beta2 * v[i] + (1.0 - hp.beta2) * g * g;
+    m[i] = static_cast<float>(m_new);
+    v[i] = static_cast<float>(v_new);
+    const double m_hat = m_new / bias1;
+    const double v_hat = v_new / bias2;
+    params[i] -= static_cast<float>(hp.lr * m_hat /
+                                    (std::sqrt(v_hat) + hp.eps));
+  }
+}
+
+void sgd_step(std::span<float> params, std::span<const float> grads,
+              std::span<float> momentum_buf, const SgdParams& hp) {
+  HOLMES_CHECK_MSG(params.size() == grads.size() &&
+                       params.size() == momentum_buf.size(),
+                   "sgd buffers must have equal length");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    double g = grads[i];
+    if (hp.weight_decay != 0.0) g += hp.weight_decay * params[i];
+    const double mom = hp.momentum * momentum_buf[i] + g;
+    momentum_buf[i] = static_cast<float>(mom);
+    params[i] -= static_cast<float>(hp.lr * mom);
+  }
+}
+
+}  // namespace holmes::optimizer

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file adam.h
+/// Reference optimizer math (Adam and SGD-with-momentum) on real float
+/// buffers. Principle one of the Overlapped Distributed Optimizer (paper
+/// §3.2) is that these updates are element-wise, so parameters never need
+/// to exist as complete entities on one device — each data-parallel rank
+/// can update just its reduce-scatter shard. The tests prove shard-wise
+/// updates bitwise-match whole-buffer updates, which is the correctness
+/// basis of the distributed optimizer strategies.
+
+#include <span>
+
+namespace holmes::optimizer {
+
+struct AdamParams {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// Per-parameter Adam state (first/second moment). Spans must be equal
+/// length; `step` is the 1-based update count used for bias correction.
+void adam_step(std::span<float> params, std::span<const float> grads,
+               std::span<float> m, std::span<float> v, long step,
+               const AdamParams& hp = {});
+
+struct SgdParams {
+  double lr = 1e-2;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+};
+
+/// SGD with (optional) momentum.
+void sgd_step(std::span<float> params, std::span<const float> grads,
+              std::span<float> momentum_buf, const SgdParams& hp = {});
+
+}  // namespace holmes::optimizer

@@ -1,0 +1,88 @@
+#include "parallel/group_builder.h"
+
+#include <numeric>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace holmes::parallel {
+
+ParallelGroups MegatronGroupBuilder::build(const net::Topology& topo,
+                                           const ParallelConfig& config) const {
+  config.validate(topo);
+  return ParallelGroups(config);
+}
+
+ParallelGroups HolmesGroupBuilder::build(const net::Topology& topo,
+                                         const ParallelConfig& config) const {
+  config.validate(topo);
+  const int gpus = topo.gpus_per_node();
+  const int devices_per_stage = config.tensor * config.data;
+
+  if (devices_per_stage % gpus != 0) {
+    // Stages are sub-node (or not node-aligned): nodes are never split
+    // across clusters, so the identity order is already cluster-aligned at
+    // every node boundary; nothing to improve at node granularity.
+    return ParallelGroups(config);
+  }
+
+  const int nodes_per_stage = devices_per_stage / gpus;
+  // Collect each cluster's node list (global node indices, in order).
+  std::vector<std::vector<int>> cluster_nodes(
+      static_cast<std::size_t>(topo.cluster_count()));
+  {
+    int global_node = 0;
+    for (int c = 0; c < topo.cluster_count(); ++c) {
+      for (int k = 0; k < topo.cluster(c).nodes; ++k) {
+        cluster_nodes[static_cast<std::size_t>(c)].push_back(global_node++);
+      }
+    }
+  }
+
+  // Carve whole stages out of clusters greedily, in cluster order.
+  std::vector<int> node_order;
+  node_order.reserve(static_cast<std::size_t>(topo.total_nodes()));
+  std::vector<int> leftovers;
+  for (auto& nodes : cluster_nodes) {
+    std::size_t i = 0;
+    while (nodes.size() - i >= static_cast<std::size_t>(nodes_per_stage)) {
+      for (int k = 0; k < nodes_per_stage; ++k) node_order.push_back(nodes[i++]);
+    }
+    for (; i < nodes.size(); ++i) leftovers.push_back(nodes[i]);
+  }
+  if (!leftovers.empty()) {
+    HOLMES_LOG(kWarning) << "Holmes group builder: " << leftovers.size()
+                         << " nodes cannot be cluster-aligned; trailing "
+                            "pipeline stages will mix clusters";
+    node_order.insert(node_order.end(), leftovers.begin(), leftovers.end());
+  }
+
+  // Expand the node permutation to a device permutation (intra-node device
+  // order preserved so tensor-parallel groups stay inside their node).
+  std::vector<int> device_order;
+  device_order.reserve(static_cast<std::size_t>(topo.world_size()));
+  for (int node : node_order) {
+    for (int g = 0; g < gpus; ++g) device_order.push_back(node * gpus + g);
+  }
+  return ParallelGroups(config, std::move(device_order));
+}
+
+std::vector<int> stage_clusters(const ParallelGroups& groups,
+                                const net::Topology& topo) {
+  std::vector<int> clusters;
+  clusters.reserve(static_cast<std::size_t>(groups.config().pipeline));
+  for (int stage = 0; stage < groups.config().pipeline; ++stage) {
+    const std::vector<int> ranks = groups.stage_ranks(stage);
+    int cluster = topo.cluster_of(ranks.front());
+    for (int r : ranks) {
+      if (topo.cluster_of(r) != cluster) {
+        cluster = -1;
+        break;
+      }
+    }
+    clusters.push_back(cluster);
+  }
+  return clusters;
+}
+
+}  // namespace holmes::parallel

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file group_builder.h
+/// Scheduling policies that turn (topology, degrees) into parallel groups.
+///
+/// MegatronGroupBuilder reproduces the NIC-oblivious baseline: slots map to
+/// ranks in launcher order, so whether a data-parallel group is
+/// NIC-homogeneous is a matter of luck. HolmesGroupBuilder implements the
+/// paper's Cross-Cluster Pipeline Parallelism: nodes are reordered so each
+/// pipeline-stage block lies inside a single cluster whenever the topology
+/// permits, which confines cross-cluster (Ethernet) traffic to the
+/// low-volume pipeline dimension and keeps every data-parallel group on a
+/// homogeneous RDMA fabric.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parallel/groups.h"
+
+namespace holmes::parallel {
+
+class GroupBuilder {
+ public:
+  virtual ~GroupBuilder() = default;
+  virtual ParallelGroups build(const net::Topology& topo,
+                               const ParallelConfig& config) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Identity slot order (the launcher's rank order), exactly Eq. 1/3/4 on
+/// raw global ranks — what Megatron-LM and Megatron-DeepSpeed do.
+class MegatronGroupBuilder final : public GroupBuilder {
+ public:
+  ParallelGroups build(const net::Topology& topo,
+                       const ParallelConfig& config) const override;
+  std::string name() const override { return "megatron"; }
+};
+
+/// Cluster-aligned node permutation (Holmes). When a stage needs a whole
+/// number of nodes, stages are carved greedily from clusters so that each
+/// stage's nodes share one cluster; leftover nodes form trailing (possibly
+/// mixed) stages. When stages are sub-node, the identity order is already
+/// node-aligned and is kept.
+class HolmesGroupBuilder final : public GroupBuilder {
+ public:
+  ParallelGroups build(const net::Topology& topo,
+                       const ParallelConfig& config) const override;
+  std::string name() const override { return "holmes"; }
+};
+
+/// For each pipeline stage, the cluster index hosting all of its devices,
+/// or -1 when the stage straddles clusters. Self-Adapting Pipeline
+/// Partition keys stage speed off this.
+std::vector<int> stage_clusters(const ParallelGroups& groups,
+                                const net::Topology& topo);
+
+}  // namespace holmes::parallel

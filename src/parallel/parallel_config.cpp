@@ -1,0 +1,48 @@
+#include "parallel/parallel_config.h"
+
+#include "util/error.h"
+
+namespace holmes::parallel {
+
+void ParallelConfig::validate(const net::Topology& topo) const {
+  if (tensor <= 0 || pipeline <= 0 || data <= 0) {
+    throw ConfigError("parallel degrees must be positive: " + to_string());
+  }
+  const int n = topo.world_size();
+  if (world() != n) {
+    throw ConfigError("t*p*d = " + std::to_string(world()) +
+                      " does not match world size " + std::to_string(n));
+  }
+  const int gpus = topo.gpus_per_node();
+  if (tensor > gpus) {
+    throw ConfigError("tensor parallel degree " + std::to_string(tensor) +
+                      " exceeds GPUs per node " + std::to_string(gpus));
+  }
+  if (gpus % tensor != 0) {
+    throw ConfigError("tensor parallel degree " + std::to_string(tensor) +
+                      " must divide GPUs per node " + std::to_string(gpus));
+  }
+}
+
+std::string ParallelConfig::to_string() const {
+  return "t=" + std::to_string(tensor) + ",p=" + std::to_string(pipeline) +
+         ",d=" + std::to_string(data);
+}
+
+ParallelConfig derive_config(const net::Topology& topo, int tensor,
+                             int pipeline) {
+  if (tensor <= 0 || pipeline <= 0) {
+    throw ConfigError("parallel degrees must be positive");
+  }
+  const int n = topo.world_size();
+  if (n % (tensor * pipeline) != 0) {
+    throw ConfigError("world size " + std::to_string(n) +
+                      " not divisible by t*p = " +
+                      std::to_string(tensor * pipeline));
+  }
+  ParallelConfig config{tensor, pipeline, n / (tensor * pipeline)};
+  config.validate(topo);
+  return config;
+}
+
+}  // namespace holmes::parallel

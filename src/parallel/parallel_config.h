@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file parallel_config.h
+/// Parallelism degrees (t, p, d) and their consistency rules (paper §2.4):
+/// t·p·d must equal the world size N, and tensor parallelism may not exceed
+/// the GPUs of a single node (its traffic must stay on NVLink/PCIe).
+
+#include <string>
+
+#include "net/topology.h"
+
+namespace holmes::parallel {
+
+struct ParallelConfig {
+  int tensor = 1;    ///< t
+  int pipeline = 1;  ///< p
+  int data = 1;      ///< d
+
+  int world() const { return tensor * pipeline * data; }
+
+  /// Throws holmes::ConfigError when the degrees are non-positive, do not
+  /// multiply to the topology's world size, or t exceeds (or does not
+  /// divide) the GPUs per node.
+  void validate(const net::Topology& topo) const;
+
+  std::string to_string() const;
+};
+
+/// Derives the data-parallel degree from a topology, t and p:
+/// d = N / (t*p). Throws holmes::ConfigError when not divisible.
+ParallelConfig derive_config(const net::Topology& topo, int tensor,
+                             int pipeline);
+
+}  // namespace holmes::parallel

@@ -1,0 +1,94 @@
+#include "pipeline/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace holmes::pipeline {
+
+double StageSpeeds::of(net::NicType nic) const {
+  switch (nic) {
+    case net::NicType::kInfiniBand: return infiniband;
+    case net::NicType::kRoCE: return roce;
+    case net::NicType::kEthernet: return ethernet;
+  }
+  return ethernet;
+}
+
+StagePartition uniform_partition(int layers, int stages) {
+  if (stages <= 0) throw ConfigError("need at least one stage");
+  if (layers < stages) {
+    throw ConfigError("cannot split " + std::to_string(layers) +
+                      " layers into " + std::to_string(stages) + " stages");
+  }
+  StagePartition partition(static_cast<std::size_t>(stages), layers / stages);
+  for (int i = 0; i < layers % stages; ++i) {
+    ++partition[static_cast<std::size_t>(i)];
+  }
+  return partition;
+}
+
+StagePartition proportional_partition(int layers,
+                                      const std::vector<double>& weights,
+                                      double alpha) {
+  const int stages = static_cast<int>(weights.size());
+  if (stages <= 0) throw ConfigError("need at least one stage");
+  if (layers < stages) {
+    throw ConfigError("cannot split " + std::to_string(layers) +
+                      " layers into " + std::to_string(stages) + " stages");
+  }
+  if (alpha <= 0) throw ConfigError("alpha must be positive");
+  double total_weight = 0;
+  for (double w : weights) {
+    if (w <= 0) throw ConfigError("stage weights must be positive");
+    total_weight += w;
+  }
+
+  // Eq. (2): floor(alpha * w_j / sum(w) * N), at least one layer per stage.
+  StagePartition partition(static_cast<std::size_t>(stages));
+  int assigned = 0;
+  for (int j = 0; j < stages; ++j) {
+    const double quota =
+        alpha * weights[static_cast<std::size_t>(j)] / total_weight * layers;
+    partition[static_cast<std::size_t>(j)] =
+        std::max(1, static_cast<int>(std::floor(quota)));
+    assigned += partition[static_cast<std::size_t>(j)];
+  }
+
+  // Stages ordered slowest-first absorb the imbalance: they gain leftover
+  // layers (alpha < 1 or flooring losses) or shed excess (alpha > 1).
+  std::vector<int> by_speed(static_cast<std::size_t>(stages));
+  std::iota(by_speed.begin(), by_speed.end(), 0);
+  std::stable_sort(by_speed.begin(), by_speed.end(), [&](int a, int b) {
+    return weights[static_cast<std::size_t>(a)] <
+           weights[static_cast<std::size_t>(b)];
+  });
+  std::size_t cursor = 0;
+  while (assigned < layers) {
+    ++partition[static_cast<std::size_t>(by_speed[cursor])];
+    ++assigned;
+    cursor = (cursor + 1) % by_speed.size();
+  }
+  while (assigned > layers) {
+    auto& count = partition[static_cast<std::size_t>(by_speed[cursor])];
+    if (count > 1) {
+      --count;
+      --assigned;
+    }
+    cursor = (cursor + 1) % by_speed.size();
+  }
+  return partition;
+}
+
+StagePartition self_adapting_partition(int layers,
+                                       const std::vector<net::NicType>& stage_nics,
+                                       double alpha, const StageSpeeds& speeds) {
+  std::vector<double> weights;
+  weights.reserve(stage_nics.size());
+  for (net::NicType nic : stage_nics) weights.push_back(speeds.of(nic));
+  return proportional_partition(layers, weights, alpha);
+}
+
+}  // namespace holmes::pipeline

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file partition.h
+/// Pipeline stage partitioning strategies.
+///
+/// Uniform partition is the homogeneous-cluster default. Self-Adapting
+/// Pipeline Partition is the paper's Eq. (2): stages backed by faster NICs
+/// receive proportionally more transformer layers,
+///   N_fast = floor(alpha * S(fast) / sum(S) * N),
+/// with the hyper-parameter alpha (paper uses 1.05) deliberately
+/// over-allocating to fast stages and the slower stages absorbing the
+/// remainder.
+
+#include <vector>
+
+#include "net/nic.h"
+
+namespace holmes::pipeline {
+
+/// layers-per-stage; sums to the model's layer count, every entry >= 1.
+using StagePartition = std::vector<int>;
+
+/// Per-NIC achievable training speed S(.) in TFLOPS, used as the weights of
+/// Eq. (2). Defaults are the paper's own micro-benchmark (Table 1).
+struct StageSpeeds {
+  double infiniband = 197.0;
+  double roce = 160.0;
+  double ethernet = 122.0;
+
+  double of(net::NicType nic) const;
+};
+
+/// Equal split; earlier stages absorb the remainder (Megatron default).
+StagePartition uniform_partition(int layers, int stages);
+
+/// Generalized Eq. (2): layers proportional to `weights` scaled by `alpha`,
+/// floored, clamped to >= 1 per stage; leftover layers go to the slowest
+/// stages first (the two-stage case then reduces exactly to the paper's
+/// N_roce = N - N_ib). Throws holmes::ConfigError when layers < stages or
+/// any weight is non-positive.
+StagePartition proportional_partition(int layers,
+                                      const std::vector<double>& weights,
+                                      double alpha = 1.0);
+
+/// Self-Adapting Pipeline Partition: proportional partition with weights
+/// S(nic of each stage). Stages whose cluster is mixed/unknown should pass
+/// NicType::kEthernet (the conservative choice).
+StagePartition self_adapting_partition(int layers,
+                                       const std::vector<net::NicType>& stage_nics,
+                                       double alpha = 1.05,
+                                       const StageSpeeds& speeds = {});
+
+}  // namespace holmes::pipeline

@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include "util/error.h"
+
+namespace holmes::sim {
+
+void EventQueue::schedule(SimTime when, EventFn fn) {
+  HOLMES_CHECK_MSG(when >= 0, "event time must be non-negative");
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  HOLMES_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventFn EventQueue::pop() {
+  HOLMES_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, so we
+  // cast away constness of the owning entry right before popping it. The
+  // entry is discarded immediately afterwards.
+  EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace holmes::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file event_queue.h
+/// Time-ordered event queue for the discrete-event simulator.
+///
+/// Events at equal timestamps fire in insertion order (a monotone sequence
+/// number breaks ties), which keeps every simulation fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace holmes::sim {
+
+/// Callback invoked when simulated time reaches the event's timestamp.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute simulated time `when`.
+  void schedule(SimTime when, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the next event. Requires !empty().
+  SimTime next_time() const;
+
+  /// Removes and returns the next event's callback. Requires !empty().
+  EventFn pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace holmes::sim

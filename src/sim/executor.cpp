@@ -1,0 +1,156 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace holmes::sim {
+
+namespace {
+
+/// (ready time, task id) ordering for the ready queue: earliest ready first,
+/// then lowest id, which makes execution order independent of container
+/// iteration details.
+struct ReadyEntry {
+  SimTime ready;
+  TaskId id;
+};
+struct ReadyLater {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    if (a.ready != b.ready) return a.ready > b.ready;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+const TaskTiming& SimResult::timing(TaskId id) const {
+  HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < timing_.size());
+  return timing_[static_cast<std::size_t>(id)];
+}
+
+SimTime SimResult::resource_busy(ResourceId resource) const {
+  HOLMES_CHECK(resource >= 0 &&
+               static_cast<std::size_t>(resource) < resource_busy_.size());
+  return resource_busy_[static_cast<std::size_t>(resource)];
+}
+
+double SimResult::resource_utilization(ResourceId resource) const {
+  if (makespan_ <= 0) return 0;
+  return resource_busy(resource) / makespan_;
+}
+
+SimTime SimResult::tag_busy(const TaskGraph& graph, TaskTag tag) const {
+  SimTime total = 0;
+  for (std::size_t i = 0; i < graph.task_count(); ++i) {
+    if (graph.tasks()[i].tag == tag) {
+      total += timing_[i].finish - timing_[i].start;
+    }
+  }
+  return total;
+}
+
+SimTime SimResult::tag_span(const TaskGraph& graph, TaskTag tag) const {
+  SimTime first = std::numeric_limits<SimTime>::infinity();
+  SimTime last = -std::numeric_limits<SimTime>::infinity();
+  bool any = false;
+  for (std::size_t i = 0; i < graph.task_count(); ++i) {
+    if (graph.tasks()[i].tag == tag) {
+      any = true;
+      first = std::min(first, timing_[i].start);
+      last = std::max(last, timing_[i].finish);
+    }
+  }
+  return any ? last - first : 0;
+}
+
+SimResult TaskGraphExecutor::run(const TaskGraph& graph) {
+  const auto& tasks = graph.tasks();
+  const std::size_t n = tasks.size();
+
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<TaskId>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indegree[i] = tasks[i].deps.size();
+    for (TaskId dep : tasks[i].deps) {
+      dependents[static_cast<std::size_t>(dep)].push_back(
+          static_cast<TaskId>(i));
+    }
+  }
+
+  std::vector<TaskTiming> timing(n);
+  std::vector<SimTime> ready_time(n, 0);
+  std::vector<SimTime> resource_avail(graph.resource_count(), 0);
+  std::vector<SimTime> resource_busy(graph.resource_count(), 0);
+
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyLater> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push({0, static_cast<TaskId>(i)});
+  }
+
+  std::size_t completed = 0;
+  SimTime makespan = 0;
+  while (!ready.empty()) {
+    const auto [ready_at, id] = ready.top();
+    ready.pop();
+    const Task& task = tasks[static_cast<std::size_t>(id)];
+
+    SimTime start = ready_at;
+    SimTime finish = ready_at;
+    switch (task.kind) {
+      case TaskKind::kCompute: {
+        auto& avail = resource_avail[static_cast<std::size_t>(task.resource)];
+        start = std::max(ready_at, avail);
+        finish = start + task.duration;
+        avail = finish;
+        resource_busy[static_cast<std::size_t>(task.resource)] += task.duration;
+        break;
+      }
+      case TaskKind::kTransfer: {
+        auto& src = resource_avail[static_cast<std::size_t>(task.src_port)];
+        auto& dst = resource_avail[static_cast<std::size_t>(task.dst_port)];
+        start = std::max({ready_at, src, dst});
+        const SimTime serialization =
+            task.bytes > 0 ? static_cast<double>(task.bytes) / task.bandwidth
+                           : 0.0;
+        // Ports are occupied only while bytes stream through them; the
+        // propagation latency delays the dependents, not the ports.
+        src = dst = start + serialization;
+        finish = start + task.latency + serialization;
+        resource_busy[static_cast<std::size_t>(task.src_port)] += serialization;
+        if (task.dst_port != task.src_port) {
+          resource_busy[static_cast<std::size_t>(task.dst_port)] += serialization;
+        }
+        break;
+      }
+      case TaskKind::kNoop:
+        break;
+    }
+
+    timing[static_cast<std::size_t>(id)] = {start, finish};
+    makespan = std::max(makespan, finish);
+    ++completed;
+
+    for (TaskId next : dependents[static_cast<std::size_t>(id)]) {
+      auto& rt = ready_time[static_cast<std::size_t>(next)];
+      rt = std::max(rt, finish);
+      if (--indegree[static_cast<std::size_t>(next)] == 0) {
+        ready.push({rt, next});
+      }
+    }
+  }
+
+  if (completed != n) {
+    std::ostringstream os;
+    os << "task graph has a dependency cycle: " << (n - completed) << " of "
+       << n << " tasks never became ready";
+    throw ConfigError(os.str());
+  }
+
+  return SimResult(std::move(timing), std::move(resource_busy), makespan);
+}
+
+}  // namespace holmes::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file executor.h
+/// Simulates a TaskGraph over its resources and reports per-task timing.
+///
+/// Scheduling discipline: a task becomes *ready* when all its dependencies
+/// have finished. Ready tasks claim their resources greedily in ready-time
+/// order (ties broken by task id), i.e. a task may reserve a busy resource
+/// and start when it frees up. This is the standard list-scheduling model
+/// used by network/compute co-simulators and is fully deterministic.
+
+#include <vector>
+
+#include "sim/task_graph.h"
+#include "util/units.h"
+
+namespace holmes::sim {
+
+struct TaskTiming {
+  SimTime start = 0;
+  SimTime finish = 0;
+};
+
+/// Result of simulating one task graph.
+class SimResult {
+ public:
+  SimResult(std::vector<TaskTiming> timing, std::vector<SimTime> resource_busy,
+            SimTime makespan)
+      : timing_(std::move(timing)),
+        resource_busy_(std::move(resource_busy)),
+        makespan_(makespan) {}
+
+  /// Time at which the last task finished.
+  SimTime makespan() const { return makespan_; }
+
+  const TaskTiming& timing(TaskId id) const;
+  const std::vector<TaskTiming>& timings() const { return timing_; }
+
+  /// Total time `resource` was occupied.
+  SimTime resource_busy(ResourceId resource) const;
+
+  /// Occupancy fraction of `resource` over the makespan (0 when empty).
+  double resource_utilization(ResourceId resource) const;
+
+  /// Sum of (finish - start) over all tasks in `graph` carrying `tag`.
+  SimTime tag_busy(const TaskGraph& graph, TaskTag tag) const;
+
+  /// Wall-span (latest finish - earliest start) of all tasks carrying `tag`;
+  /// 0 when no task carries the tag.
+  SimTime tag_span(const TaskGraph& graph, TaskTag tag) const;
+
+ private:
+  std::vector<TaskTiming> timing_;
+  std::vector<SimTime> resource_busy_;
+  SimTime makespan_ = 0;
+};
+
+class TaskGraphExecutor {
+ public:
+  /// Simulates `graph` from time zero. Throws holmes::ConfigError when the
+  /// dependency graph contains a cycle (some tasks can never run).
+  SimResult run(const TaskGraph& graph);
+};
+
+}  // namespace holmes::sim

@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+#include "util/error.h"
+
+namespace holmes::sim {
+
+void Simulator::at(SimTime when, EventFn fn) {
+  HOLMES_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  queue_.schedule(when, std::move(fn));
+}
+
+void Simulator::after(SimTime delay, EventFn fn) {
+  HOLMES_CHECK_MSG(delay >= 0, "negative delay");
+  queue_.schedule(now_ + delay, std::move(fn));
+}
+
+SimTime Simulator::run() {
+  stopping_ = false;
+  while (!queue_.empty() && !stopping_) {
+    now_ = queue_.next_time();
+    queue_.pop()();
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime until) {
+  stopping_ = false;
+  while (!queue_.empty() && !stopping_ && queue_.next_time() <= until) {
+    now_ = queue_.next_time();
+    queue_.pop()();
+  }
+  return now_;
+}
+
+}  // namespace holmes::sim

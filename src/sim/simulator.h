@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file simulator.h
+/// Discrete-event simulator: a virtual clock plus an event queue.
+///
+/// The simulator never touches wall-clock time; `now()` only advances when
+/// events fire. All higher-level timing (task-graph execution, collective
+/// schedules, pipeline iterations) runs on top of this clock.
+
+#include "sim/event_queue.h"
+#include "util/units.h"
+
+namespace holmes::sim {
+
+class Simulator {
+ public:
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`. `when` must be >= now().
+  void at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` `delay` seconds from now. `delay` must be >= 0.
+  void after(SimTime delay, EventFn fn);
+
+  /// Runs events until the queue drains (or stop() is called from inside an
+  /// event). Returns the final simulated time.
+  SimTime run();
+
+  /// Runs events with timestamps <= `until`; leaves later events queued.
+  /// Returns min(until, time of last fired event).
+  SimTime run_until(SimTime until);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopping_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace holmes::sim

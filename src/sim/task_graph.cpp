@@ -1,0 +1,96 @@
+#include "sim/task_graph.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace holmes::sim {
+
+ResourceId TaskGraph::add_resource(std::string name) {
+  HOLMES_CHECK(resource_names_.size() <
+               static_cast<std::size_t>(std::numeric_limits<ResourceId>::max()));
+  resource_names_.push_back(std::move(name));
+  return static_cast<ResourceId>(resource_names_.size() - 1);
+}
+
+TaskId TaskGraph::push(Task task) {
+  HOLMES_CHECK(tasks_.size() <
+               static_cast<std::size_t>(std::numeric_limits<TaskId>::max()));
+  tasks_.push_back(std::move(task));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+TaskId TaskGraph::add_compute(ResourceId resource, SimTime duration,
+                              std::string label, TaskTag tag) {
+  HOLMES_CHECK_MSG(resource >= 0 &&
+                       static_cast<std::size_t>(resource) < resource_names_.size(),
+                   "unknown resource");
+  HOLMES_CHECK_MSG(duration >= 0, "negative compute duration");
+  Task t;
+  t.kind = TaskKind::kCompute;
+  t.resource = resource;
+  t.duration = duration;
+  t.label = std::move(label);
+  t.tag = tag;
+  return push(std::move(t));
+}
+
+TaskId TaskGraph::add_transfer(ResourceId src_port, ResourceId dst_port,
+                               Bytes bytes, double bandwidth, SimTime latency,
+                               std::string label, TaskTag tag) {
+  HOLMES_CHECK_MSG(src_port >= 0 &&
+                       static_cast<std::size_t>(src_port) < resource_names_.size(),
+                   "unknown src port");
+  HOLMES_CHECK_MSG(dst_port >= 0 &&
+                       static_cast<std::size_t>(dst_port) < resource_names_.size(),
+                   "unknown dst port");
+  HOLMES_CHECK_MSG(bytes >= 0, "negative transfer size");
+  HOLMES_CHECK_MSG(bytes == 0 || bandwidth > 0,
+                   "non-empty transfer needs positive bandwidth");
+  HOLMES_CHECK_MSG(latency >= 0, "negative latency");
+  Task t;
+  t.kind = TaskKind::kTransfer;
+  t.src_port = src_port;
+  t.dst_port = dst_port;
+  t.bytes = bytes;
+  t.bandwidth = bandwidth;
+  t.latency = latency;
+  t.label = std::move(label);
+  t.tag = tag;
+  return push(std::move(t));
+}
+
+TaskId TaskGraph::add_noop(std::string label, TaskTag tag) {
+  Task t;
+  t.kind = TaskKind::kNoop;
+  t.label = std::move(label);
+  t.tag = tag;
+  return push(std::move(t));
+}
+
+void TaskGraph::add_dep(TaskId task, TaskId dep) {
+  HOLMES_CHECK_MSG(task >= 0 && static_cast<std::size_t>(task) < tasks_.size(),
+                   "unknown task");
+  HOLMES_CHECK_MSG(dep >= 0 && static_cast<std::size_t>(dep) < tasks_.size(),
+                   "unknown dependency");
+  HOLMES_CHECK_MSG(dep != task, "task cannot depend on itself");
+  tasks_[static_cast<std::size_t>(task)].deps.push_back(dep);
+}
+
+void TaskGraph::add_deps(TaskId task, const std::vector<TaskId>& deps) {
+  for (TaskId dep : deps) {
+    if (dep != kInvalidTask) add_dep(task, dep);
+  }
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size());
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+const std::string& TaskGraph::resource_name(ResourceId id) const {
+  HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < resource_names_.size());
+  return resource_names_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace holmes::sim

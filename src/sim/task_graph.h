@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file task_graph.h
+/// Task-graph representation of one unit of simulated work (typically a
+/// single training iteration).
+///
+/// A task graph contains:
+///  - resources: serial execution units (a device's compute engine, a NIC's
+///    TX port, a NIC's RX port). A resource runs at most one task at a time.
+///  - tasks: Compute (occupies one resource for a precomputed duration),
+///    Transfer (occupies a TX and an RX port for the serialization time and
+///    completes after an additional propagation latency), and Noop (zero
+///    cost; used as join/fork points).
+///  - dependencies: edges that must complete before a task may start.
+///
+/// Higher layers (comm collectives, pipeline schedules, optimizer overlap)
+/// express themselves purely through this structure; overlap of computation
+/// with communication falls out of resources being independent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace holmes::sim {
+
+using TaskId = std::int32_t;
+using ResourceId = std::int32_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+
+enum class TaskKind : std::uint8_t { kCompute, kTransfer, kNoop };
+
+/// Accounting category for a task. Metrics aggregate start/finish spans and
+/// busy time per tag (e.g. "time spent in grads-reduce-scatter", Fig. 3).
+/// Tags are plain integers; the core library defines the canonical values.
+using TaskTag = std::int32_t;
+inline constexpr TaskTag kUntagged = 0;
+
+struct Task {
+  TaskKind kind = TaskKind::kNoop;
+  TaskTag tag = kUntagged;
+
+  // Compute: the executing resource. Transfer: unused (-1).
+  ResourceId resource = -1;
+  // Compute: duration in seconds.
+  SimTime duration = 0;
+
+  // Transfer fields.
+  ResourceId src_port = -1;
+  ResourceId dst_port = -1;
+  Bytes bytes = 0;
+  double bandwidth = 0;  ///< bytes per second on the resolved path
+  SimTime latency = 0;   ///< propagation latency of the resolved path
+
+  std::string label;  ///< optional; used in traces and error messages
+
+  std::vector<TaskId> deps;
+};
+
+class TaskGraph {
+ public:
+  /// Registers a serial resource and returns its id.
+  ResourceId add_resource(std::string name);
+
+  /// Adds a compute task occupying `resource` for `duration` seconds.
+  TaskId add_compute(ResourceId resource, SimTime duration,
+                     std::string label = {}, TaskTag tag = kUntagged);
+
+  /// Adds a point-to-point transfer of `bytes` over a path with the given
+  /// bandwidth (bytes/s) and latency (s). The TX and RX ports are occupied
+  /// for the serialization time bytes/bandwidth; the transfer's dependents
+  /// additionally wait for the propagation latency.
+  TaskId add_transfer(ResourceId src_port, ResourceId dst_port, Bytes bytes,
+                      double bandwidth, SimTime latency,
+                      std::string label = {}, TaskTag tag = kUntagged);
+
+  /// Adds a zero-cost join/fork point.
+  TaskId add_noop(std::string label = {}, TaskTag tag = kUntagged);
+
+  /// Declares that `task` cannot start before `dep` finishes.
+  void add_dep(TaskId task, TaskId dep);
+
+  /// Declares dependencies on several tasks at once; kInvalidTask entries
+  /// are ignored, which lets callers pass optional predecessors verbatim.
+  void add_deps(TaskId task, const std::vector<TaskId>& deps);
+
+  std::size_t task_count() const { return tasks_.size(); }
+  std::size_t resource_count() const { return resource_names_.size(); }
+
+  const Task& task(TaskId id) const;
+  const std::string& resource_name(ResourceId id) const;
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+ private:
+  TaskId push(Task task);
+
+  std::vector<Task> tasks_;
+  std::vector<std::string> resource_names_;
+};
+
+}  // namespace holmes::sim

@@ -1,0 +1,81 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace holmes::sim {
+
+namespace {
+
+/// JSON string escape for labels and resource names (ASCII control chars,
+/// quotes, backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kCompute: return "compute";
+    case TaskKind::kTransfer: return "transfer";
+    case TaskKind::kNoop: return "noop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
+                        const SimResult& result, const TraceOptions& options) {
+  out << "[";
+  bool first = true;
+
+  // Thread-name metadata: one row per resource.
+  for (std::size_t r = 0; r < graph.resource_count(); ++r) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << options.pid
+        << ",\"tid\":" << r << ",\"args\":{\"name\":\""
+        << json_escape(graph.resource_name(static_cast<ResourceId>(r)))
+        << "\"}}";
+  }
+
+  for (std::size_t i = 0; i < graph.task_count(); ++i) {
+    const Task& task = graph.tasks()[i];
+    const TaskTiming& timing = result.timing(static_cast<TaskId>(i));
+    const SimTime duration = timing.finish - timing.start;
+    if (duration < options.min_duration) continue;
+    if (task.kind == TaskKind::kNoop) continue;
+    const ResourceId row =
+        task.kind == TaskKind::kTransfer ? task.src_port : task.resource;
+    if (!first) out << ",";
+    first = false;
+    // Chrome trace timestamps are microseconds.
+    out << "\n{\"name\":\""
+        << json_escape(task.label.empty() ? kind_name(task.kind) : task.label)
+        << "\",\"cat\":\"" << kind_name(task.kind)
+        << "\",\"ph\":\"X\",\"pid\":" << options.pid << ",\"tid\":" << row
+        << ",\"ts\":" << timing.start * 1e6 << ",\"dur\":" << duration * 1e6
+        << ",\"args\":{\"tag\":" << task.tag << ",\"bytes\":" << task.bytes
+        << "}}";
+  }
+  out << "\n]";
+}
+
+}  // namespace holmes::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file trace.h
+/// Chrome-trace export of a simulated task graph.
+///
+/// Writes the `chrome://tracing` / Perfetto JSON array format: one complete
+/// ("X") event per task, with the task's resource as the thread row. Load
+/// the file in https://ui.perfetto.dev to inspect pipeline bubbles, the
+/// overlap of gradient reduce-scatter with backward compute, or NIC port
+/// contention.
+
+#include <ostream>
+
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+
+namespace holmes::sim {
+
+struct TraceOptions {
+  /// Tasks shorter than this (seconds) are dropped to keep files small
+  /// (noops and empty transfers are invisible in a viewer anyway).
+  SimTime min_duration = 0;
+  /// Process id recorded in the trace (useful when concatenating multiple
+  /// simulations into one file).
+  int pid = 1;
+};
+
+/// Writes the trace of `graph` as executed in `result`. Transfers appear on
+/// their source port's row; compute on its resource's row. The stream is
+/// left without a trailing newline so callers can embed the array.
+void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
+                        const SimResult& result,
+                        const TraceOptions& options = {});
+
+}  // namespace holmes::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file csv.h
+/// CSV writer used by benches to dump machine-readable results next to the
+/// human-readable tables (so plots can be regenerated from the same run).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace holmes {
+
+/// Streams rows in RFC-4180 style (fields containing commas, quotes, or
+/// newlines are quoted; embedded quotes doubled).
+class CsvWriter {
+ public:
+  /// The writer borrows the stream; the caller keeps it alive.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row. Vector form.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Writes one row. Variadic convenience: every argument must be
+  /// convertible to std::string via to_cell().
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    write_row({to_cell(cells)...});
+  }
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(int v) { return std::to_string(v); }
+  static std::string to_cell(long v) { return std::to_string(v); }
+  static std::string to_cell(long long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned v) { return std::to_string(v); }
+  static std::string to_cell(std::size_t v) { return std::to_string(v); }
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream* out_;
+};
+
+}  // namespace holmes

@@ -1,0 +1,17 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace holmes::detail {
+
+void throw_check_failure(const char* expr, const std::string& msg,
+                         std::source_location loc) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr;
+  if (!msg.empty()) os << " (" << msg << ")";
+  os << " at " << loc.file_name() << ":" << loc.line() << " in "
+     << loc.function_name();
+  throw InternalError(os.str());
+}
+
+}  // namespace holmes::detail

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file error.h
+/// Error handling primitives for the Holmes library.
+///
+/// Following the C++ Core Guidelines (E.2, E.14) we report programming and
+/// configuration errors with exceptions derived from a single library-wide
+/// base type, and use CHECK-style macros for internal invariants so that a
+/// violated precondition carries its source location.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace holmes {
+
+/// Base class of every exception thrown by the Holmes library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied configuration is inconsistent
+/// (e.g. t*p*d != N, zero-layer stage, unknown NIC name).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Thrown when an internal invariant is violated. Seeing this exception
+/// always indicates a bug in the library, never bad user input.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* expr, const std::string& msg,
+                                      std::source_location loc);
+
+}  // namespace detail
+
+}  // namespace holmes
+
+/// Internal invariant check. Throws holmes::InternalError with source
+/// location when `expr` is false. Always on (these checks are cheap relative
+/// to the simulations they guard).
+#define HOLMES_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::holmes::detail::throw_check_failure(#expr, "",                      \
+                                            std::source_location::current()); \
+    }                                                                       \
+  } while (false)
+
+/// Invariant check with an explanatory message (any streamable expression
+/// already converted to std::string by the caller).
+#define HOLMES_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::holmes::detail::throw_check_failure(#expr, (msg),                   \
+                                            std::source_location::current()); \
+    }                                                                       \
+  } while (false)

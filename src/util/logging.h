@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal leveled logger.
+///
+/// Benches and examples keep stdout for their tabular output, so the logger
+/// writes to stderr. The level is process-global and defaults to Warning so
+/// that library internals stay quiet unless a caller opts in.
+
+#include <sstream>
+#include <string>
+
+namespace holmes {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-global log threshold. Not thread-safe with concurrent
+/// logging by design (set it once at startup).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& message);
+
+/// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace holmes
+
+#define HOLMES_LOG(level)                                      \
+  if (static_cast<int>(::holmes::LogLevel::level) <            \
+      static_cast<int>(::holmes::log_level())) {               \
+  } else                                                       \
+    ::holmes::detail::LogMessage(::holmes::LogLevel::level)

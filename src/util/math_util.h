@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file math_util.h
+/// Small integer/float helpers used throughout the scheduling code.
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace holmes {
+
+/// Ceiling division for non-negative integers.
+inline constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// True when |a - b| <= tol * max(1, |a|, |b|). Used by numeric tests on
+/// collective results and optimizer math.
+inline bool approx_equal(double a, double b, double tol = 1e-9) {
+  const double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// Largest power of two <= n (n >= 1).
+inline constexpr std::int64_t floor_pow2(std::int64_t n) {
+  std::int64_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// True if n is a power of two (n >= 1).
+inline constexpr bool is_pow2(std::int64_t n) {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
+}  // namespace holmes

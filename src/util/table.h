@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.h
+/// Fixed-width console table used by every bench binary to print paper-style
+/// tables (Table 1, 3, 4, 5) with aligned columns.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace holmes {
+
+/// Accumulates rows of string cells and renders them with each column padded
+/// to its widest cell. Numeric cells are right-aligned, text left-aligned
+/// (the printer decides per column based on its header unless overridden).
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row. The row must have exactly as many cells as there
+  /// are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` fraction digits.
+  static std::string num(double value, int precision = 2);
+
+  /// Convenience: formats an integer.
+  static std::string num(std::int64_t value);
+
+  /// Renders the table, including a header separator line.
+  std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace holmes

@@ -1,0 +1,42 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace holmes {
+
+std::string format_bytes(Bytes bytes) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t i = 0;
+  while (std::fabs(value) >= 1024.0 && i + 1 < suffix.size()) {
+    value /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix[i]);
+  }
+  return buf;
+}
+
+std::string format_time(SimTime seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace holmes

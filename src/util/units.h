@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file units.h
+/// Unit helpers shared across the library.
+///
+/// Simulated time is a plain `double` in seconds (SimTime); byte counts are
+/// `std::int64_t`. Helper constructors make call-sites read like the paper's
+/// prose ("200 Gbps NIC", "80 GiB of memory") and keep unit conversions in
+/// one place.
+
+#include <cstdint>
+#include <string>
+
+namespace holmes {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Byte count. Signed so that subtraction is safe in intermediate math.
+using Bytes = std::int64_t;
+
+namespace units {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+inline constexpr Bytes KiB(double n) { return static_cast<Bytes>(n * 1024.0); }
+inline constexpr Bytes MiB(double n) { return static_cast<Bytes>(n * 1024.0 * 1024.0); }
+inline constexpr Bytes GiB(double n) { return static_cast<Bytes>(n * 1024.0 * 1024.0 * 1024.0); }
+
+/// Converts a link speed quoted in Gbit/s (the unit NIC datasheets and the
+/// paper use) to bytes/second.
+inline constexpr double gbps_to_bytes_per_sec(double gbps) {
+  return gbps * 1e9 / 8.0;
+}
+
+/// Converts bytes/second back to Gbit/s for reporting.
+inline constexpr double bytes_per_sec_to_gbps(double bps) {
+  return bps * 8.0 / 1e9;
+}
+
+inline constexpr SimTime microseconds(double us) { return us * 1e-6; }
+inline constexpr SimTime milliseconds(double ms) { return ms * 1e-3; }
+
+}  // namespace units
+
+/// Human-readable byte count, e.g. "3.4 GiB". Used in log and table output.
+std::string format_bytes(Bytes bytes);
+
+/// Human-readable duration, e.g. "231.4 ms". Used in log and table output.
+std::string format_time(SimTime seconds);
+
+}  // namespace holmes

@@ -1,0 +1,100 @@
+#include "core/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace holmes::core {
+namespace {
+
+using net::NicType;
+using net::Topology;
+
+/// The configurations where the closed form applies: plain 1F1B, no
+/// communication overlap.
+FrameworkConfig plain() {
+  return FrameworkConfig::holmes()
+      .without_self_adapting()
+      .without_overlapped_optimizer();
+}
+
+class AnalyticAgreement : public ::testing::TestWithParam<NicEnv> {};
+
+TEST_P(AnalyticAgreement, WithinTwentyFivePercentOfSimulation) {
+  const NicEnv env = GetParam();
+  const Topology topo = make_environment(env, 4);
+  const TrainingPlan plan =
+      Planner(plain()).plan(topo, model::parameter_group(1));
+  const AnalyticBreakdown analytic = analytic_iteration(topo, plan);
+  const IterationMetrics simulated = TrainingSimulator{}.run(topo, plan);
+  EXPECT_NEAR(analytic.total() / simulated.iteration_time, 1.0, 0.25)
+      << "analytic " << analytic.total() << "s vs simulated "
+      << simulated.iteration_time << "s";
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, AnalyticAgreement,
+                         ::testing::Values(NicEnv::kInfiniBand, NicEnv::kRoCE,
+                                           NicEnv::kEthernet, NicEnv::kHybrid),
+                         [](const ::testing::TestParamInfo<NicEnv>& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Analytic, BreakdownComponentsArePositiveAndSum) {
+  const Topology topo = Topology::homogeneous(4, NicType::kRoCE);
+  const TrainingPlan plan =
+      Planner(plain()).plan(topo, model::parameter_group(1));
+  const AnalyticBreakdown b = analytic_iteration(topo, plan);
+  EXPECT_GT(b.steady_compute, 0);
+  EXPECT_GT(b.pipeline_bubble, 0);
+  EXPECT_GT(b.grad_reduce_scatter, 0);
+  EXPECT_GT(b.optimizer, 0);
+  EXPECT_GT(b.param_allgather, 0);
+  EXPECT_NEAR(b.total(),
+              b.overhead + b.steady_compute + b.pipeline_bubble +
+                  b.grad_reduce_scatter + b.optimizer + b.param_allgather,
+              1e-12);
+}
+
+TEST(Analytic, OrdersEnvironmentsLikeTheSimulator) {
+  const TrainingPlan ib_plan = Planner(plain()).plan(
+      Topology::homogeneous(4, NicType::kInfiniBand), model::parameter_group(1));
+  const TrainingPlan eth_plan = Planner(plain()).plan(
+      Topology::homogeneous(4, NicType::kEthernet), model::parameter_group(1));
+  EXPECT_LT(
+      analytic_iteration(Topology::homogeneous(4, NicType::kInfiniBand), ib_plan)
+          .total(),
+      analytic_iteration(Topology::homogeneous(4, NicType::kEthernet), eth_plan)
+          .total());
+}
+
+TEST(Analytic, ClassicDdpDoublesGradVolume) {
+  const Topology topo = Topology::homogeneous(4, NicType::kRoCE);
+  const TrainingPlan ddp = Planner(FrameworkConfig::megatron_lm())
+                               .plan(topo, model::parameter_group(1));
+  const TrainingPlan zero = Planner(plain()).plan(topo, model::parameter_group(1));
+  const AnalyticBreakdown a = analytic_iteration(topo, ddp);
+  const AnalyticBreakdown b = analytic_iteration(topo, zero);
+  // All-reduce moves 2x the reduce-scatter volume and skips the all-gather.
+  EXPECT_NEAR(a.grad_reduce_scatter / b.grad_reduce_scatter, 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(a.param_allgather, 0);
+  // ...but pays the full (unsharded) optimizer.
+  EXPECT_GT(a.optimizer, b.optimizer * 3);
+}
+
+TEST(Analytic, FallbackInflatesSyncCost) {
+  const Topology topo = Topology::hybrid_two_clusters(2);
+  const TrainingPlan holmes = Planner(plain()).plan(topo, model::parameter_group(1));
+  TrainingPlan fallback = holmes;
+  fallback.ethernet_fallback = true;
+  EXPECT_GT(analytic_iteration(topo, fallback).grad_reduce_scatter,
+            analytic_iteration(topo, holmes).grad_reduce_scatter * 3);
+}
+
+}  // namespace
+}  // namespace holmes::core

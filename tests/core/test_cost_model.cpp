@@ -1,0 +1,61 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::core {
+namespace {
+
+TEST(CostModel, ComputeSecondsScalesWithFlops) {
+  CostModel cm;
+  const SimTime one = cm.compute_seconds(1e12, 1);
+  const SimTime two = cm.compute_seconds(2e12, 1);
+  EXPECT_NEAR(two / one, 2.0, 1e-12);
+}
+
+TEST(CostModel, ComputeSecondsMatchesPeakTimesMfu) {
+  CostModel cm;
+  cm.peak_tflops = 312.0;
+  cm.mfu = 0.5;
+  // 156 TFLOP at an effective 156 TFLOP/s -> 1 second.
+  EXPECT_NEAR(cm.compute_seconds(156e12, 1), 1.0, 1e-12);
+}
+
+TEST(CostModel, TensorParallelismAppliesEfficiencyPenalty) {
+  CostModel cm;
+  const SimTime t1 = cm.compute_seconds(1e12, 1);
+  const SimTime t8 = cm.compute_seconds(1e12, 8);
+  EXPECT_NEAR(t8 / t1, 1.0 / cm.tp_efficiency, 1e-12);
+}
+
+TEST(CostModel, OptimizerSeconds) {
+  CostModel cm;
+  cm.optimizer_elems_per_sec = 1e9;
+  EXPECT_NEAR(cm.optimizer_seconds(2e9), 2.0, 1e-12);
+}
+
+TEST(CostModel, NicInterferenceOrdering) {
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.nic_interference(net::NicType::kInfiniBand), 1.0);
+  EXPECT_GT(cm.nic_interference(net::NicType::kRoCE), 1.0);
+  EXPECT_GT(cm.nic_interference(net::NicType::kEthernet),
+            cm.nic_interference(net::NicType::kInfiniBand));
+}
+
+TEST(CostModel, RejectsNegativeInputs) {
+  CostModel cm;
+  EXPECT_THROW(cm.compute_seconds(-1.0, 1), InternalError);
+  EXPECT_THROW(cm.compute_seconds(1.0, 0), InternalError);
+  EXPECT_THROW(cm.optimizer_seconds(-1.0), InternalError);
+}
+
+TEST(CostModel, ForwardFractionIsOneThird) {
+  // Backward ~ 2x forward for transformer GEMMs; the split must stay
+  // consistent with the Eq. (6) decomposition used everywhere.
+  CostModel cm;
+  EXPECT_NEAR(cm.forward_fraction, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace holmes::core

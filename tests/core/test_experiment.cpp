@@ -1,0 +1,155 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::core {
+namespace {
+
+TEST(Environment, NamesMatchPaper) {
+  EXPECT_EQ(to_string(NicEnv::kInfiniBand), "InfiniBand");
+  EXPECT_EQ(to_string(NicEnv::kHybrid), "Hybrid");
+  EXPECT_EQ(to_string(NicEnv::kSplitIB), "InfiniBand & Ethernet");
+  EXPECT_EQ(to_string(NicEnv::kSplitRoCE), "RoCE & Ethernet");
+}
+
+TEST(Environment, HomogeneousBuildsSingleCluster) {
+  const net::Topology topo = make_environment(NicEnv::kRoCE, 4);
+  EXPECT_EQ(topo.cluster_count(), 1);
+  EXPECT_EQ(topo.world_size(), 32);
+  EXPECT_EQ(topo.device(0).nic, net::NicType::kRoCE);
+}
+
+TEST(Environment, HybridBuildsTwoUnequalNicClusters) {
+  const net::Topology topo = make_environment(NicEnv::kHybrid, 6);
+  EXPECT_EQ(topo.cluster_count(), 2);
+  EXPECT_EQ(topo.cluster(0).nodes, 3);
+  EXPECT_EQ(topo.cluster(0).nic, net::NicType::kInfiniBand);
+  EXPECT_EQ(topo.cluster(1).nic, net::NicType::kRoCE);
+}
+
+TEST(Environment, SplitBuildsSameNicClusters) {
+  const net::Topology ib = make_environment(NicEnv::kSplitIB, 4);
+  EXPECT_EQ(ib.cluster_count(), 2);
+  EXPECT_EQ(ib.cluster(0).nic, net::NicType::kInfiniBand);
+  EXPECT_EQ(ib.cluster(1).nic, net::NicType::kInfiniBand);
+}
+
+TEST(Environment, SplitEnvironmentsNeedEvenNodes) {
+  EXPECT_THROW(make_environment(NicEnv::kHybrid, 3), ConfigError);
+  EXPECT_NO_THROW(make_environment(NicEnv::kEthernet, 3));
+}
+
+// ---- Integration: the reproduction-fidelity claims of DESIGN.md §4 ----
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  static double tflops(const FrameworkConfig& fw, NicEnv env, int nodes,
+                       int group) {
+    return run_experiment(fw, env, nodes, group).tflops_per_gpu;
+  }
+  // Tables 1/3 rows use uniform partition (the paper applies the
+  // self-adapting strategy only in Fig. 5-7 and Table 5).
+  static FrameworkConfig table_holmes() {
+    return FrameworkConfig::holmes().without_self_adapting();
+  }
+};
+
+TEST_F(PaperShapes, Table1OrderingHolds) {
+  // IB > RoCE ~ Hybrid > Ethernet for group 1 on 4 nodes. (The paper has
+  // Hybrid slightly below RoCE for group 1 and essentially tied for group
+  // 4; our calibration lands the pair within 5% — see EXPERIMENTS.md.)
+  const double ib = tflops(table_holmes(), NicEnv::kInfiniBand, 4, 1);
+  const double roce = tflops(table_holmes(), NicEnv::kRoCE, 4, 1);
+  const double hybrid = tflops(table_holmes(), NicEnv::kHybrid, 4, 1);
+  const double eth = tflops(table_holmes(), NicEnv::kEthernet, 4, 1);
+  EXPECT_GT(ib, roce);
+  EXPECT_GT(ib, hybrid * 1.05);
+  EXPECT_NEAR(hybrid / roce, 1.0, 0.05);
+  EXPECT_GT(hybrid, eth * 1.2);
+  // The headline: hybrid lands much closer to the RDMA envs than to
+  // Ethernet.
+  EXPECT_GT(hybrid - eth, std::abs(roce - hybrid));
+}
+
+TEST_F(PaperShapes, Table1AbsoluteNumbersAreInBand) {
+  // Within ~12% of the paper's anchor row (197 / 160 / 122).
+  EXPECT_NEAR(tflops(table_holmes(), NicEnv::kInfiniBand, 4, 1), 197.0, 24.0);
+  EXPECT_NEAR(tflops(table_holmes(), NicEnv::kRoCE, 4, 1), 160.0, 20.0);
+  EXPECT_NEAR(tflops(table_holmes(), NicEnv::kEthernet, 4, 1), 122.0, 15.0);
+}
+
+TEST_F(PaperShapes, SelfAdaptingBeatsUniformOnHybrid) {
+  // Fig. 5.
+  for (int group : {1, 3}) {
+    const double sa = tflops(FrameworkConfig::holmes(), NicEnv::kHybrid, 4, group);
+    const double uni = tflops(table_holmes(), NicEnv::kHybrid, 4, group);
+    EXPECT_GT(sa, uni) << "group " << group;
+  }
+}
+
+TEST_F(PaperShapes, FrameworkOrderingOnHybrid) {
+  // Fig. 6: Holmes > Megatron-LLaMA > {DeepSpeed, LM}.
+  const double holmes = tflops(FrameworkConfig::holmes(), NicEnv::kHybrid, 8, 3);
+  const double llama =
+      tflops(FrameworkConfig::megatron_llama(), NicEnv::kHybrid, 8, 3);
+  const double ds =
+      tflops(FrameworkConfig::megatron_deepspeed(), NicEnv::kHybrid, 8, 3);
+  const double lm = tflops(FrameworkConfig::megatron_lm(), NicEnv::kHybrid, 8, 3);
+  EXPECT_GT(holmes, llama * 1.2);
+  EXPECT_GT(llama, ds);
+  EXPECT_GT(ds, lm);
+}
+
+TEST_F(PaperShapes, AblationDeltasKeepSignAndOrder) {
+  // Table 5: removing the overlapped optimizer costs more than removing
+  // the self-adapting partition, and both cost something.
+  const FrameworkConfig h = FrameworkConfig::holmes();
+  const double full = tflops(h, NicEnv::kHybrid, 8, 3);
+  const double no_sa = tflops(h.without_self_adapting(), NicEnv::kHybrid, 8, 3);
+  const double no_ov =
+      tflops(h.without_overlapped_optimizer(), NicEnv::kHybrid, 8, 3);
+  const double no_both = tflops(
+      h.without_self_adapting().without_overlapped_optimizer(), NicEnv::kHybrid,
+      8, 3);
+  EXPECT_GT(full, no_sa);
+  EXPECT_GT(no_sa, no_ov);
+  EXPECT_GT(no_ov, no_both);
+  // Even stripped to Automatic NIC Selection alone, Holmes clearly beats
+  // the fallback baseline (Table 5's first vs last rows).
+  const double lm = tflops(FrameworkConfig::megatron_lm(), NicEnv::kHybrid, 8, 3);
+  EXPECT_GT(no_both, lm * 1.3);
+}
+
+TEST_F(PaperShapes, SplitClustersStayNearRdmaPerformance) {
+  // Fig. 4 (case 2): two same-NIC clusters joined only by Ethernet still
+  // train much faster than the pure Ethernet environment.
+  const double split_ib = tflops(table_holmes(), NicEnv::kSplitIB, 4, 1);
+  const double split_roce = tflops(table_holmes(), NicEnv::kSplitRoCE, 4, 1);
+  const double eth = tflops(table_holmes(), NicEnv::kEthernet, 4, 1);
+  const double ib = tflops(table_holmes(), NicEnv::kInfiniBand, 4, 1);
+  EXPECT_GT(split_ib, eth * 1.15);
+  EXPECT_GT(split_roce, eth * 1.05);
+  EXPECT_LT(split_ib, ib);  // upper bound is the homogeneous switch
+}
+
+TEST_F(PaperShapes, SpeedupGrowsWithScale) {
+  // Fig. 7: Holmes' advantage over Megatron-LM widens with node count.
+  double prev_speedup = 0;
+  for (int nodes : {4, 6, 8}) {
+    const double holmes = run_experiment(FrameworkConfig::holmes(),
+                                         NicEnv::kHybrid, nodes, 7)
+                              .throughput;
+    const double lm = run_experiment(FrameworkConfig::megatron_lm(),
+                                     NicEnv::kHybrid, nodes, 7)
+                          .throughput;
+    const double speedup = holmes / lm;
+    EXPECT_GT(speedup, prev_speedup);
+    prev_speedup = speedup;
+  }
+  EXPECT_GT(prev_speedup, 1.1);
+}
+
+}  // namespace
+}  // namespace holmes::core

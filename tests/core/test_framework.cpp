@@ -1,0 +1,72 @@
+#include "core/framework.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes::core {
+namespace {
+
+TEST(Framework, HolmesBundlesAllFourComponents) {
+  const FrameworkConfig h = FrameworkConfig::holmes();
+  EXPECT_EQ(h.name, "Holmes");
+  EXPECT_EQ(h.groups, GroupPolicy::kClusterAligned);
+  EXPECT_EQ(h.transport, TransportPolicy::kPerGroupBest);
+  EXPECT_EQ(h.partition, PartitionPolicy::kSelfAdapting);
+  EXPECT_EQ(h.dp_sync.kind,
+            optimizer::DpSyncKind::kOverlappedDistributedOptimizer);
+  EXPECT_DOUBLE_EQ(h.alpha, 1.05);  // the paper's hyper-parameter
+}
+
+TEST(Framework, MegatronLmIsTheNicObliviousBaseline) {
+  const FrameworkConfig lm = FrameworkConfig::megatron_lm();
+  EXPECT_EQ(lm.groups, GroupPolicy::kLauncherOrder);
+  EXPECT_EQ(lm.transport, TransportPolicy::kGlobalEthernetFallback);
+  EXPECT_EQ(lm.partition, PartitionPolicy::kUniform);
+  EXPECT_EQ(lm.dp_sync.kind, optimizer::DpSyncKind::kAllReduce);
+}
+
+TEST(Framework, DeepSpeedDiffersOnlyInOptimizer) {
+  const FrameworkConfig lm = FrameworkConfig::megatron_lm();
+  const FrameworkConfig ds = FrameworkConfig::megatron_deepspeed();
+  EXPECT_EQ(ds.groups, lm.groups);
+  EXPECT_EQ(ds.transport, lm.transport);
+  EXPECT_EQ(ds.partition, lm.partition);
+  EXPECT_EQ(ds.dp_sync.kind, optimizer::DpSyncKind::kDistributedOptimizer);
+}
+
+TEST(Framework, LlamaAddsOverlappedOptimizer) {
+  const FrameworkConfig llama = FrameworkConfig::megatron_llama();
+  EXPECT_EQ(llama.dp_sync.kind,
+            optimizer::DpSyncKind::kOverlappedDistributedOptimizer);
+  EXPECT_EQ(llama.transport, TransportPolicy::kGlobalEthernetFallback);
+}
+
+TEST(Framework, AblationsStripExactlyOneComponent) {
+  const FrameworkConfig h = FrameworkConfig::holmes();
+  const FrameworkConfig no_sa = h.without_self_adapting();
+  EXPECT_EQ(no_sa.partition, PartitionPolicy::kUniform);
+  EXPECT_EQ(no_sa.dp_sync.kind, h.dp_sync.kind);
+  EXPECT_EQ(no_sa.transport, h.transport);
+
+  const FrameworkConfig no_ov = h.without_overlapped_optimizer();
+  EXPECT_EQ(no_ov.partition, h.partition);
+  EXPECT_EQ(no_ov.dp_sync.kind, optimizer::DpSyncKind::kDistributedOptimizer);
+
+  const FrameworkConfig no_both =
+      h.without_self_adapting().without_overlapped_optimizer();
+  EXPECT_EQ(no_both.partition, PartitionPolicy::kUniform);
+  EXPECT_EQ(no_both.dp_sync.kind, optimizer::DpSyncKind::kDistributedOptimizer);
+  // Automatic NIC Selection and cross-cluster grouping remain.
+  EXPECT_EQ(no_both.transport, TransportPolicy::kPerGroupBest);
+  EXPECT_EQ(no_both.groups, GroupPolicy::kClusterAligned);
+}
+
+TEST(Framework, AblationNamesAreDescriptive) {
+  const FrameworkConfig h = FrameworkConfig::holmes();
+  EXPECT_NE(h.without_self_adapting().name.find("Self-Adapting"),
+            std::string::npos);
+  EXPECT_NE(h.without_overlapped_optimizer().name.find("Overlapped"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace holmes::core

@@ -1,0 +1,70 @@
+/// Golden regression suite: locks the calibrated reproduction numbers so
+/// accidental changes to the cost model, fabric catalog, or simulator
+/// semantics surface immediately. Bands are deliberately tight (±4 TFLOPS
+/// around the values recorded in EXPERIMENTS.md) — if a deliberate
+/// re-calibration moves them, update EXPERIMENTS.md alongside this file.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace holmes::core {
+namespace {
+
+double table_tflops(NicEnv env, int nodes, int group) {
+  return run_experiment(FrameworkConfig::holmes().without_self_adapting(), env,
+                        nodes, group)
+      .tflops_per_gpu;
+}
+
+TEST(Golden, Table1Anchor) {
+  EXPECT_NEAR(table_tflops(NicEnv::kInfiniBand, 4, 1), 197.0, 4.0);
+  EXPECT_NEAR(table_tflops(NicEnv::kRoCE, 4, 1), 166.0, 4.0);
+  EXPECT_NEAR(table_tflops(NicEnv::kEthernet, 4, 1), 125.0, 4.0);
+  EXPECT_NEAR(table_tflops(NicEnv::kHybrid, 4, 1), 169.0, 4.0);
+}
+
+TEST(Golden, Table3SelectedCells) {
+  // Group 3 at 8 nodes (the Fig. 6 / Table 5 workload).
+  EXPECT_NEAR(table_tflops(NicEnv::kInfiniBand, 8, 3), 198.0, 4.0);
+  EXPECT_NEAR(table_tflops(NicEnv::kEthernet, 8, 3), 122.0, 4.0);
+  // Group 4 at 6 nodes.
+  EXPECT_NEAR(table_tflops(NicEnv::kRoCE, 6, 4), 181.0, 4.0);
+}
+
+TEST(Golden, Table5Ablation) {
+  const FrameworkConfig h = FrameworkConfig::holmes();
+  EXPECT_NEAR(run_experiment(h, NicEnv::kHybrid, 8, 3).tflops_per_gpu, 175.0,
+              4.0);
+  EXPECT_NEAR(run_experiment(FrameworkConfig::megatron_lm(), NicEnv::kHybrid,
+                             8, 3)
+                  .tflops_per_gpu,
+              99.0, 4.0);
+  EXPECT_NEAR(run_experiment(h.without_self_adapting()
+                                 .without_overlapped_optimizer(),
+                             NicEnv::kHybrid, 8, 3)
+                  .tflops_per_gpu,
+              162.0, 4.0);
+}
+
+TEST(Golden, Fig3ReduceScatterSeconds) {
+  const FrameworkConfig fw = FrameworkConfig::holmes()
+                                 .without_self_adapting()
+                                 .without_overlapped_optimizer();
+  EXPECT_NEAR(run_experiment(fw, NicEnv::kInfiniBand, 4, 1).grad_sync_span,
+              0.71, 0.1);
+  EXPECT_NEAR(run_experiment(fw, NicEnv::kEthernet, 4, 1).grad_sync_span, 4.64,
+              0.5);
+}
+
+TEST(Golden, DeterministicAcrossRuns) {
+  const IterationMetrics a =
+      run_experiment(FrameworkConfig::holmes(), NicEnv::kHybrid, 4, 1);
+  const IterationMetrics b =
+      run_experiment(FrameworkConfig::holmes(), NicEnv::kHybrid, 4, 1);
+  EXPECT_DOUBLE_EQ(a.iteration_time, b.iteration_time);
+  EXPECT_DOUBLE_EQ(a.grad_sync_span, b.grad_sync_span);
+}
+
+}  // namespace
+}  // namespace holmes::core

@@ -1,0 +1,135 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace holmes::core {
+namespace {
+
+using net::NicType;
+using net::Topology;
+
+TEST(Planner, DerivesDegreesFromWorkloadAndTopology) {
+  // Group 1: t=1, p=2 on 4 nodes x 8 GPUs -> d=16.
+  Topology topo = Topology::homogeneous(4, NicType::kInfiniBand);
+  const TrainingPlan plan =
+      Planner(FrameworkConfig::holmes()).plan(topo, model::parameter_group(1));
+  EXPECT_EQ(plan.degrees.tensor, 1);
+  EXPECT_EQ(plan.degrees.pipeline, 2);
+  EXPECT_EQ(plan.degrees.data, 16);
+  EXPECT_EQ(plan.micro_batches, 12);  // 768 / 16 / 4
+}
+
+TEST(Planner, RejectsImpossibleLayouts) {
+  // Group 1 needs t*p = 2 to divide N; 3 nodes x 8 = 24 works, but group 7
+  // (t=8, p=2 -> 16) does not divide 24.
+  Topology topo = Topology::homogeneous(3, NicType::kInfiniBand);
+  EXPECT_THROW(Planner(FrameworkConfig::holmes())
+                   .plan(topo, model::parameter_group(7)),
+               ConfigError);
+}
+
+TEST(Planner, HomogeneousJobNeverFallsBack) {
+  Topology topo = Topology::homogeneous(4, NicType::kRoCE);
+  for (const auto& fw : {FrameworkConfig::holmes(), FrameworkConfig::megatron_lm()}) {
+    const TrainingPlan plan = Planner(fw).plan(topo, model::parameter_group(1));
+    EXPECT_FALSE(plan.ethernet_fallback) << fw.name;
+  }
+}
+
+TEST(Planner, HeterogeneousJobTriggersFallbackOnlyForBaselines) {
+  Topology topo = Topology::hybrid_two_clusters(2);
+  EXPECT_TRUE(is_heterogeneous_job(topo));
+  const TrainingPlan lm = Planner(FrameworkConfig::megatron_lm())
+                              .plan(topo, model::parameter_group(1));
+  EXPECT_TRUE(lm.ethernet_fallback);
+  const TrainingPlan holmes = Planner(FrameworkConfig::holmes())
+                                  .plan(topo, model::parameter_group(1));
+  EXPECT_FALSE(holmes.ethernet_fallback);
+}
+
+TEST(Planner, SplitSameNicClustersAlsoHeterogeneous) {
+  // Fig. 4's "InfiniBand & Ethernet": two IB clusters without a shared
+  // switch still count as a heterogeneous job for a NIC-oblivious stack.
+  Topology topo = Topology::split_clusters(2, NicType::kInfiniBand);
+  EXPECT_TRUE(is_heterogeneous_job(topo));
+}
+
+TEST(Planner, StageNicsFollowClusters) {
+  Topology topo = Topology::hybrid_two_clusters(2);  // IB cluster, RoCE cluster
+  const TrainingPlan plan = Planner(FrameworkConfig::holmes())
+                                .plan(topo, model::parameter_group(1));
+  ASSERT_EQ(plan.stage_nics.size(), 2u);
+  EXPECT_EQ(plan.stage_nics[0], NicType::kInfiniBand);
+  EXPECT_EQ(plan.stage_nics[1], NicType::kRoCE);
+}
+
+TEST(Planner, FallbackFlattensStageNicsToEthernet) {
+  Topology topo = Topology::hybrid_two_clusters(2);
+  const TrainingPlan plan = Planner(FrameworkConfig::megatron_lm())
+                                .plan(topo, model::parameter_group(1));
+  for (NicType nic : plan.stage_nics) EXPECT_EQ(nic, NicType::kEthernet);
+}
+
+TEST(Planner, SelfAdaptingGivesIbStageMoreLayers) {
+  Topology topo = Topology::hybrid_two_clusters(2);
+  const TrainingPlan plan = Planner(FrameworkConfig::holmes())
+                                .plan(topo, model::parameter_group(1));
+  ASSERT_EQ(plan.partition.size(), 2u);
+  // Paper's worked example: 30 layers, alpha=1.05 -> 17 / 13.
+  EXPECT_EQ(plan.partition[0], 17);
+  EXPECT_EQ(plan.partition[1], 13);
+}
+
+TEST(Planner, UniformPartitionWhenConfigured) {
+  Topology topo = Topology::hybrid_two_clusters(2);
+  const TrainingPlan plan = Planner(FrameworkConfig::holmes().without_self_adapting())
+                                .plan(topo, model::parameter_group(1));
+  EXPECT_EQ(plan.partition, (pipeline::StagePartition{15, 15}));
+}
+
+TEST(Planner, PartitionAlwaysSumsToModelLayers) {
+  Topology topo = Topology::hybrid_two_clusters(3);  // 6 nodes
+  for (int group : {1, 3, 5}) {
+    for (const auto& fw :
+         {FrameworkConfig::holmes(), FrameworkConfig::megatron_llama()}) {
+      const TrainingPlan plan =
+          Planner(fw).plan(topo, model::parameter_group(group));
+      const int total = std::accumulate(plan.partition.begin(),
+                                        plan.partition.end(), 0);
+      EXPECT_EQ(total, plan.workload.config.layers)
+          << fw.name << " group " << group;
+    }
+  }
+}
+
+TEST(Planner, GroupsAreValidatedAgainstTopology) {
+  Topology topo = Topology::hybrid_two_clusters(2);
+  const TrainingPlan plan = Planner(FrameworkConfig::holmes())
+                                .plan(topo, model::parameter_group(1));
+  EXPECT_NO_THROW(parallel::validate_groups(plan.groups, topo));
+  // Holmes guarantee: every DP group NIC-homogeneous when clusters align.
+  EXPECT_DOUBLE_EQ(parallel::rdma_dp_group_fraction(plan.groups, topo), 1.0);
+}
+
+TEST(Planner, ThreeClusterTableFourLayout) {
+  // Table 4: 2 RoCE + 2 RoCE + 2 IB nodes, group 5 (p=3).
+  Topology topo({
+      net::ClusterSpec{"roce-a", 2, 8, NicType::kRoCE},
+      net::ClusterSpec{"roce-b", 2, 8, NicType::kRoCE},
+      net::ClusterSpec{"ib", 2, 8, NicType::kInfiniBand},
+  });
+  const TrainingPlan plan = Planner(FrameworkConfig::holmes())
+                                .plan(topo, model::parameter_group(5));
+  EXPECT_EQ(plan.degrees.pipeline, 3);
+  ASSERT_EQ(plan.stage_nics.size(), 3u);
+  EXPECT_EQ(plan.stage_nics[2], NicType::kInfiniBand);
+  // The IB-backed stage receives the most layers.
+  EXPECT_GT(plan.partition[2], plan.partition[0]);
+}
+
+}  // namespace
+}  // namespace holmes::core

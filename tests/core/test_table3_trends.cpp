@@ -1,0 +1,137 @@
+/// Locks the full Table 3 grid's trends: for every parameter group and node
+/// count, the environment ordering and scaling behaviour the paper reports
+/// must hold cell-by-cell (48 simulations, one sweep).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.h"
+#include "util/thread_pool.h"
+
+namespace holmes::core {
+namespace {
+
+struct Key {
+  int group;
+  NicEnv env;
+  int nodes;
+  bool operator<(const Key& other) const {
+    return std::tie(group, env, nodes) <
+           std::tie(other.group, other.env, other.nodes);
+  }
+};
+
+class Table3Grid : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    grid_ = new std::map<Key, IterationMetrics>();
+    const FrameworkConfig fw = FrameworkConfig::holmes().without_self_adapting();
+    std::vector<Key> keys;
+    for (int group : {1, 2, 3, 4}) {
+      for (NicEnv env : {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kEthernet,
+                         NicEnv::kHybrid}) {
+        for (int nodes : {4, 6, 8}) keys.push_back({group, env, nodes});
+      }
+    }
+    std::vector<IterationMetrics> metrics(keys.size());
+    ThreadPool pool;
+    pool.parallel_for(keys.size(), [&](std::size_t i) {
+      metrics[i] =
+          run_experiment(fw, keys[i].env, keys[i].nodes, keys[i].group);
+    });
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      (*grid_)[keys[i]] = metrics[i];
+    }
+  }
+  static void TearDownTestSuite() {
+    delete grid_;
+    grid_ = nullptr;
+  }
+
+  static double tflops(int group, NicEnv env, int nodes) {
+    return grid_->at({group, env, nodes}).tflops_per_gpu;
+  }
+  static double throughput(int group, NicEnv env, int nodes) {
+    return grid_->at({group, env, nodes}).throughput;
+  }
+
+  static std::map<Key, IterationMetrics>* grid_;
+};
+
+std::map<Key, IterationMetrics>* Table3Grid::grid_ = nullptr;
+
+TEST_F(Table3Grid, InfiniBandLeadsEveryCell) {
+  for (int group : {1, 2, 3, 4}) {
+    for (int nodes : {4, 6, 8}) {
+      for (NicEnv other :
+           {NicEnv::kRoCE, NicEnv::kEthernet, NicEnv::kHybrid}) {
+        EXPECT_GT(tflops(group, NicEnv::kInfiniBand, nodes),
+                  tflops(group, other, nodes))
+            << "group " << group << " nodes " << nodes;
+      }
+    }
+  }
+}
+
+TEST_F(Table3Grid, EthernetTrailsEveryCell) {
+  for (int group : {1, 2, 3, 4}) {
+    for (int nodes : {4, 6, 8}) {
+      for (NicEnv other :
+           {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kHybrid}) {
+        EXPECT_LT(tflops(group, NicEnv::kEthernet, nodes),
+                  tflops(group, other, nodes))
+            << "group " << group << " nodes " << nodes;
+      }
+    }
+  }
+}
+
+TEST_F(Table3Grid, HybridStaysWithinTenPercentOfRoce) {
+  // The headline: heterogeneous clusters under Holmes perform like a
+  // homogeneous RDMA cluster.
+  for (int group : {1, 2, 3, 4}) {
+    for (int nodes : {4, 6, 8}) {
+      EXPECT_NEAR(tflops(group, NicEnv::kHybrid, nodes) /
+                      tflops(group, NicEnv::kRoCE, nodes),
+                  1.0, 0.12)
+          << "group " << group << " nodes " << nodes;
+    }
+  }
+}
+
+TEST_F(Table3Grid, PerGpuTflopsDeclinesWithScaleAtFixedBatch) {
+  for (int group : {1, 2, 3, 4}) {
+    for (NicEnv env : {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kEthernet,
+                       NicEnv::kHybrid}) {
+      EXPECT_GE(tflops(group, env, 4), tflops(group, env, 8) * 0.999)
+          << to_string(env) << " group " << group;
+    }
+  }
+}
+
+TEST_F(Table3Grid, AggregateThroughputGrowsWithScale) {
+  for (int group : {1, 2, 3, 4}) {
+    for (NicEnv env : {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kEthernet,
+                       NicEnv::kHybrid}) {
+      EXPECT_GT(throughput(group, env, 8), throughput(group, env, 4))
+          << to_string(env) << " group " << group;
+    }
+  }
+}
+
+TEST_F(Table3Grid, BiggerBatchRaisesUtilization) {
+  // Groups 2 and 4 double groups 1 and 3's batch on the same model.
+  for (NicEnv env : {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kEthernet,
+                     NicEnv::kHybrid}) {
+    for (int nodes : {4, 6, 8}) {
+      EXPECT_GT(tflops(2, env, nodes), tflops(1, env, nodes))
+          << to_string(env) << " nodes " << nodes;
+      EXPECT_GT(tflops(4, env, nodes), tflops(3, env, nodes))
+          << to_string(env) << " nodes " << nodes;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace holmes::core

@@ -1,0 +1,116 @@
+#include "model/gpt_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::model {
+namespace {
+
+TEST(GptZoo, HasAllEightGroups) {
+  const auto& groups = table2_groups();
+  ASSERT_EQ(groups.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(groups[static_cast<std::size_t>(i)].id, i + 1);
+  }
+}
+
+TEST(GptZoo, NominalSizesMatchEq5) {
+  for (const auto& g : table2_groups()) {
+    EXPECT_NEAR(g.config.parameter_count() / 1e9, g.nominal_billions,
+                g.nominal_billions * 0.02)
+        << "group " << g.id;
+  }
+}
+
+TEST(GptZoo, Table2Architectures) {
+  EXPECT_EQ(parameter_group(1).config.hidden, 3072);
+  EXPECT_EQ(parameter_group(1).config.layers, 30);
+  EXPECT_EQ(parameter_group(3).config.hidden, 4096);
+  EXPECT_EQ(parameter_group(3).config.layers, 36);
+  EXPECT_EQ(parameter_group(7).config.hidden, 8192);
+  EXPECT_EQ(parameter_group(7).config.layers, 48);
+  EXPECT_EQ(parameter_group(7).config.heads, 64);
+  EXPECT_EQ(parameter_group(7).tensor_parallel, 8);
+  EXPECT_EQ(parameter_group(5).pipeline_parallel, 3);
+  EXPECT_EQ(parameter_group(4).batch_size, 2688);
+  for (const auto& g : table2_groups()) {
+    EXPECT_EQ(g.config.vocab, 51200);
+    EXPECT_EQ(g.config.seq_len, 2048);
+    EXPECT_EQ(g.micro_batch_size, 4);
+  }
+}
+
+TEST(GptZoo, MicroBatchesForPaperNodeCounts) {
+  // Group 1 (B=768, mb=4, p=2, t=1): 4 nodes -> d=16 -> m=12.
+  EXPECT_EQ(parameter_group(1).micro_batches(16), 12);
+  // 6 nodes -> d=24 -> m=8; 8 nodes -> d=32 -> m=6.
+  EXPECT_EQ(parameter_group(1).micro_batches(24), 8);
+  EXPECT_EQ(parameter_group(1).micro_batches(32), 6);
+  // Group 3 (B=1536): d=16 -> 24.
+  EXPECT_EQ(parameter_group(3).micro_batches(16), 24);
+  // Group 7 (t=8, p=2, 8 nodes -> d=4): 1536/4/4 = 96.
+  EXPECT_EQ(parameter_group(7).micro_batches(4), 96);
+}
+
+TEST(GptZoo, MicroBatchesRejectsIndivisible) {
+  EXPECT_THROW(parameter_group(1).micro_batches(0), ConfigError);
+  EXPECT_THROW(parameter_group(1).micro_batches(7), ConfigError);  // 768%7
+}
+
+TEST(GptZoo, LookupValidation) {
+  EXPECT_THROW(parameter_group(0), ConfigError);
+  EXPECT_THROW(parameter_group(9), ConfigError);
+  EXPECT_NO_THROW(parameter_group(8));
+}
+
+TEST(Gpt3Family, ParameterCountsMatchNames) {
+  // Eq. (5) counts slightly above the headline numbers because of our
+  // larger embedding (51,200 vocab); allow a generous band.
+  struct Expect {
+    const char* name;
+    double billions;
+  };
+  for (const Expect& e : std::initializer_list<Expect>{{"125M", 0.125},
+                                                       {"350M", 0.35},
+                                                       {"1.3B", 1.3},
+                                                       {"2.7B", 2.7},
+                                                       {"6.7B", 6.7},
+                                                       {"13B", 13.0},
+                                                       {"175B", 175.0}}) {
+    const double count = gpt3(e.name).parameter_count() / 1e9;
+    EXPECT_NEAR(count, e.billions, e.billions * 0.35) << e.name;
+    EXPECT_GT(count, e.billions * 0.9) << e.name;
+  }
+}
+
+TEST(Gpt3Family, AllNamesValidateAndGrowMonotonically) {
+  double previous = 0;
+  for (const std::string& name : gpt3_names()) {
+    const model::TransformerConfig config = gpt3(name);
+    EXPECT_NO_THROW(config.validate()) << name;
+    const double count = config.parameter_count();
+    EXPECT_GT(count, previous) << name;
+    previous = count;
+  }
+}
+
+TEST(Gpt3Family, UnknownNameRejected) {
+  EXPECT_THROW(gpt3("9000B"), ConfigError);
+  EXPECT_THROW(gpt3(""), ConfigError);
+}
+
+TEST(GptZoo, GroupsShareArchitectureAsInTable2) {
+  // Groups 1-2 share the 3.6B arch; 3-6 the 7.5B arch; 7-8 the 39.1B arch.
+  EXPECT_EQ(parameter_group(1).config.hidden, parameter_group(2).config.hidden);
+  for (int id : {4, 5, 6}) {
+    EXPECT_EQ(parameter_group(3).config.hidden,
+              parameter_group(id).config.hidden);
+    EXPECT_EQ(parameter_group(3).config.layers,
+              parameter_group(id).config.layers);
+  }
+  EXPECT_EQ(parameter_group(7).config.hidden, parameter_group(8).config.hidden);
+}
+
+}  // namespace
+}  // namespace holmes::model

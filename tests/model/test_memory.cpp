@@ -1,0 +1,86 @@
+#include "model/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "model/gpt_zoo.h"
+#include "util/error.h"
+
+namespace holmes::model {
+namespace {
+
+constexpr Bytes kA100 = 80LL * 1024 * 1024 * 1024;
+
+TEST(Memory, PaperConfigsFitOn80GBA100s) {
+  // Group 1 on 4 nodes: p=2, t=1 -> 15 layers/device, d=16, 1F1B keeps at
+  // most p microbatches in flight.
+  const auto& g1 = parameter_group(1);
+  const auto est1 = estimate_device_memory(g1.config, 15, 1, 4, 2, 16);
+  EXPECT_LT(est1.total(), kA100);
+
+  // Group 7: 39B with t=8, p=2 -> 24 layers/device at tensor/8.
+  const auto& g7 = parameter_group(7);
+  const auto est7 = estimate_device_memory(g7.config, 24, 8, 4, 2, 4);
+  EXPECT_LT(est7.total(), kA100);
+}
+
+TEST(Memory, UnshardedBigModelWouldNotFit) {
+  // The whole 39B model on one device (t=1, p=1) blows past 80 GB — the
+  // reason Table 2 uses t=8.
+  const auto& g7 = parameter_group(7);
+  const auto est = estimate_device_memory(g7.config, 48, 1, 4, 1, 1);
+  EXPECT_GT(est.total(), kA100);
+}
+
+TEST(Memory, OptimizerShardingReducesFootprint) {
+  const auto& g3 = parameter_group(3);
+  const auto whole = estimate_device_memory(g3.config, 18, 1, 4, 2, 1);
+  const auto sharded = estimate_device_memory(g3.config, 18, 1, 4, 2, 16);
+  EXPECT_LT(sharded.optimizer_state, whole.optimizer_state);
+  EXPECT_EQ(sharded.weights, whole.weights);
+  EXPECT_NEAR(static_cast<double>(whole.optimizer_state) /
+                  static_cast<double>(sharded.optimizer_state),
+              16.0, 0.01);
+}
+
+TEST(Memory, MoreLayersMoreMemory) {
+  const auto& cfg = parameter_group(3).config;
+  const auto a = estimate_device_memory(cfg, 9, 1, 4, 2, 1);
+  const auto b = estimate_device_memory(cfg, 18, 1, 4, 2, 1);
+  EXPECT_GT(b.weights, a.weights);
+  EXPECT_GT(b.activations, a.activations);
+}
+
+TEST(Memory, TensorParallelDividesWeights) {
+  const auto& cfg = parameter_group(7).config;
+  const auto t1 = estimate_device_memory(cfg, 24, 1, 4, 2, 1);
+  const auto t8 = estimate_device_memory(cfg, 24, 8, 4, 2, 1);
+  EXPECT_NEAR(static_cast<double>(t1.weights) / static_cast<double>(t8.weights),
+              8.0, 0.01);
+}
+
+TEST(Memory, InFlightMicrobatchesScaleActivations) {
+  const auto& cfg = parameter_group(1).config;
+  const auto one = estimate_device_memory(cfg, 15, 1, 4, 1, 1);
+  const auto four = estimate_device_memory(cfg, 15, 1, 4, 4, 1);
+  EXPECT_NEAR(static_cast<double>(four.activations) /
+                  static_cast<double>(one.activations),
+              4.0, 0.01);
+}
+
+TEST(Memory, InvalidArgsRejected) {
+  const auto& cfg = parameter_group(1).config;
+  EXPECT_THROW(estimate_device_memory(cfg, -1, 1, 4, 1, 1), InternalError);
+  EXPECT_THROW(estimate_device_memory(cfg, 15, 0, 4, 1, 1), InternalError);
+  EXPECT_THROW(estimate_device_memory(cfg, 15, 1, 4, 0, 1), InternalError);
+  EXPECT_THROW(estimate_device_memory(cfg, 15, 1, 4, 1, 0), InternalError);
+}
+
+TEST(Memory, TotalIsSumOfParts) {
+  const auto& cfg = parameter_group(1).config;
+  const auto est = estimate_device_memory(cfg, 15, 1, 4, 2, 4);
+  EXPECT_EQ(est.total(), est.weights + est.gradients + est.optimizer_state +
+                             est.activations);
+}
+
+}  // namespace
+}  // namespace holmes::model

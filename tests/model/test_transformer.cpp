@@ -1,0 +1,84 @@
+#include "model/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::model {
+namespace {
+
+// The three architectures of Table 2.
+const TransformerConfig kGpt3_6B{30, 3072, 32, 51200, 2048};
+const TransformerConfig kGpt7_5B{36, 4096, 32, 51200, 2048};
+const TransformerConfig kGpt39B{48, 8192, 64, 51200, 2048};
+
+TEST(Transformer, Eq5MatchesPaperNominalSizes) {
+  // Table 2 quotes 3.6 B, 7.5 B and 39.1 B; Eq. (5) should land within 2%.
+  EXPECT_NEAR(kGpt3_6B.parameter_count() / 1e9, 3.6, 0.072);
+  EXPECT_NEAR(kGpt7_5B.parameter_count() / 1e9, 7.5, 0.15);
+  EXPECT_NEAR(kGpt39B.parameter_count() / 1e9, 39.1, 0.782);
+}
+
+TEST(Transformer, Eq5Decomposition) {
+  for (const auto& cfg : {kGpt3_6B, kGpt7_5B, kGpt39B}) {
+    const double recomposed =
+        cfg.layers * cfg.layer_parameters() + cfg.embedding_parameters();
+    EXPECT_NEAR(recomposed / cfg.parameter_count(), 1.0, 1e-12);
+  }
+}
+
+TEST(Transformer, Eq6Decomposition) {
+  const std::int64_t B = 768;
+  for (const auto& cfg : {kGpt3_6B, kGpt7_5B, kGpt39B}) {
+    const double recomposed =
+        cfg.layers * cfg.layer_flops(B) + cfg.embedding_flops(B);
+    EXPECT_NEAR(recomposed / cfg.flops_per_iteration(B), 1.0, 1e-12);
+  }
+}
+
+TEST(Transformer, Eq6IsLinearInBatch) {
+  const double f1 = kGpt3_6B.flops_per_iteration(768);
+  const double f2 = kGpt3_6B.flops_per_iteration(1536);
+  EXPECT_NEAR(f2 / f1, 2.0, 1e-12);
+}
+
+TEST(Transformer, Eq6Magnitude) {
+  // Group 1 @ B=768 is on the order of 10^17 FLOPs per iteration — the
+  // scale that makes a 32-GPU iteration take a few seconds at ~200 TFLOPS.
+  const double f = kGpt3_6B.flops_per_iteration(768);
+  EXPECT_GT(f, 1e16);
+  EXPECT_LT(f, 1e18);
+}
+
+TEST(Transformer, ActivationBytes) {
+  // 4 samples * 2048 seq * 3072 hidden * 2 bytes = 48 MiB.
+  EXPECT_EQ(kGpt3_6B.activation_bytes(4), 4LL * 2048 * 3072 * 2);
+  EXPECT_EQ(kGpt3_6B.activation_bytes(4, 4), 4LL * 2048 * 3072 * 4);
+}
+
+TEST(Transformer, ValidateRejectsBadDimensions) {
+  TransformerConfig bad = kGpt3_6B;
+  bad.layers = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = kGpt3_6B;
+  bad.hidden = -5;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = kGpt3_6B;
+  bad.heads = 7;  // 3072 % 7 != 0
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = kGpt3_6B;
+  bad.vocab = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  EXPECT_NO_THROW(kGpt3_6B.validate());
+}
+
+TEST(Transformer, LargerModelsCostMore) {
+  EXPECT_GT(kGpt7_5B.parameter_count(), kGpt3_6B.parameter_count());
+  EXPECT_GT(kGpt39B.parameter_count(), kGpt7_5B.parameter_count());
+  EXPECT_GT(kGpt7_5B.flops_per_iteration(768),
+            kGpt3_6B.flops_per_iteration(768));
+  EXPECT_GT(kGpt39B.layer_flops(4), kGpt7_5B.layer_flops(4));
+}
+
+}  // namespace
+}  // namespace holmes::model

@@ -1,0 +1,53 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes::net {
+namespace {
+
+TEST(Fabric, EffectiveBandwidthAppliesEfficiency) {
+  FabricSpec spec{FabricKind::kInfiniBand, 200.0, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(spec.effective_bandwidth(), 12.5e9);  // 200Gbps/2 in bytes
+}
+
+TEST(Fabric, DefaultCatalogOrderings) {
+  FabricCatalog cat;
+  const double ib = cat.spec(FabricKind::kInfiniBand).effective_bandwidth();
+  const double roce = cat.spec(FabricKind::kRoCE).effective_bandwidth();
+  const double eth = cat.spec(FabricKind::kEthernet).effective_bandwidth();
+  const double nvlink = cat.spec(FabricKind::kNVLink).effective_bandwidth();
+  // The calibrated defaults must preserve the paper's empirical ordering:
+  // NVLink >> IB > RoCE >> Ethernet in achievable bandwidth.
+  EXPECT_GT(nvlink, ib);
+  EXPECT_GT(ib, roce);
+  EXPECT_GT(roce, eth);
+  // and IB < RoCE < Ethernet in latency.
+  EXPECT_LT(cat.spec(FabricKind::kInfiniBand).latency,
+            cat.spec(FabricKind::kRoCE).latency);
+  EXPECT_LT(cat.spec(FabricKind::kRoCE).latency,
+            cat.spec(FabricKind::kEthernet).latency);
+}
+
+TEST(Fabric, NominalBandwidthsMatchPaperTestbed) {
+  FabricCatalog cat;
+  EXPECT_DOUBLE_EQ(cat.spec(FabricKind::kInfiniBand).bandwidth_gbps, 200.0);
+  EXPECT_DOUBLE_EQ(cat.spec(FabricKind::kRoCE).bandwidth_gbps, 200.0);
+  EXPECT_DOUBLE_EQ(cat.spec(FabricKind::kEthernet).bandwidth_gbps, 25.0);
+}
+
+TEST(Fabric, SetOverridesSpec) {
+  FabricCatalog cat;
+  FabricSpec custom{FabricKind::kEthernet, 100.0, 1.0, 1e-6};
+  cat.set(custom);
+  EXPECT_DOUBLE_EQ(cat.spec(FabricKind::kEthernet).bandwidth_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(cat.spec(FabricKind::kEthernet).efficiency, 1.0);
+}
+
+TEST(Fabric, MutableSpecReference) {
+  FabricCatalog cat;
+  cat.spec(FabricKind::kRoCE).efficiency = 0.9;
+  EXPECT_DOUBLE_EQ(cat.spec(FabricKind::kRoCE).efficiency, 0.9);
+}
+
+}  // namespace
+}  // namespace holmes::net

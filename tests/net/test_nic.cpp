@@ -1,0 +1,56 @@
+#include "net/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::net {
+namespace {
+
+TEST(Nic, RdmaCompatibilityMatrix) {
+  // Same RDMA type: compatible.
+  EXPECT_TRUE(rdma_compatible(NicType::kInfiniBand, NicType::kInfiniBand));
+  EXPECT_TRUE(rdma_compatible(NicType::kRoCE, NicType::kRoCE));
+  // The paper's core constraint: IB and RoCE are mutually incompatible.
+  EXPECT_FALSE(rdma_compatible(NicType::kInfiniBand, NicType::kRoCE));
+  EXPECT_FALSE(rdma_compatible(NicType::kRoCE, NicType::kInfiniBand));
+  // Ethernet NICs never speak RDMA.
+  EXPECT_FALSE(rdma_compatible(NicType::kEthernet, NicType::kEthernet));
+  EXPECT_FALSE(rdma_compatible(NicType::kEthernet, NicType::kInfiniBand));
+}
+
+TEST(Nic, RdmaFabricMapping) {
+  EXPECT_EQ(rdma_fabric(NicType::kInfiniBand), FabricKind::kInfiniBand);
+  EXPECT_EQ(rdma_fabric(NicType::kRoCE), FabricKind::kRoCE);
+}
+
+TEST(Nic, ToStringRoundTrip) {
+  EXPECT_EQ(to_string(NicType::kInfiniBand), "InfiniBand");
+  EXPECT_EQ(to_string(NicType::kRoCE), "RoCE");
+  EXPECT_EQ(to_string(NicType::kEthernet), "Ethernet");
+  for (NicType t : {NicType::kInfiniBand, NicType::kRoCE, NicType::kEthernet}) {
+    EXPECT_EQ(parse_nic_type(to_string(t)), t);
+  }
+}
+
+TEST(Nic, ParseAcceptsAliasesCaseInsensitive) {
+  EXPECT_EQ(parse_nic_type("IB"), NicType::kInfiniBand);
+  EXPECT_EQ(parse_nic_type("ib"), NicType::kInfiniBand);
+  EXPECT_EQ(parse_nic_type("roce"), NicType::kRoCE);
+  EXPECT_EQ(parse_nic_type("ETH"), NicType::kEthernet);
+  EXPECT_EQ(parse_nic_type("ethernet"), NicType::kEthernet);
+}
+
+TEST(Nic, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_nic_type("omnipath"), ConfigError);
+  EXPECT_THROW(parse_nic_type(""), ConfigError);
+}
+
+TEST(Nic, FabricNames) {
+  EXPECT_EQ(to_string(FabricKind::kNVLink), "NVLink");
+  EXPECT_EQ(to_string(FabricKind::kPCIe), "PCIe");
+  EXPECT_EQ(to_string(FabricKind::kEthernet), "Ethernet");
+}
+
+}  // namespace
+}  // namespace holmes::net

@@ -1,0 +1,147 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::net {
+namespace {
+
+TEST(Topology, HomogeneousRankNumbering) {
+  // 4 nodes x 8 GPUs: rank = 8*node + gpu (paper §2.4, 0-based).
+  Topology topo = Topology::homogeneous(4, NicType::kInfiniBand);
+  EXPECT_EQ(topo.world_size(), 32);
+  EXPECT_EQ(topo.cluster_count(), 1);
+  EXPECT_EQ(topo.total_nodes(), 4);
+  const DeviceInfo& d = topo.device(19);
+  EXPECT_EQ(d.rank, 19);
+  EXPECT_EQ(d.global_node, 2);
+  EXPECT_EQ(d.gpu_in_node, 3);
+  EXPECT_EQ(d.nic, NicType::kInfiniBand);
+}
+
+TEST(Topology, MultiClusterRankNumberingIsContiguous) {
+  // Paper Fig. 2: 2 clusters x 2 nodes x 4 GPUs.
+  Topology topo({
+      ClusterSpec{"c1", 2, 4, NicType::kInfiniBand},
+      ClusterSpec{"c2", 2, 4, NicType::kRoCE},
+  });
+  EXPECT_EQ(topo.world_size(), 16);
+  // Rank 8 is the first device of cluster 2 (node 3 globally, node 0 local).
+  const DeviceInfo& d = topo.device(8);
+  EXPECT_EQ(d.cluster, 1);
+  EXPECT_EQ(d.node_in_cluster, 0);
+  EXPECT_EQ(d.global_node, 2);
+  EXPECT_EQ(d.gpu_in_node, 0);
+  EXPECT_EQ(d.nic, NicType::kRoCE);
+}
+
+TEST(Topology, RanksInCluster) {
+  Topology topo = Topology::hybrid_two_clusters(2, 4);
+  const auto c0 = topo.ranks_in_cluster(0);
+  const auto c1 = topo.ranks_in_cluster(1);
+  ASSERT_EQ(c0.size(), 8u);
+  ASSERT_EQ(c1.size(), 8u);
+  EXPECT_EQ(c0.front(), 0);
+  EXPECT_EQ(c0.back(), 7);
+  EXPECT_EQ(c1.front(), 8);
+  EXPECT_EQ(c1.back(), 15);
+}
+
+TEST(Topology, DegenerateSpecsRejected) {
+  EXPECT_THROW(Topology({}), ConfigError);
+  EXPECT_THROW(Topology({ClusterSpec{"c", 0, 8, NicType::kRoCE}}), ConfigError);
+  EXPECT_THROW(Topology({ClusterSpec{"c", 2, 0, NicType::kRoCE}}), ConfigError);
+}
+
+TEST(Topology, SameNodeUsesNVLink) {
+  Topology topo = Topology::homogeneous(2, NicType::kRoCE);
+  EXPECT_EQ(topo.fabric_between(0, 7), FabricKind::kNVLink);
+}
+
+TEST(Topology, SameNodeWithoutNVLinkUsesPCIe) {
+  Topology topo({ClusterSpec{"c", 1, 8, NicType::kInfiniBand, 0, false}});
+  EXPECT_EQ(topo.fabric_between(0, 1), FabricKind::kPCIe);
+}
+
+TEST(Topology, SameClusterCrossNodeUsesRdma) {
+  Topology ib = Topology::homogeneous(2, NicType::kInfiniBand);
+  EXPECT_EQ(ib.fabric_between(0, 8), FabricKind::kInfiniBand);
+  Topology roce = Topology::homogeneous(2, NicType::kRoCE);
+  EXPECT_EQ(roce.fabric_between(0, 8), FabricKind::kRoCE);
+}
+
+TEST(Topology, EthernetClusterHasNoRdma) {
+  Topology topo = Topology::homogeneous(2, NicType::kEthernet);
+  EXPECT_EQ(topo.fabric_between(0, 8), FabricKind::kEthernet);
+}
+
+TEST(Topology, CrossClusterAlwaysEthernet) {
+  // Even when both clusters run the same RDMA NIC type, there is no shared
+  // high-speed switch between clusters (paper §2.2 case 2).
+  Topology same = Topology::split_clusters(2, NicType::kInfiniBand, 4);
+  EXPECT_EQ(same.fabric_between(0, 8), FabricKind::kEthernet);
+  Topology hybrid = Topology::hybrid_two_clusters(2, 4);
+  EXPECT_EQ(hybrid.fabric_between(0, 8), FabricKind::kEthernet);
+}
+
+TEST(Topology, SelfFabricRejected) {
+  Topology topo = Topology::homogeneous(1, NicType::kInfiniBand);
+  EXPECT_THROW(topo.fabric_between(3, 3), InternalError);
+}
+
+TEST(Topology, PathBandwidthOrdering) {
+  Topology hybrid = Topology::hybrid_two_clusters(2, 4);
+  const PathInfo nvlink = hybrid.path(0, 1);
+  const PathInfo ib = hybrid.path(0, 4);
+  const PathInfo eth = hybrid.path(0, 8);
+  EXPECT_GT(nvlink.bandwidth, ib.bandwidth);
+  EXPECT_GT(ib.bandwidth, eth.bandwidth);
+  EXPECT_LT(ib.latency, eth.latency);
+}
+
+TEST(Topology, NicGbpsOverrideCapsRdmaBandwidth) {
+  Topology topo({ClusterSpec{"slow-ib", 2, 8, NicType::kInfiniBand, 100.0}});
+  const PathInfo p = topo.path(0, 8);
+  EXPECT_EQ(p.fabric, FabricKind::kInfiniBand);
+  const double expected =
+      units::gbps_to_bytes_per_sec(100.0) *
+      topo.catalog().spec(FabricKind::kInfiniBand).efficiency;
+  EXPECT_DOUBLE_EQ(p.bandwidth, expected);
+}
+
+TEST(Topology, FastestCommonFabricSameNode) {
+  Topology topo = Topology::homogeneous(2, NicType::kInfiniBand);
+  EXPECT_EQ(topo.fastest_common_fabric({0, 1, 2, 3}), FabricKind::kNVLink);
+}
+
+TEST(Topology, FastestCommonFabricSameCluster) {
+  Topology topo = Topology::homogeneous(2, NicType::kRoCE);
+  EXPECT_EQ(topo.fastest_common_fabric({0, 8}), FabricKind::kRoCE);
+}
+
+TEST(Topology, FastestCommonFabricMixedClustersFallsToEthernet) {
+  Topology topo = Topology::hybrid_two_clusters(2, 4);
+  // A group straddling IB and RoCE clusters can only use Ethernet — this is
+  // exactly the degradation Automatic NIC Selection avoids.
+  EXPECT_EQ(topo.fastest_common_fabric({0, 8}), FabricKind::kEthernet);
+  EXPECT_EQ(topo.fastest_common_fabric({0, 4, 8, 12}), FabricKind::kEthernet);
+}
+
+TEST(Topology, FastestCommonFabricNeedsTwoRanks) {
+  Topology topo = Topology::homogeneous(1, NicType::kInfiniBand);
+  EXPECT_THROW(topo.fastest_common_fabric({0}), InternalError);
+}
+
+TEST(Topology, GpusPerNodeConsistencyCheck) {
+  Topology ok = Topology::hybrid_two_clusters(2, 4);
+  EXPECT_EQ(ok.gpus_per_node(), 4);
+  Topology bad({
+      ClusterSpec{"a", 1, 4, NicType::kInfiniBand},
+      ClusterSpec{"b", 1, 8, NicType::kRoCE},
+  });
+  EXPECT_THROW(bad.gpus_per_node(), InternalError);
+}
+
+}  // namespace
+}  // namespace holmes::net

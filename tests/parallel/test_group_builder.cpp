@@ -1,0 +1,104 @@
+#include "parallel/group_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes::parallel {
+namespace {
+
+using net::ClusterSpec;
+using net::NicType;
+using net::Topology;
+
+TEST(MegatronBuilder, UsesLauncherOrder) {
+  Topology topo = Topology::hybrid_two_clusters(2, 4);  // 16 GPUs
+  const ParallelConfig config{1, 2, 8};
+  const ParallelGroups g = MegatronGroupBuilder{}.build(topo, config);
+  EXPECT_EQ(g.stage_ranks(0), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  validate_groups(g, topo);
+}
+
+TEST(HolmesBuilder, MatchesMegatronWhenAlreadyAligned) {
+  Topology topo = Topology::hybrid_two_clusters(2, 4);
+  const ParallelConfig config{1, 2, 8};
+  const ParallelGroups holmes = HolmesGroupBuilder{}.build(topo, config);
+  const ParallelGroups megatron = MegatronGroupBuilder{}.build(topo, config);
+  EXPECT_EQ(holmes.stage_ranks(0), megatron.stage_ranks(0));
+  EXPECT_EQ(holmes.dp_groups(), megatron.dp_groups());
+}
+
+TEST(HolmesBuilder, RealignsMisalignedClusters) {
+  // Clusters of 1 + 2 + 1 nodes (4 GPUs each), p=2, t=1, d=8: a stage needs
+  // 2 nodes. Megatron's stage 0 = nodes {0,1} and stage 1 = nodes {2,3}
+  // both straddle clusters, so *every* DP group falls back to Ethernet.
+  // Holmes carves one whole stage out of the middle 2-node cluster.
+  Topology topo({
+      ClusterSpec{"ib-a", 1, 4, NicType::kInfiniBand},
+      ClusterSpec{"roce", 2, 4, NicType::kRoCE},
+      ClusterSpec{"ib-b", 1, 4, NicType::kInfiniBand},
+  });
+  const ParallelConfig config{1, 2, 8};
+
+  const ParallelGroups megatron = MegatronGroupBuilder{}.build(topo, config);
+  const ParallelGroups holmes = HolmesGroupBuilder{}.build(topo, config);
+  validate_groups(megatron, topo);
+  validate_groups(holmes, topo);
+
+  const auto megatron_stages = stage_clusters(megatron, topo);
+  const auto holmes_stages = stage_clusters(holmes, topo);
+  // Megatron: both stages mixed.
+  EXPECT_EQ(megatron_stages, (std::vector<int>{-1, -1}));
+  // Holmes: one stage fully inside the RoCE cluster; the leftover single
+  // nodes of the two IB clusters form the (unavoidably mixed) other stage.
+  EXPECT_EQ(holmes_stages[0], 1);
+  EXPECT_EQ(holmes_stages[1], -1);
+
+  // The payoff: strictly more NIC-homogeneous DP groups.
+  EXPECT_DOUBLE_EQ(rdma_dp_group_fraction(megatron, topo), 0.0);
+  EXPECT_DOUBLE_EQ(rdma_dp_group_fraction(holmes, topo), 0.5);
+}
+
+TEST(HolmesBuilder, ThreeClusterPipelineAlignment) {
+  // Table 4's setting: 3 clusters x 2 nodes (8 GPUs), p=3, t=1, d=16.
+  Topology topo({
+      ClusterSpec{"roce-a", 2, 8, NicType::kRoCE},
+      ClusterSpec{"roce-b", 2, 8, NicType::kRoCE},
+      ClusterSpec{"ib", 2, 8, NicType::kInfiniBand},
+  });
+  const ParallelConfig config{1, 3, 16};
+  const ParallelGroups g = HolmesGroupBuilder{}.build(topo, config);
+  validate_groups(g, topo);
+  EXPECT_EQ(stage_clusters(g, topo), (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(rdma_dp_group_fraction(g, topo), 1.0);
+}
+
+TEST(HolmesBuilder, SubNodeStagesKeepIdentity) {
+  // t=1, d=4 on 8-GPU nodes: a stage is half a node; identity order is
+  // already aligned everywhere.
+  Topology topo = Topology::homogeneous(2, NicType::kInfiniBand, 8);
+  const ParallelConfig config{1, 4, 4};
+  const ParallelGroups holmes = HolmesGroupBuilder{}.build(topo, config);
+  const ParallelGroups megatron = MegatronGroupBuilder{}.build(topo, config);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(holmes.stage_ranks(s), megatron.stage_ranks(s));
+  }
+}
+
+TEST(HolmesBuilder, TensorGroupsStayWithinNodesAfterPermutation) {
+  Topology topo({
+      ClusterSpec{"small", 1, 8, NicType::kInfiniBand},
+      ClusterSpec{"big", 3, 8, NicType::kRoCE},
+  });
+  const ParallelConfig config{8, 2, 2};  // stage = 16 devices = 2 nodes
+  const ParallelGroups g = HolmesGroupBuilder{}.build(topo, config);
+  validate_groups(g, topo);  // includes the TP-within-node rule
+}
+
+TEST(StageClusters, DetectsMixedStages) {
+  Topology topo = Topology::hybrid_two_clusters(1, 4);  // 2 nodes total
+  // p=1: the single stage spans both clusters.
+  const ParallelGroups g(ParallelConfig{1, 1, 8});
+  EXPECT_EQ(stage_clusters(g, topo), (std::vector<int>{-1}));
+}
+
+}  // namespace
+}  // namespace holmes::parallel

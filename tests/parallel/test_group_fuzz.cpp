@@ -1,0 +1,107 @@
+/// Property tests of the group builders on randomized multi-cluster
+/// topologies: whatever the cluster shapes, both builders must produce
+/// structurally valid groups, and Holmes must never be *worse* than the
+/// launcher order at keeping data-parallel groups NIC-homogeneous.
+
+#include <gtest/gtest.h>
+
+#include "parallel/group_builder.h"
+#include "util/rng.h"
+
+namespace holmes::parallel {
+namespace {
+
+using net::ClusterSpec;
+using net::NicType;
+using net::Topology;
+
+Topology random_topology(Rng& rng) {
+  const int clusters = static_cast<int>(rng.uniform_int(1, 4));
+  const int gpus = 1 << rng.uniform_int(0, 3);  // 1, 2, 4, 8 per node
+  std::vector<ClusterSpec> specs;
+  for (int c = 0; c < clusters; ++c) {
+    const NicType nic = static_cast<NicType>(rng.uniform_int(0, 2));
+    specs.push_back(ClusterSpec{"c" + std::to_string(c),
+                                static_cast<int>(rng.uniform_int(1, 4)), gpus,
+                                nic});
+  }
+  return Topology(std::move(specs));
+}
+
+/// All (t, p) pairs valid for the topology.
+std::vector<ParallelConfig> valid_configs(const Topology& topo) {
+  std::vector<ParallelConfig> configs;
+  const int n = topo.world_size();
+  const int gpus = topo.gpus_per_node();
+  for (int t = 1; t <= gpus; ++t) {
+    if (gpus % t != 0 || n % t != 0) continue;
+    for (int p = 1; p <= n / t; ++p) {
+      if (n % (t * p) != 0) continue;
+      configs.push_back(ParallelConfig{t, p, n / (t * p)});
+    }
+  }
+  return configs;
+}
+
+class GroupBuilderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupBuilderFuzz, BothBuildersProduceValidGroups) {
+  Rng rng(GetParam());
+  const MegatronGroupBuilder megatron;
+  const HolmesGroupBuilder holmes;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology topo = random_topology(rng);
+    for (const ParallelConfig& config : valid_configs(topo)) {
+      const ParallelGroups m = megatron.build(topo, config);
+      const ParallelGroups h = holmes.build(topo, config);
+      ASSERT_NO_THROW(validate_groups(m, topo)) << config.to_string();
+      ASSERT_NO_THROW(validate_groups(h, topo)) << config.to_string();
+
+      // Holmes' cluster alignment must never *reduce* the fraction of
+      // NIC-homogeneous data-parallel groups.
+      ASSERT_GE(rdma_dp_group_fraction(h, topo) + 1e-12,
+                rdma_dp_group_fraction(m, topo))
+          << config.to_string();
+
+      // Coordinate round-trip for both.
+      for (int rank = 0; rank < topo.world_size(); ++rank) {
+        ASSERT_EQ(m.rank_at(m.coord_of(rank)), rank);
+        ASSERT_EQ(h.rank_at(h.coord_of(rank)), rank);
+      }
+    }
+  }
+}
+
+TEST_P(GroupBuilderFuzz, StageClustersConsistentWithGroups) {
+  Rng rng(GetParam() * 977);
+  const HolmesGroupBuilder holmes;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology topo = random_topology(rng);
+    for (const ParallelConfig& config : valid_configs(topo)) {
+      const ParallelGroups g = holmes.build(topo, config);
+      const auto clusters = stage_clusters(g, topo);
+      ASSERT_EQ(clusters.size(), static_cast<std::size_t>(config.pipeline));
+      for (int s = 0; s < config.pipeline; ++s) {
+        const auto ranks = g.stage_ranks(s);
+        if (clusters[static_cast<std::size_t>(s)] >= 0) {
+          for (int r : ranks) {
+            ASSERT_EQ(topo.cluster_of(r), clusters[static_cast<std::size_t>(s)]);
+          }
+        } else {
+          // Mixed stage really does span clusters.
+          bool mixed = false;
+          for (int r : ranks) {
+            mixed |= topo.cluster_of(r) != topo.cluster_of(ranks.front());
+          }
+          ASSERT_TRUE(mixed);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupBuilderFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace holmes::parallel

@@ -1,0 +1,49 @@
+#include "parallel/parallel_config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::parallel {
+namespace {
+
+using net::NicType;
+using net::Topology;
+
+TEST(ParallelConfig, ValidatesProduct) {
+  Topology topo = Topology::homogeneous(4, NicType::kInfiniBand);  // 32 GPUs
+  EXPECT_NO_THROW((ParallelConfig{1, 2, 16}).validate(topo));
+  EXPECT_NO_THROW((ParallelConfig{8, 2, 2}).validate(topo));
+  EXPECT_THROW((ParallelConfig{1, 2, 8}).validate(topo), ConfigError);
+  EXPECT_THROW((ParallelConfig{0, 2, 16}).validate(topo), ConfigError);
+  EXPECT_THROW((ParallelConfig{1, -2, 16}).validate(topo), ConfigError);
+}
+
+TEST(ParallelConfig, TensorDegreeBoundedByNode) {
+  Topology topo = Topology::homogeneous(4, NicType::kInfiniBand);  // G=8
+  EXPECT_THROW((ParallelConfig{16, 1, 2}).validate(topo), ConfigError);
+  // t=3 does not divide G=8.
+  Topology topo2 = Topology::homogeneous(3, NicType::kRoCE);  // 24 GPUs
+  EXPECT_THROW((ParallelConfig{3, 1, 8}).validate(topo2), ConfigError);
+}
+
+TEST(ParallelConfig, DeriveComputesDataDegree) {
+  Topology topo = Topology::homogeneous(4, NicType::kInfiniBand);
+  const ParallelConfig c = derive_config(topo, 1, 2);
+  EXPECT_EQ(c.data, 16);
+  const ParallelConfig c2 = derive_config(topo, 8, 2);
+  EXPECT_EQ(c2.data, 2);
+}
+
+TEST(ParallelConfig, DeriveRejectsIndivisible) {
+  Topology topo = Topology::homogeneous(4, NicType::kInfiniBand);  // 32
+  EXPECT_THROW(derive_config(topo, 1, 3), ConfigError);            // 32 % 3
+  EXPECT_THROW(derive_config(topo, 0, 2), ConfigError);
+}
+
+TEST(ParallelConfig, ToStringIsReadable) {
+  EXPECT_EQ((ParallelConfig{8, 2, 4}).to_string(), "t=8,p=2,d=4");
+}
+
+}  // namespace
+}  // namespace holmes::parallel

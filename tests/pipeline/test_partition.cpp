@@ -1,0 +1,116 @@
+#include "pipeline/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace holmes::pipeline {
+namespace {
+
+using net::NicType;
+
+int sum(const StagePartition& p) {
+  return std::accumulate(p.begin(), p.end(), 0);
+}
+
+TEST(UniformPartition, EvenSplit) {
+  EXPECT_EQ(uniform_partition(30, 2), (StagePartition{15, 15}));
+  EXPECT_EQ(uniform_partition(36, 3), (StagePartition{12, 12, 12}));
+}
+
+TEST(UniformPartition, RemainderGoesToEarlyStages) {
+  EXPECT_EQ(uniform_partition(31, 2), (StagePartition{16, 15}));
+  EXPECT_EQ(uniform_partition(10, 4), (StagePartition{3, 3, 2, 2}));
+}
+
+TEST(UniformPartition, Degenerate) {
+  EXPECT_EQ(uniform_partition(4, 4), (StagePartition{1, 1, 1, 1}));
+  EXPECT_THROW(uniform_partition(3, 4), ConfigError);
+  EXPECT_THROW(uniform_partition(3, 0), ConfigError);
+}
+
+TEST(SelfAdapting, PaperTwoStageExample) {
+  // Eq. (2) with the paper's Table 1 speeds and alpha = 1.05:
+  // N_ib = floor(1.05 * 197/357 * 30) = 17, N_roce = 30 - 17 = 13.
+  const auto partition = self_adapting_partition(
+      30, {NicType::kInfiniBand, NicType::kRoCE}, 1.05);
+  EXPECT_EQ(partition, (StagePartition{17, 13}));
+}
+
+TEST(SelfAdapting, AlphaOneIsNearProportional) {
+  // 197/357 * 36 = 19.87 -> floor 19; RoCE absorbs to 17.
+  const auto partition = self_adapting_partition(
+      36, {NicType::kInfiniBand, NicType::kRoCE}, 1.0);
+  EXPECT_EQ(sum(partition), 36);
+  EXPECT_GT(partition[0], partition[1]);
+}
+
+TEST(SelfAdapting, FasterStageNeverGetsFewerLayers) {
+  for (double alpha : {0.9, 1.0, 1.05, 1.2}) {
+    for (int layers : {12, 30, 36, 48}) {
+      const auto p = self_adapting_partition(
+          layers, {NicType::kInfiniBand, NicType::kRoCE}, alpha);
+      EXPECT_EQ(sum(p), layers) << "alpha " << alpha;
+      EXPECT_GE(p[0], p[1]) << "alpha " << alpha << " layers " << layers;
+      EXPECT_GE(p[1], 1);
+    }
+  }
+}
+
+TEST(SelfAdapting, HomogeneousStagesCollapseToUniformish) {
+  const auto p = self_adapting_partition(
+      30, {NicType::kRoCE, NicType::kRoCE}, 1.0);
+  EXPECT_EQ(sum(p), 30);
+  EXPECT_LE(std::abs(p[0] - p[1]), 1);
+}
+
+TEST(SelfAdapting, ThreeStagesTableFourSetting) {
+  // Table 4: stages on RoCE, RoCE, IB clusters; IB stage must get the most.
+  const auto p = self_adapting_partition(
+      36, {NicType::kRoCE, NicType::kRoCE, NicType::kInfiniBand}, 1.05);
+  EXPECT_EQ(sum(p), 36);
+  EXPECT_GT(p[2], p[0]);
+  EXPECT_EQ(p[0], p[1]);
+}
+
+TEST(SelfAdapting, EthernetStageGetsLeast) {
+  const auto p = self_adapting_partition(
+      30, {NicType::kInfiniBand, NicType::kEthernet}, 1.0);
+  EXPECT_EQ(sum(p), 30);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(Proportional, CustomWeightsAndValidation) {
+  EXPECT_EQ(proportional_partition(30, {2.0, 1.0}, 1.0),
+            (StagePartition{20, 10}));
+  EXPECT_THROW(proportional_partition(30, {}, 1.0), ConfigError);
+  EXPECT_THROW(proportional_partition(30, {1.0, -1.0}, 1.0), ConfigError);
+  EXPECT_THROW(proportional_partition(30, {1.0, 1.0}, 0.0), ConfigError);
+  EXPECT_THROW(proportional_partition(1, {1.0, 1.0}, 1.0), ConfigError);
+}
+
+TEST(Proportional, ExtremeAlphaStillValid) {
+  // alpha = 3 wildly over-allocates; result must stay a valid partition.
+  const auto p = proportional_partition(30, {197.0, 160.0}, 3.0);
+  EXPECT_EQ(sum(p), 30);
+  EXPECT_GE(p[0], 1);
+  EXPECT_GE(p[1], 1);
+}
+
+TEST(Proportional, ExtremeWeightRatioKeepsMinimumOneLayer) {
+  const auto p = proportional_partition(10, {1000.0, 1.0}, 1.0);
+  EXPECT_EQ(sum(p), 10);
+  EXPECT_GE(p[1], 1);
+}
+
+TEST(StageSpeeds, DefaultsMatchTableOne) {
+  const StageSpeeds s;
+  EXPECT_DOUBLE_EQ(s.of(NicType::kInfiniBand), 197.0);
+  EXPECT_DOUBLE_EQ(s.of(NicType::kRoCE), 160.0);
+  EXPECT_DOUBLE_EQ(s.of(NicType::kEthernet), 122.0);
+}
+
+}  // namespace
+}  // namespace holmes::pipeline

@@ -1,0 +1,191 @@
+#include "pipeline/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::pipeline {
+namespace {
+
+struct Shape {
+  int stages;
+  int microbatches;
+};
+
+class ScheduleSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ScheduleSweep, GPipeIsValid) {
+  const auto [p, m] = GetParam();
+  const auto programs = GPipeSchedule{}.programs(p, m);
+  ASSERT_EQ(programs.size(), static_cast<std::size_t>(p));
+  validate_schedule(programs, m);
+}
+
+TEST_P(ScheduleSweep, PipeDreamFlushIsValid) {
+  const auto [p, m] = GetParam();
+  const auto programs = PipeDreamFlushSchedule{}.programs(p, m);
+  ASSERT_EQ(programs.size(), static_cast<std::size_t>(p));
+  validate_schedule(programs, m);
+}
+
+TEST_P(ScheduleSweep, PipeDreamBoundsInFlightActivations) {
+  // The whole point of 1F1B: stage s never holds more than
+  // min(p - s, m) outstanding forward activations, while GPipe holds m.
+  const auto [p, m] = GetParam();
+  const auto programs = PipeDreamFlushSchedule{}.programs(p, m);
+  for (int s = 0; s < p; ++s) {
+    EXPECT_LE(max_in_flight(programs[static_cast<std::size_t>(s)]),
+              std::min(p - s, m))
+        << "stage " << s;
+  }
+  const auto gpipe = GPipeSchedule{}.programs(p, m);
+  EXPECT_EQ(max_in_flight(gpipe[0]), m);
+}
+
+TEST_P(ScheduleSweep, EveryStageRunsTwiceMPerIteration) {
+  const auto [p, m] = GetParam();
+  for (const auto& program : PipeDreamFlushSchedule{}.programs(p, m)) {
+    EXPECT_EQ(program.size(), static_cast<std::size_t>(2 * m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ScheduleSweep,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 8},
+                                           Shape{2, 12}, Shape{3, 16},
+                                           Shape{4, 4}, Shape{4, 24},
+                                           Shape{8, 96}, Shape{3, 2}),
+                         [](const ::testing::TestParamInfo<Shape>& info) {
+                           return "p" + std::to_string(info.param.stages) +
+                                  "_m" +
+                                  std::to_string(info.param.microbatches);
+                         });
+
+TEST(Schedule, LastStageAlternatesImmediately) {
+  // Stage p-1 has zero warm-up: fwd0, bwd0, fwd1, bwd1, ...
+  const auto programs = PipeDreamFlushSchedule{}.programs(4, 3);
+  const StageProgram& last = programs[3];
+  EXPECT_EQ(last[0], (PipelineOp{OpKind::kForward, 0}));
+  EXPECT_EQ(last[1], (PipelineOp{OpKind::kBackward, 0}));
+  EXPECT_EQ(last[2], (PipelineOp{OpKind::kForward, 1}));
+  EXPECT_EQ(last[3], (PipelineOp{OpKind::kBackward, 1}));
+}
+
+TEST(Schedule, FirstStageWarmsUpPipelineDepth) {
+  const auto programs = PipeDreamFlushSchedule{}.programs(4, 8);
+  const StageProgram& first = programs[0];
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)].kind, OpKind::kForward);
+  }
+  EXPECT_EQ(first[3], (PipelineOp{OpKind::kForward, 3}));
+  EXPECT_EQ(first[4], (PipelineOp{OpKind::kBackward, 0}));
+}
+
+TEST(Schedule, FewerMicrobatchesThanStages) {
+  // m < p: warm-up truncates; schedule must still be valid.
+  const auto programs = PipeDreamFlushSchedule{}.programs(6, 2);
+  validate_schedule(programs, 2);
+}
+
+TEST(Schedule, InvalidArgsRejected) {
+  EXPECT_THROW(PipeDreamFlushSchedule{}.programs(0, 4), ConfigError);
+  EXPECT_THROW(PipeDreamFlushSchedule{}.programs(2, 0), ConfigError);
+  EXPECT_THROW(GPipeSchedule{}.programs(-1, 4), ConfigError);
+}
+
+struct InterleavedShape {
+  int stages;
+  int microbatches;
+  int chunks;
+};
+
+class InterleavedSweep : public ::testing::TestWithParam<InterleavedShape> {};
+
+TEST_P(InterleavedSweep, IsValid) {
+  const auto [p, m, c] = GetParam();
+  const InterleavedSchedule schedule(c);
+  const auto programs = schedule.programs(p, m);
+  ASSERT_EQ(programs.size(), static_cast<std::size_t>(p));
+  validate_schedule(programs, m, c);
+}
+
+TEST_P(InterleavedSweep, EveryStageRunsTwiceMCOps) {
+  const auto [p, m, c] = GetParam();
+  for (const auto& program : InterleavedSchedule(c).programs(p, m)) {
+    EXPECT_EQ(program.size(), static_cast<std::size_t>(2 * m * c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, InterleavedSweep,
+    ::testing::Values(InterleavedShape{2, 4, 2}, InterleavedShape{2, 12, 2},
+                      InterleavedShape{2, 12, 3}, InterleavedShape{3, 6, 2},
+                      InterleavedShape{4, 8, 2}, InterleavedShape{4, 8, 4},
+                      InterleavedShape{2, 2, 5}),
+    [](const ::testing::TestParamInfo<InterleavedShape>& info) {
+      return "p" + std::to_string(info.param.stages) + "_m" +
+             std::to_string(info.param.microbatches) + "_c" +
+             std::to_string(info.param.chunks);
+    });
+
+TEST(Interleaved, SingleChunkEqualsPipeDreamFlush) {
+  const auto interleaved = InterleavedSchedule(1).programs(4, 8);
+  const auto flush = PipeDreamFlushSchedule{}.programs(4, 8);
+  EXPECT_EQ(interleaved, flush);
+}
+
+TEST(Interleaved, RequiresDivisibleMicrobatches) {
+  EXPECT_THROW(InterleavedSchedule(2).programs(4, 6), ConfigError);
+  EXPECT_THROW(InterleavedSchedule(0), ConfigError);
+}
+
+TEST(Interleaved, WarmupDeeperThanPlain1F1B) {
+  // Stage 0 with 2 chunks warms up 2*(p-1) + (c-1)*p forwards.
+  const auto programs = InterleavedSchedule(2).programs(2, 4);
+  const StageProgram& first = programs[0];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)].kind, OpKind::kForward);
+  }
+  // Forward order: chunk 0 for the first p micro-batches, then chunk 1.
+  EXPECT_EQ(first[0], (PipelineOp{OpKind::kForward, 0, 0}));
+  EXPECT_EQ(first[1], (PipelineOp{OpKind::kForward, 1, 0}));
+  EXPECT_EQ(first[2], (PipelineOp{OpKind::kForward, 0, 1}));
+  EXPECT_EQ(first[3], (PipelineOp{OpKind::kForward, 1, 1}));
+  // Steady state: one more forward, then the first backward, which drains
+  // the *last* chunk first.
+  EXPECT_EQ(first[4], (PipelineOp{OpKind::kForward, 2, 0}));
+  EXPECT_EQ(first[5].kind, OpKind::kBackward);
+  EXPECT_EQ(first[5].chunk, 1);
+}
+
+TEST(ValidateSchedule, CatchesMissingBackward) {
+  std::vector<StageProgram> bad = {{{OpKind::kForward, 0}}};
+  EXPECT_THROW(validate_schedule(bad, 1), InternalError);
+}
+
+TEST(ValidateSchedule, CatchesBackwardBeforeForward) {
+  std::vector<StageProgram> bad = {
+      {{OpKind::kBackward, 0}, {OpKind::kForward, 0}}};
+  EXPECT_THROW(validate_schedule(bad, 1), InternalError);
+}
+
+TEST(ValidateSchedule, CatchesCrossStageDeadlock) {
+  // Stage 1 wants backward of mb 1 before mb 0's backward reached stage 0,
+  // while stage 0 insists on draining mb 0 first in an impossible order:
+  // construct stage 0 waiting on fwd(0) at stage... simplest deadlock:
+  // stage 0 runs fwd1 before fwd0, stage 1 expects fwd0 first and won't
+  // advance; both stages' per-stage orders are locally legal.
+  std::vector<StageProgram> bad = {
+      {{OpKind::kForward, 1},
+       {OpKind::kBackward, 1},
+       {OpKind::kForward, 0},
+       {OpKind::kBackward, 0}},
+      {{OpKind::kForward, 0},
+       {OpKind::kBackward, 0},
+       {OpKind::kForward, 1},
+       {OpKind::kBackward, 1}},
+  };
+  EXPECT_THROW(validate_schedule(bad, 2), InternalError);
+}
+
+}  // namespace
+}  // namespace holmes::pipeline

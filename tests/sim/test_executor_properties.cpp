@@ -1,0 +1,120 @@
+/// Property tests of the task-graph executor on randomized DAGs: for every
+/// generated graph, the reported timings must satisfy the simulator's
+/// defining invariants regardless of shape.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/executor.h"
+#include "util/rng.h"
+
+namespace holmes::sim {
+namespace {
+
+struct RandomGraph {
+  TaskGraph graph;
+  int resources = 0;
+};
+
+/// Random DAG: tasks may only depend on lower-numbered tasks, so it is
+/// acyclic by construction.
+RandomGraph make_random_graph(Rng& rng) {
+  RandomGraph out;
+  const int resources = static_cast<int>(rng.uniform_int(1, 6));
+  std::vector<ResourceId> res;
+  std::vector<ResourceId> ports;  // transfer ports, disjoint from compute
+  for (int r = 0; r < resources; ++r) {
+    res.push_back(out.graph.add_resource("r" + std::to_string(r)));
+    ports.push_back(out.graph.add_resource("port" + std::to_string(r)));
+  }
+  const int tasks = static_cast<int>(rng.uniform_int(1, 60));
+  for (int i = 0; i < tasks; ++i) {
+    const double kind = rng.uniform01();
+    TaskId id;
+    if (kind < 0.6) {
+      id = out.graph.add_compute(res[static_cast<std::size_t>(
+                                     rng.uniform_int(0, resources - 1))],
+                                 rng.uniform(0.0, 2.0));
+    } else if (kind < 0.9 && resources >= 2) {
+      const auto a = static_cast<std::size_t>(rng.uniform_int(0, resources - 1));
+      auto b = static_cast<std::size_t>(rng.uniform_int(0, resources - 1));
+      if (b == a) b = (b + 1) % static_cast<std::size_t>(resources);
+      id = out.graph.add_transfer(ports[a], ports[b],
+                                  rng.uniform_int(0, 1 << 20), 1e9,
+                                  rng.uniform(0.0, 1e-3));
+    } else {
+      id = out.graph.add_noop();
+    }
+    // Random backward dependencies.
+    const int deps = static_cast<int>(rng.uniform_int(0, std::min(i, 3)));
+    for (int k = 0; k < deps; ++k) {
+      out.graph.add_dep(id, static_cast<TaskId>(rng.uniform_int(0, i - 1)));
+    }
+  }
+  out.resources = resources;
+  return out;
+}
+
+class ExecutorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorFuzz, InvariantsHoldOnRandomDags) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomGraph rg = make_random_graph(rng);
+    const SimResult result = TaskGraphExecutor{}.run(rg.graph);
+    const auto& tasks = rg.graph.tasks();
+
+    SimTime max_finish = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const TaskTiming& timing = result.timing(static_cast<TaskId>(i));
+      // Time flows forward.
+      ASSERT_GE(timing.finish, timing.start);
+      ASSERT_GE(timing.start, 0);
+      max_finish = std::max(max_finish, timing.finish);
+      // No task starts before its dependencies finish.
+      for (TaskId dep : tasks[i].deps) {
+        ASSERT_GE(timing.start, result.timing(dep).finish - 1e-12)
+            << "task " << i << " started before dep " << dep;
+      }
+      // Durations match the declared cost model.
+      if (tasks[i].kind == TaskKind::kCompute) {
+        ASSERT_NEAR(timing.finish - timing.start, tasks[i].duration, 1e-12);
+      }
+      if (tasks[i].kind == TaskKind::kNoop) {
+        ASSERT_NEAR(timing.finish - timing.start, 0.0, 1e-12);
+      }
+    }
+    // Makespan is the latest finish.
+    ASSERT_NEAR(result.makespan(), max_finish, 1e-12);
+
+    // Serial-resource exclusivity: compute tasks on one resource never
+    // overlap.
+    std::map<ResourceId, std::vector<std::pair<SimTime, SimTime>>> occupancy;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (tasks[i].kind != TaskKind::kCompute) continue;
+      const TaskTiming& timing = result.timing(static_cast<TaskId>(i));
+      occupancy[tasks[i].resource].emplace_back(timing.start, timing.finish);
+    }
+    for (auto& [resource, spans] : occupancy) {
+      std::sort(spans.begin(), spans.end());
+      SimTime busy = 0;
+      for (std::size_t k = 0; k < spans.size(); ++k) {
+        busy += spans[k].second - spans[k].first;
+        if (k > 0) {
+          ASSERT_GE(spans[k].first, spans[k - 1].second - 1e-12)
+              << "overlap on resource " << resource;
+        }
+      }
+      // Accounting matches: busy time equals the sum of durations.
+      ASSERT_NEAR(result.resource_busy(resource), busy, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace holmes::sim

@@ -1,0 +1,84 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace holmes::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator s;
+  std::vector<SimTime> seen;
+  s.after(1.0, [&] { seen.push_back(s.now()); });
+  s.after(2.5, [&] { seen.push_back(s.now()); });
+  const SimTime end = s.run();
+  EXPECT_DOUBLE_EQ(end, 2.5);
+  EXPECT_EQ(seen, (std::vector<SimTime>{1.0, 2.5}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) s.after(1.0, chain);
+  };
+  s.after(1.0, chain);
+  const SimTime end = s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(end, 5.0);
+}
+
+TEST(Simulator, CannotScheduleInThePast) {
+  Simulator s;
+  s.after(2.0, [&] { EXPECT_THROW(s.at(1.0, [] {}), InternalError); });
+  s.run();
+  EXPECT_THROW(s.after(-0.5, [] {}), InternalError);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator s;
+  int fired = 0;
+  s.after(1.0, [&] { ++fired; });
+  s.after(10.0, [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator s;
+  int fired = 0;
+  s.after(1.0, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.after(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, EmptyRunReturnsZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.run(), 0.0);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Simulator, SameTimeEventsFireInInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.after(1.0, [&] { order.push_back(0); });
+  s.after(1.0, [&] { order.push_back(1); });
+  s.after(1.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace holmes::sim

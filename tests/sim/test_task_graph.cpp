@@ -1,0 +1,96 @@
+#include "sim/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes::sim {
+namespace {
+
+TEST(TaskGraph, AddsResourcesWithNames) {
+  TaskGraph g;
+  const ResourceId a = g.add_resource("gpu0");
+  const ResourceId b = g.add_resource("gpu1");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.resource_count(), 2u);
+  EXPECT_EQ(g.resource_name(a), "gpu0");
+  EXPECT_EQ(g.resource_name(b), "gpu1");
+}
+
+TEST(TaskGraph, ComputeTaskStoresFields) {
+  TaskGraph g;
+  const ResourceId r = g.add_resource("gpu0");
+  const TaskId t = g.add_compute(r, 0.25, "fwd", 7);
+  const Task& task = g.task(t);
+  EXPECT_EQ(task.kind, TaskKind::kCompute);
+  EXPECT_EQ(task.resource, r);
+  EXPECT_DOUBLE_EQ(task.duration, 0.25);
+  EXPECT_EQ(task.label, "fwd");
+  EXPECT_EQ(task.tag, 7);
+}
+
+TEST(TaskGraph, TransferTaskStoresFields) {
+  TaskGraph g;
+  const ResourceId tx = g.add_resource("tx");
+  const ResourceId rx = g.add_resource("rx");
+  const TaskId t = g.add_transfer(tx, rx, 1000, 1e9, 1e-6, "p2p");
+  const Task& task = g.task(t);
+  EXPECT_EQ(task.kind, TaskKind::kTransfer);
+  EXPECT_EQ(task.bytes, 1000);
+  EXPECT_DOUBLE_EQ(task.bandwidth, 1e9);
+  EXPECT_DOUBLE_EQ(task.latency, 1e-6);
+}
+
+TEST(TaskGraph, RejectsInvalidArguments) {
+  TaskGraph g;
+  const ResourceId r = g.add_resource("r");
+  EXPECT_THROW(g.add_compute(99, 1.0), InternalError);
+  EXPECT_THROW(g.add_compute(r, -1.0), InternalError);
+  EXPECT_THROW(g.add_transfer(r, 99, 10, 1e9, 0), InternalError);
+  EXPECT_THROW(g.add_transfer(r, r, 10, 0.0, 0), InternalError);
+  EXPECT_THROW(g.add_transfer(r, r, -5, 1e9, 0), InternalError);
+  EXPECT_THROW(g.add_transfer(r, r, 10, 1e9, -1e-6), InternalError);
+}
+
+TEST(TaskGraph, ZeroByteTransferNeedsNoBandwidth) {
+  TaskGraph g;
+  const ResourceId r = g.add_resource("r");
+  EXPECT_NO_THROW(g.add_transfer(r, r, 0, 0.0, 1e-6));
+}
+
+TEST(TaskGraph, DepsAccumulate) {
+  TaskGraph g;
+  const ResourceId r = g.add_resource("r");
+  const TaskId a = g.add_compute(r, 1.0);
+  const TaskId b = g.add_compute(r, 1.0);
+  const TaskId c = g.add_compute(r, 1.0);
+  g.add_dep(c, a);
+  g.add_dep(c, b);
+  EXPECT_EQ(g.task(c).deps.size(), 2u);
+}
+
+TEST(TaskGraph, AddDepsSkipsInvalidTaskSentinel) {
+  TaskGraph g;
+  const ResourceId r = g.add_resource("r");
+  const TaskId a = g.add_compute(r, 1.0);
+  const TaskId b = g.add_compute(r, 1.0);
+  g.add_deps(b, {kInvalidTask, a, kInvalidTask});
+  EXPECT_EQ(g.task(b).deps.size(), 1u);
+}
+
+TEST(TaskGraph, SelfDependencyRejected) {
+  TaskGraph g;
+  const ResourceId r = g.add_resource("r");
+  const TaskId a = g.add_compute(r, 1.0);
+  EXPECT_THROW(g.add_dep(a, a), InternalError);
+}
+
+TEST(TaskGraph, NoopHasZeroCost) {
+  TaskGraph g;
+  const TaskId t = g.add_noop("join");
+  EXPECT_EQ(g.task(t).kind, TaskKind::kNoop);
+  EXPECT_DOUBLE_EQ(g.task(t).duration, 0.0);
+}
+
+}  // namespace
+}  // namespace holmes::sim

@@ -1,0 +1,97 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace holmes::sim {
+namespace {
+
+/// Minimal structural JSON check: balanced brackets/braces outside strings.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '[' || c == '{') ++depth;
+    else if (c == ']' || c == '}') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TaskGraph small_graph(SimResult* result_out) {
+  TaskGraph g;
+  const ResourceId gpu = g.add_resource("gpu0.compute");
+  const ResourceId tx = g.add_resource("gpu0.tx");
+  const ResourceId rx = g.add_resource("gpu1.rx");
+  const TaskId c = g.add_compute(gpu, 1.5, "fwd", 7);
+  const TaskId x = g.add_transfer(tx, rx, 1000, 1e6, 1e-6, "act", 3);
+  g.add_dep(x, c);
+  g.add_noop("join");
+  *result_out = TaskGraphExecutor{}.run(g);
+  return g;
+}
+
+TEST(Trace, ProducesBalancedJsonWithAllRows) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  std::ostringstream os;
+  write_chrome_trace(os, g, result);
+  const std::string trace = os.str();
+  EXPECT_TRUE(json_balanced(trace)) << trace;
+  EXPECT_NE(trace.find("\"fwd\""), std::string::npos);
+  EXPECT_NE(trace.find("\"act\""), std::string::npos);
+  EXPECT_NE(trace.find("gpu0.compute"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  // Noops are dropped.
+  EXPECT_EQ(trace.find("join"), std::string::npos);
+}
+
+TEST(Trace, TimestampsAreMicroseconds) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  std::ostringstream os;
+  write_chrome_trace(os, g, result);
+  // The 1.5 s compute shows up as dur 1.5e6 us.
+  EXPECT_NE(os.str().find("\"dur\":1.5e+06"), std::string::npos) << os.str();
+}
+
+TEST(Trace, MinDurationFiltersShortTasks) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  TraceOptions options;
+  options.min_duration = 1.0;  // keeps the 1.5 s compute, drops the transfer
+  std::ostringstream os;
+  write_chrome_trace(os, g, result, options);
+  EXPECT_NE(os.str().find("\"fwd\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"act\""), std::string::npos);
+}
+
+TEST(Trace, EscapesSpecialCharacters) {
+  TaskGraph g;
+  const ResourceId r = g.add_resource("weird\"name\\with\nstuff");
+  g.add_compute(r, 1.0, "label\"quoted\"");
+  const SimResult result = TaskGraphExecutor{}.run(g);
+  std::ostringstream os;
+  write_chrome_trace(os, g, result);
+  EXPECT_TRUE(json_balanced(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Trace, EmptyGraph) {
+  TaskGraph g;
+  const SimResult result = TaskGraphExecutor{}.run(g);
+  std::ostringstream os;
+  write_chrome_trace(os, g, result);
+  EXPECT_EQ(os.str(), "[\n]");
+}
+
+}  // namespace
+}  // namespace holmes::sim

@@ -1,0 +1,54 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace holmes {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("env", "tflops", 197);
+  EXPECT_EQ(os.str(), "env,tflops,197\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithCommas) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("a,b", "plain");
+  EXPECT_EQ(os.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriter, DoublesEmbeddedQuotes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("say \"hi\"");
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("line1\nline2");
+  EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, FormatsDoublesCompactly) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(1.5, 0.000001, 99.23);
+  EXPECT_EQ(os.str(), "1.5,1e-06,99.23\n");
+}
+
+TEST(CsvWriter, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("h1", "h2");
+  csv.row(1, 2);
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+}  // namespace
+}  // namespace holmes

@@ -1,0 +1,45 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes {
+namespace {
+
+TEST(Error, CheckPassesOnTrueCondition) {
+  EXPECT_NO_THROW(HOLMES_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(HOLMES_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Error, CheckThrowsInternalErrorWithExpression) {
+  try {
+    HOLMES_CHECK(2 + 2 == 5);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMsgIncludesMessage) {
+  try {
+    HOLMES_CHECK_MSG(false, "rank 7 out of range");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 7 out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw ConfigError("bad degree"), Error);
+  EXPECT_THROW(throw InternalError("bug"), Error);
+  EXPECT_THROW(throw ConfigError("bad"), std::runtime_error);
+}
+
+TEST(Error, ConfigErrorPrefixesMessage) {
+  ConfigError e("t*p*d != N");
+  EXPECT_EQ(std::string(e.what()), "config error: t*p*d != N");
+}
+
+}  // namespace
+}  // namespace holmes

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, LevelIsSettable) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, SuppressedLevelDoesNotEvaluateNothingCrashy) {
+  set_log_level(LogLevel::kOff);
+  // The statement must compile and be a no-op for every level.
+  HOLMES_LOG(kDebug) << "debug " << 1;
+  HOLMES_LOG(kInfo) << "info " << 2.5;
+  HOLMES_LOG(kWarning) << "warn";
+  HOLMES_LOG(kError) << "error";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EmitsToStderrWhenEnabled) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  HOLMES_LOG(kInfo) << "hello " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsSilent) {
+  set_log_level(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  HOLMES_LOG(kInfo) << "should not appear";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+}  // namespace
+}  // namespace holmes

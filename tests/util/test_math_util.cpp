@@ -1,0 +1,43 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_EQ(ceil_div(768, 64), 12);
+}
+
+TEST(MathUtil, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  // Relative tolerance for large magnitudes.
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0));
+  EXPECT_FALSE(approx_equal(1e12, 1.001e12));
+}
+
+TEST(MathUtil, FloorPow2) {
+  EXPECT_EQ(floor_pow2(1), 1);
+  EXPECT_EQ(floor_pow2(2), 2);
+  EXPECT_EQ(floor_pow2(3), 2);
+  EXPECT_EQ(floor_pow2(8), 8);
+  EXPECT_EQ(floor_pow2(1000), 512);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+}  // namespace
+}  // namespace holmes

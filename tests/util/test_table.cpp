@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"NIC Env", "TFLOPS"});
+  t.add_row({"InfiniBand", "197"});
+  t.add_row({"RoCE", "160"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("NIC Env"), std::string::npos);
+  EXPECT_NE(out.find("InfiniBand"), std::string::npos);
+  EXPECT_NE(out.find("197"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "22"});
+  const std::string out = t.to_string();
+  // Every line must have the same length since columns are padded.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InternalError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InternalError);
+}
+
+TEST(TextTable, EmptyHeadersThrow) {
+  EXPECT_THROW(TextTable({}), InternalError);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(99.228, 2), "99.23");
+  EXPECT_EQ(TextTable::num(197.0, 0), "197");
+  EXPECT_EQ(TextTable::num(std::int64_t{1536}), "1536");
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace holmes

@@ -1,0 +1,40 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes {
+namespace {
+
+TEST(Units, GbpsConversionRoundTrips) {
+  const double bps = units::gbps_to_bytes_per_sec(200.0);
+  EXPECT_DOUBLE_EQ(bps, 25e9);  // 200 Gbit/s == 25 GB/s
+  EXPECT_DOUBLE_EQ(units::bytes_per_sec_to_gbps(bps), 200.0);
+}
+
+TEST(Units, ByteConstructors) {
+  EXPECT_EQ(units::KiB(1), 1024);
+  EXPECT_EQ(units::MiB(2), 2 * 1024 * 1024);
+  EXPECT_EQ(units::GiB(1), 1024LL * 1024 * 1024);
+}
+
+TEST(Units, TimeConstructors) {
+  EXPECT_DOUBLE_EQ(units::microseconds(3), 3e-6);
+  EXPECT_DOUBLE_EQ(units::milliseconds(1.5), 1.5e-3);
+}
+
+TEST(Units, FormatBytesPicksSuffix) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(units::KiB(1)), "1.00 KiB");
+  EXPECT_EQ(format_bytes(units::MiB(3.5)), "3.50 MiB");
+  EXPECT_EQ(format_bytes(units::GiB(2)), "2.00 GiB");
+}
+
+TEST(Units, FormatTimePicksScale) {
+  EXPECT_EQ(format_time(2.5), "2.500 s");
+  EXPECT_EQ(format_time(0.0315), "31.500 ms");
+  EXPECT_EQ(format_time(42e-6), "42.000 us");
+  EXPECT_EQ(format_time(5e-9), "5.000 ns");
+}
+
+}  // namespace
+}  // namespace holmes

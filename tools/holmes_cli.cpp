@@ -1,0 +1,338 @@
+/// holmes_cli — consolidated command-line interface over the library.
+///
+///   holmes_cli simulate <topology> <group> [options]
+///       Plan + simulate one scenario; print metrics.
+///       --framework F    holmes | megatron-lm | megatron-deepspeed |
+///                        megatron-llama            (default holmes)
+///       --iterations N   simulated iterations      (default 3)
+///       --trace FILE     write a Chrome trace of the run
+///       --straggler R:F  slow rank R down by factor F (repeatable)
+///
+///   holmes_cli plan <topology> <group> [--framework F]
+///       Print the resolved plan: degrees, stage placement, partition,
+///       per-DP-group transport.
+///
+///   holmes_cli tune <topology> <group> [--top N]
+///       Auto-tune the (tensor, pipeline) layout; print the ranking.
+///
+///   holmes_cli sweep <topology> <group...> [--markdown|--csv]
+///       All four frameworks x the given groups on one topology.
+///
+///   holmes_cli analytic <topology> <group> [--framework F]
+///       Closed-form iteration-time breakdown (see core/analytic.h).
+///
+///   holmes_cli envs
+///       List the named environments and their topology specs.
+///
+/// <topology> is either a named environment (ib, roce, eth, hybrid —
+/// 4 nodes by default, or e.g. hybrid:8 for 8 nodes) or a spec like
+/// "2x8:ib+2x8:roce" (see net/topology_parse.h).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/analytic.h"
+#include "core/autotune.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "model/memory.h"
+#include "net/topology_parse.h"
+#include "util/error.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key value (or "" for flags)
+  std::vector<std::string> stragglers;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) throw ConfigError("usage: holmes_cli <command> ... (try envs)");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      const bool is_flag = key == "markdown" || key == "csv";
+      if (!is_flag) {
+        if (i + 1 >= argc) throw ConfigError("missing value for --" + key);
+        const std::string value = argv[++i];
+        if (key == "straggler") {
+          args.stragglers.push_back(value);
+        } else {
+          args.options[key] = value;
+        }
+      } else {
+        args.options[key] = "";
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+net::Topology resolve_topology(const std::string& name) {
+  if (name.find('x') != std::string::npos &&
+      name.find(':') != std::string::npos) {
+    return net::parse_topology(name);
+  }
+  std::string env = name;
+  int nodes = 4;
+  const std::size_t colon = name.find(':');
+  if (colon != std::string::npos) {
+    env = name.substr(0, colon);
+    nodes = std::stoi(name.substr(colon + 1));
+  }
+  if (env == "ib") return make_environment(NicEnv::kInfiniBand, nodes);
+  if (env == "roce") return make_environment(NicEnv::kRoCE, nodes);
+  if (env == "eth") return make_environment(NicEnv::kEthernet, nodes);
+  if (env == "hybrid") return make_environment(NicEnv::kHybrid, nodes);
+  if (env == "split-ib") return make_environment(NicEnv::kSplitIB, nodes);
+  if (env == "split-roce") return make_environment(NicEnv::kSplitRoCE, nodes);
+  throw ConfigError("unknown topology '" + name +
+                    "' (named env or spec like 2x8:ib+2x8:roce)");
+}
+
+FrameworkConfig resolve_framework(const Args& args) {
+  const auto it = args.options.find("framework");
+  const std::string name = it == args.options.end() ? "holmes" : it->second;
+  if (name == "holmes") return FrameworkConfig::holmes();
+  if (name == "megatron-lm") return FrameworkConfig::megatron_lm();
+  if (name == "megatron-deepspeed") return FrameworkConfig::megatron_deepspeed();
+  if (name == "megatron-llama") return FrameworkConfig::megatron_llama();
+  throw ConfigError("unknown framework '" + name + "'");
+}
+
+int option_int(const Args& args, const std::string& key, int fallback) {
+  const auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : std::stoi(it->second);
+}
+
+Perturbations resolve_perturbations(const Args& args) {
+  Perturbations perturb;
+  for (const std::string& spec : args.stragglers) {
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+      throw ConfigError("--straggler expects RANK:FACTOR, got '" + spec + "'");
+    }
+    perturb.device_slowdown[std::stoi(spec.substr(0, colon))] =
+        std::stod(spec.substr(colon + 1));
+  }
+  return perturb;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError("usage: holmes_cli simulate <topology> <group>");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const FrameworkConfig framework = resolve_framework(args);
+  const int iterations = option_int(args, "iterations", 3);
+  const Perturbations perturb = resolve_perturbations(args);
+
+  const TrainingPlan plan =
+      Planner(framework).plan(topo, model::parameter_group(group));
+  IterationMetrics m;
+  const auto trace = args.options.find("trace");
+  if (trace != args.options.end()) {
+    std::ofstream out(trace->second);
+    if (!out) throw ConfigError("cannot open " + trace->second);
+    m = TrainingSimulator{}.run(topo, plan, iterations, perturb, &out);
+    std::cout << "trace written to " << trace->second << "\n";
+  } else {
+    m = TrainingSimulator{}.run(topo, plan, iterations, perturb);
+  }
+
+  std::cout << framework.name << " / group " << group << " on "
+            << net::format_topology(topo) << " (" << plan.degrees.to_string()
+            << ")\n"
+            << "  iteration      " << format_time(m.iteration_time) << "\n"
+            << "  TFLOPS/GPU     " << TextTable::num(m.tflops_per_gpu, 1) << "\n"
+            << "  throughput     " << TextTable::num(m.throughput, 2)
+            << " samples/s\n"
+            << "  grad sync      " << format_time(m.grad_sync_span) << "\n"
+            << "  param gather   " << format_time(m.param_allgather_span) << "\n"
+            << "  optimizer      " << format_time(m.optimizer_span) << "\n"
+            << "  simulated tasks " << m.task_count << "\n";
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError("usage: holmes_cli plan <topology> <group>");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const FrameworkConfig framework = resolve_framework(args);
+  const TrainingPlan plan =
+      Planner(framework).plan(topo, model::parameter_group(group));
+
+  std::cout << framework.name << " plan for group " << group << " on "
+            << net::format_topology(topo) << "\n"
+            << "  degrees        " << plan.degrees.to_string() << "\n"
+            << "  micro-batches  " << plan.micro_batches << " per replica\n"
+            << "  fallback       " << (plan.ethernet_fallback ? "yes" : "no")
+            << "\n  stages:\n";
+  const auto clusters = parallel::stage_clusters(plan.groups, topo);
+  for (std::size_t s = 0; s < clusters.size(); ++s) {
+    std::cout << "    stage " << s << ": "
+              << plan.partition[static_cast<std::size_t>(s)] << " layers on "
+              << (clusters[s] >= 0 ? topo.cluster(clusters[s]).name : "MIXED")
+              << " (" << net::to_string(plan.stage_nics[s]) << ")\n";
+  }
+  std::cout << "  NIC-homogeneous DP groups: "
+            << parallel::rdma_dp_group_fraction(plan.groups, topo) * 100
+            << "%\n";
+
+  // Worst-stage per-device memory estimate (first stage holds the most
+  // layers under the uniform split; self-adapting may shift the peak, so
+  // take the max over stages).
+  Bytes peak = 0;
+  for (int s = 0; s < plan.degrees.pipeline; ++s) {
+    int layers = 0;
+    for (int v = s; v < plan.virtual_stages(); v += plan.degrees.pipeline) {
+      layers += plan.partition[static_cast<std::size_t>(v)];
+    }
+    const auto est = model::estimate_device_memory(
+        plan.workload.config, layers, plan.degrees.tensor,
+        plan.workload.micro_batch_size,
+        std::min(plan.degrees.pipeline, 8),
+        plan.framework.dp_sync.shards_optimizer() ? plan.degrees.data : 1, {},
+        plan.framework.dp_sync.shards_weights() ? plan.degrees.data : 1);
+    peak = std::max(peak, est.total());
+  }
+  std::cout << "  est. memory/GPU (worst stage): " << format_bytes(peak)
+            << "\n";
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError("usage: holmes_cli tune <topology> <group>");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  TuneOptions options;
+  options.max_pipeline = option_int(args, "max-pipeline", 8);
+  const auto ranked = autotune(resolve_framework(args), topo,
+                               model::parameter_group(group), options);
+  const int top = option_int(args, "top", 10);
+
+  TextTable table({"Rank", "t", "p", "d", "TFLOPS", "Throughput", "Mem/GPU"});
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(ranked.size(), static_cast<std::size_t>(top));
+       ++i) {
+    const TuneCandidate& c = ranked[i];
+    table.add_row({TextTable::num(static_cast<std::int64_t>(i + 1)),
+                   TextTable::num(static_cast<std::int64_t>(c.tensor)),
+                   TextTable::num(static_cast<std::int64_t>(c.pipeline)),
+                   TextTable::num(static_cast<std::int64_t>(c.data)),
+                   TextTable::num(c.metrics.tflops_per_gpu, 0),
+                   TextTable::num(c.metrics.throughput, 2),
+                   format_bytes(c.estimated_memory)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError("usage: holmes_cli sweep <topology> <group...>");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  ExperimentGrid grid("Framework sweep on " + net::format_topology(topo),
+                      "Framework");
+  for (const FrameworkConfig& framework :
+       {FrameworkConfig::megatron_lm(), FrameworkConfig::megatron_deepspeed(),
+        FrameworkConfig::megatron_llama(), FrameworkConfig::holmes()}) {
+    for (std::size_t g = 1; g < args.positional.size(); ++g) {
+      const int group = std::stoi(args.positional[g]);
+      grid.set(framework.name, "group " + std::to_string(group),
+               run_experiment(framework, topo, group));
+    }
+  }
+  if (args.options.count("csv")) {
+    std::cout << grid.to_csv();
+  } else if (args.options.count("markdown")) {
+    std::cout << grid.to_markdown(ExperimentGrid::tflops(), 0);
+  } else {
+    std::cout << grid.to_text(ExperimentGrid::tflops(), 0);
+  }
+  return 0;
+}
+
+int cmd_analytic(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError("usage: holmes_cli analytic <topology> <group>");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const TrainingPlan plan = Planner(resolve_framework(args))
+                                .plan(topo, model::parameter_group(group));
+  const AnalyticBreakdown b = analytic_iteration(topo, plan);
+  const IterationMetrics simulated = TrainingSimulator{}.run(topo, plan);
+  std::cout << "closed-form breakdown (seconds):\n"
+            << "  overhead         " << b.overhead << "\n"
+            << "  steady compute   " << b.steady_compute << "\n"
+            << "  pipeline bubble  " << b.pipeline_bubble << "\n"
+            << "  grad sync        " << b.grad_reduce_scatter << "\n"
+            << "  optimizer        " << b.optimizer << "\n"
+            << "  param all-gather " << b.param_allgather << "\n"
+            << "  total            " << b.total() << "\n"
+            << "simulated          " << simulated.iteration_time << "\n"
+            << "agreement          "
+            << TextTable::num(b.total() / simulated.iteration_time * 100, 1)
+            << "%\n";
+  return 0;
+}
+
+int cmd_envs() {
+  TextTable table({"Name", "Spec (4 nodes)", "Description"});
+  table.add_row({"ib", "4x8:ib", "one InfiniBand cluster"});
+  table.add_row({"roce", "4x8:roce", "one RoCE cluster"});
+  table.add_row({"eth", "4x8:eth", "one Ethernet-only cluster"});
+  table.add_row({"hybrid", "2x8:ib+2x8:roce",
+                 "two clusters, incompatible RDMA NICs (paper Hybrid)"});
+  table.add_row({"split-ib", "2x8:ib+2x8:ib",
+                 "two IB clusters, Ethernet between (Fig. 4)"});
+  table.add_row({"split-roce", "2x8:roce+2x8:roce",
+                 "two RoCE clusters, Ethernet between (Fig. 4)"});
+  table.print();
+  std::cout << "\nAny spec of the form <nodes>x<gpus>:<nic>[@gbps] joined by "
+               "'+' is accepted; named envs take ':<nodes>'.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "tune") return cmd_tune(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "analytic") return cmd_analytic(args);
+    if (args.command == "envs") return cmd_envs();
+    throw ConfigError("unknown command '" + args.command +
+                      "' (simulate|plan|tune|sweep|analytic|envs)");
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
