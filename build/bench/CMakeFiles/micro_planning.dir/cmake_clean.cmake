@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_planning.dir/micro_planning.cpp.o"
+  "CMakeFiles/micro_planning.dir/micro_planning.cpp.o.d"
+  "micro_planning"
+  "micro_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

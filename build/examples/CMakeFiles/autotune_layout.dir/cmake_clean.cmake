@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_layout.dir/autotune_layout.cpp.o"
+  "CMakeFiles/autotune_layout.dir/autotune_layout.cpp.o.d"
+  "autotune_layout"
+  "autotune_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

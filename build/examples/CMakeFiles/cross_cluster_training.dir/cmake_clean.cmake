@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_cluster_training.dir/cross_cluster_training.cpp.o"
+  "CMakeFiles/cross_cluster_training.dir/cross_cluster_training.cpp.o.d"
+  "cross_cluster_training"
+  "cross_cluster_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_cluster_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

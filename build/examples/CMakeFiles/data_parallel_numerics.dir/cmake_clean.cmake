@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_parallel_numerics.dir/data_parallel_numerics.cpp.o"
+  "CMakeFiles/data_parallel_numerics.dir/data_parallel_numerics.cpp.o.d"
+  "data_parallel_numerics"
+  "data_parallel_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_parallel_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

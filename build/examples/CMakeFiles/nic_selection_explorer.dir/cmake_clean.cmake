@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_selection_explorer.dir/nic_selection_explorer.cpp.o"
+  "CMakeFiles/nic_selection_explorer.dir/nic_selection_explorer.cpp.o.d"
+  "nic_selection_explorer"
+  "nic_selection_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_selection_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

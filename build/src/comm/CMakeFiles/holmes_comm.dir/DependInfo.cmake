@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collective_steps.cpp" "src/comm/CMakeFiles/holmes_comm.dir/collective_steps.cpp.o" "gcc" "src/comm/CMakeFiles/holmes_comm.dir/collective_steps.cpp.o.d"
+  "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/holmes_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/holmes_comm.dir/communicator.cpp.o.d"
+  "/root/repo/src/comm/halving_doubling.cpp" "src/comm/CMakeFiles/holmes_comm.dir/halving_doubling.cpp.o" "gcc" "src/comm/CMakeFiles/holmes_comm.dir/halving_doubling.cpp.o.d"
+  "/root/repo/src/comm/hierarchical.cpp" "src/comm/CMakeFiles/holmes_comm.dir/hierarchical.cpp.o" "gcc" "src/comm/CMakeFiles/holmes_comm.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/comm/inprocess.cpp" "src/comm/CMakeFiles/holmes_comm.dir/inprocess.cpp.o" "gcc" "src/comm/CMakeFiles/holmes_comm.dir/inprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_comm.dir/collective_steps.cpp.o"
+  "CMakeFiles/holmes_comm.dir/collective_steps.cpp.o.d"
+  "CMakeFiles/holmes_comm.dir/communicator.cpp.o"
+  "CMakeFiles/holmes_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/holmes_comm.dir/halving_doubling.cpp.o"
+  "CMakeFiles/holmes_comm.dir/halving_doubling.cpp.o.d"
+  "CMakeFiles/holmes_comm.dir/hierarchical.cpp.o"
+  "CMakeFiles/holmes_comm.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/holmes_comm.dir/inprocess.cpp.o"
+  "CMakeFiles/holmes_comm.dir/inprocess.cpp.o.d"
+  "libholmes_comm.a"
+  "libholmes_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/holmes_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/holmes_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/holmes_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/holmes_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/holmes_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/holmes_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/holmes_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/training_sim.cpp" "src/core/CMakeFiles/holmes_core.dir/training_sim.cpp.o" "gcc" "src/core/CMakeFiles/holmes_core.dir/training_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/holmes_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/holmes_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/holmes_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/holmes_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/holmes_optimizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

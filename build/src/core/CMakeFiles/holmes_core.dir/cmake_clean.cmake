@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_core.dir/analytic.cpp.o"
+  "CMakeFiles/holmes_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/holmes_core.dir/autotune.cpp.o"
+  "CMakeFiles/holmes_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/holmes_core.dir/cost_model.cpp.o"
+  "CMakeFiles/holmes_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/holmes_core.dir/experiment.cpp.o"
+  "CMakeFiles/holmes_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/holmes_core.dir/framework.cpp.o"
+  "CMakeFiles/holmes_core.dir/framework.cpp.o.d"
+  "CMakeFiles/holmes_core.dir/plan.cpp.o"
+  "CMakeFiles/holmes_core.dir/plan.cpp.o.d"
+  "CMakeFiles/holmes_core.dir/report.cpp.o"
+  "CMakeFiles/holmes_core.dir/report.cpp.o.d"
+  "CMakeFiles/holmes_core.dir/training_sim.cpp.o"
+  "CMakeFiles/holmes_core.dir/training_sim.cpp.o.d"
+  "libholmes_core.a"
+  "libholmes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

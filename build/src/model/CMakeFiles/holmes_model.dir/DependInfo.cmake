@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/gpt_zoo.cpp" "src/model/CMakeFiles/holmes_model.dir/gpt_zoo.cpp.o" "gcc" "src/model/CMakeFiles/holmes_model.dir/gpt_zoo.cpp.o.d"
+  "/root/repo/src/model/memory.cpp" "src/model/CMakeFiles/holmes_model.dir/memory.cpp.o" "gcc" "src/model/CMakeFiles/holmes_model.dir/memory.cpp.o.d"
+  "/root/repo/src/model/transformer.cpp" "src/model/CMakeFiles/holmes_model.dir/transformer.cpp.o" "gcc" "src/model/CMakeFiles/holmes_model.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

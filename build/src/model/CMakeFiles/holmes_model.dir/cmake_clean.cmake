@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_model.dir/gpt_zoo.cpp.o"
+  "CMakeFiles/holmes_model.dir/gpt_zoo.cpp.o.d"
+  "CMakeFiles/holmes_model.dir/memory.cpp.o"
+  "CMakeFiles/holmes_model.dir/memory.cpp.o.d"
+  "CMakeFiles/holmes_model.dir/transformer.cpp.o"
+  "CMakeFiles/holmes_model.dir/transformer.cpp.o.d"
+  "libholmes_model.a"
+  "libholmes_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_net.dir/fabric.cpp.o"
+  "CMakeFiles/holmes_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/holmes_net.dir/nic.cpp.o"
+  "CMakeFiles/holmes_net.dir/nic.cpp.o.d"
+  "CMakeFiles/holmes_net.dir/ports.cpp.o"
+  "CMakeFiles/holmes_net.dir/ports.cpp.o.d"
+  "CMakeFiles/holmes_net.dir/topology.cpp.o"
+  "CMakeFiles/holmes_net.dir/topology.cpp.o.d"
+  "CMakeFiles/holmes_net.dir/topology_parse.cpp.o"
+  "CMakeFiles/holmes_net.dir/topology_parse.cpp.o.d"
+  "libholmes_net.a"
+  "libholmes_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

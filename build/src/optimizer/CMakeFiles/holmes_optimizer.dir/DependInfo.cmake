@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/adam.cpp" "src/optimizer/CMakeFiles/holmes_optimizer.dir/adam.cpp.o" "gcc" "src/optimizer/CMakeFiles/holmes_optimizer.dir/adam.cpp.o.d"
+  "/root/repo/src/optimizer/dp_strategy.cpp" "src/optimizer/CMakeFiles/holmes_optimizer.dir/dp_strategy.cpp.o" "gcc" "src/optimizer/CMakeFiles/holmes_optimizer.dir/dp_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_optimizer.dir/adam.cpp.o"
+  "CMakeFiles/holmes_optimizer.dir/adam.cpp.o.d"
+  "CMakeFiles/holmes_optimizer.dir/dp_strategy.cpp.o"
+  "CMakeFiles/holmes_optimizer.dir/dp_strategy.cpp.o.d"
+  "libholmes_optimizer.a"
+  "libholmes_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_parallel.dir/group_builder.cpp.o"
+  "CMakeFiles/holmes_parallel.dir/group_builder.cpp.o.d"
+  "CMakeFiles/holmes_parallel.dir/groups.cpp.o"
+  "CMakeFiles/holmes_parallel.dir/groups.cpp.o.d"
+  "CMakeFiles/holmes_parallel.dir/parallel_config.cpp.o"
+  "CMakeFiles/holmes_parallel.dir/parallel_config.cpp.o.d"
+  "libholmes_parallel.a"
+  "libholmes_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

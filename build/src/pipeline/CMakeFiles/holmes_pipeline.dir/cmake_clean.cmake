@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_pipeline.dir/partition.cpp.o"
+  "CMakeFiles/holmes_pipeline.dir/partition.cpp.o.d"
+  "CMakeFiles/holmes_pipeline.dir/schedule.cpp.o"
+  "CMakeFiles/holmes_pipeline.dir/schedule.cpp.o.d"
+  "libholmes_pipeline.a"
+  "libholmes_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/holmes_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/holmes_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/holmes_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/holmes_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/holmes_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/holmes_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/task_graph.cpp" "src/sim/CMakeFiles/holmes_sim.dir/task_graph.cpp.o" "gcc" "src/sim/CMakeFiles/holmes_sim.dir/task_graph.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/holmes_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/holmes_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

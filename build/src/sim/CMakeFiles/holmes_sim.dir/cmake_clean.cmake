@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/holmes_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/holmes_sim.dir/executor.cpp.o"
+  "CMakeFiles/holmes_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/holmes_sim.dir/simulator.cpp.o"
+  "CMakeFiles/holmes_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/holmes_sim.dir/task_graph.cpp.o"
+  "CMakeFiles/holmes_sim.dir/task_graph.cpp.o.d"
+  "CMakeFiles/holmes_sim.dir/trace.cpp.o"
+  "CMakeFiles/holmes_sim.dir/trace.cpp.o.d"
+  "libholmes_sim.a"
+  "libholmes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

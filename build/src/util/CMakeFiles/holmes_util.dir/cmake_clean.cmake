@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_util.dir/csv.cpp.o"
+  "CMakeFiles/holmes_util.dir/csv.cpp.o.d"
+  "CMakeFiles/holmes_util.dir/error.cpp.o"
+  "CMakeFiles/holmes_util.dir/error.cpp.o.d"
+  "CMakeFiles/holmes_util.dir/logging.cpp.o"
+  "CMakeFiles/holmes_util.dir/logging.cpp.o.d"
+  "CMakeFiles/holmes_util.dir/rng.cpp.o"
+  "CMakeFiles/holmes_util.dir/rng.cpp.o.d"
+  "CMakeFiles/holmes_util.dir/table.cpp.o"
+  "CMakeFiles/holmes_util.dir/table.cpp.o.d"
+  "CMakeFiles/holmes_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/holmes_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/holmes_util.dir/units.cpp.o"
+  "CMakeFiles/holmes_util.dir/units.cpp.o.d"
+  "libholmes_util.a"
+  "libholmes_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

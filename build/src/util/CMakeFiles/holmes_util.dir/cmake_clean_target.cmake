@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libholmes_util.a"
+)

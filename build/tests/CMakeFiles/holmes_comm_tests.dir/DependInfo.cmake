@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm/test_collective_steps.cpp" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_collective_steps.cpp.o" "gcc" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_collective_steps.cpp.o.d"
+  "/root/repo/tests/comm/test_communicator.cpp" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_communicator.cpp.o" "gcc" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_communicator.cpp.o.d"
+  "/root/repo/tests/comm/test_halving_doubling.cpp" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_halving_doubling.cpp.o" "gcc" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_halving_doubling.cpp.o.d"
+  "/root/repo/tests/comm/test_hierarchical.cpp" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/comm/test_inprocess.cpp" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_inprocess.cpp.o" "gcc" "tests/CMakeFiles/holmes_comm_tests.dir/comm/test_inprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/holmes_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_collective_steps.cpp.o"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_collective_steps.cpp.o.d"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_communicator.cpp.o"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_communicator.cpp.o.d"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_halving_doubling.cpp.o"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_halving_doubling.cpp.o.d"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_hierarchical.cpp.o"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_hierarchical.cpp.o.d"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_inprocess.cpp.o"
+  "CMakeFiles/holmes_comm_tests.dir/comm/test_inprocess.cpp.o.d"
+  "holmes_comm_tests"
+  "holmes_comm_tests.pdb"
+  "holmes_comm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_comm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_analytic.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_analytic.cpp.o.d"
+  "/root/repo/tests/core/test_autotune.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_autotune.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_autotune.cpp.o.d"
+  "/root/repo/tests/core/test_cost_model.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_cost_model.cpp.o.d"
+  "/root/repo/tests/core/test_experiment.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_framework.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_framework.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_framework.cpp.o.d"
+  "/root/repo/tests/core/test_golden.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_golden.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_golden.cpp.o.d"
+  "/root/repo/tests/core/test_perturbation.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_perturbation.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_perturbation.cpp.o.d"
+  "/root/repo/tests/core/test_plan.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_plan.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_plan.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_table3_trends.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_table3_trends.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_table3_trends.cpp.o.d"
+  "/root/repo/tests/core/test_training_sim.cpp" "tests/CMakeFiles/holmes_core_tests.dir/core/test_training_sim.cpp.o" "gcc" "tests/CMakeFiles/holmes_core_tests.dir/core/test_training_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/holmes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/holmes_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/holmes_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/holmes_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/holmes_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/holmes_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_core_tests.dir/core/test_analytic.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_analytic.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_autotune.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_autotune.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_framework.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_framework.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_golden.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_golden.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_perturbation.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_perturbation.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_plan.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_plan.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_report.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_table3_trends.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_table3_trends.cpp.o.d"
+  "CMakeFiles/holmes_core_tests.dir/core/test_training_sim.cpp.o"
+  "CMakeFiles/holmes_core_tests.dir/core/test_training_sim.cpp.o.d"
+  "holmes_core_tests"
+  "holmes_core_tests.pdb"
+  "holmes_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_gpt_zoo.cpp" "tests/CMakeFiles/holmes_model_tests.dir/model/test_gpt_zoo.cpp.o" "gcc" "tests/CMakeFiles/holmes_model_tests.dir/model/test_gpt_zoo.cpp.o.d"
+  "/root/repo/tests/model/test_memory.cpp" "tests/CMakeFiles/holmes_model_tests.dir/model/test_memory.cpp.o" "gcc" "tests/CMakeFiles/holmes_model_tests.dir/model/test_memory.cpp.o.d"
+  "/root/repo/tests/model/test_transformer.cpp" "tests/CMakeFiles/holmes_model_tests.dir/model/test_transformer.cpp.o" "gcc" "tests/CMakeFiles/holmes_model_tests.dir/model/test_transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/holmes_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

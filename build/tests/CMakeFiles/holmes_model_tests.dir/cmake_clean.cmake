@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_model_tests.dir/model/test_gpt_zoo.cpp.o"
+  "CMakeFiles/holmes_model_tests.dir/model/test_gpt_zoo.cpp.o.d"
+  "CMakeFiles/holmes_model_tests.dir/model/test_memory.cpp.o"
+  "CMakeFiles/holmes_model_tests.dir/model/test_memory.cpp.o.d"
+  "CMakeFiles/holmes_model_tests.dir/model/test_transformer.cpp.o"
+  "CMakeFiles/holmes_model_tests.dir/model/test_transformer.cpp.o.d"
+  "holmes_model_tests"
+  "holmes_model_tests.pdb"
+  "holmes_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_fabric.cpp" "tests/CMakeFiles/holmes_net_tests.dir/net/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/holmes_net_tests.dir/net/test_fabric.cpp.o.d"
+  "/root/repo/tests/net/test_nic.cpp" "tests/CMakeFiles/holmes_net_tests.dir/net/test_nic.cpp.o" "gcc" "tests/CMakeFiles/holmes_net_tests.dir/net/test_nic.cpp.o.d"
+  "/root/repo/tests/net/test_ports.cpp" "tests/CMakeFiles/holmes_net_tests.dir/net/test_ports.cpp.o" "gcc" "tests/CMakeFiles/holmes_net_tests.dir/net/test_ports.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/holmes_net_tests.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/holmes_net_tests.dir/net/test_topology.cpp.o.d"
+  "/root/repo/tests/net/test_topology_parse.cpp" "tests/CMakeFiles/holmes_net_tests.dir/net/test_topology_parse.cpp.o" "gcc" "tests/CMakeFiles/holmes_net_tests.dir/net/test_topology_parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

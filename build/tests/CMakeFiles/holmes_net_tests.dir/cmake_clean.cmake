@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_net_tests.dir/net/test_fabric.cpp.o"
+  "CMakeFiles/holmes_net_tests.dir/net/test_fabric.cpp.o.d"
+  "CMakeFiles/holmes_net_tests.dir/net/test_nic.cpp.o"
+  "CMakeFiles/holmes_net_tests.dir/net/test_nic.cpp.o.d"
+  "CMakeFiles/holmes_net_tests.dir/net/test_ports.cpp.o"
+  "CMakeFiles/holmes_net_tests.dir/net/test_ports.cpp.o.d"
+  "CMakeFiles/holmes_net_tests.dir/net/test_topology.cpp.o"
+  "CMakeFiles/holmes_net_tests.dir/net/test_topology.cpp.o.d"
+  "CMakeFiles/holmes_net_tests.dir/net/test_topology_parse.cpp.o"
+  "CMakeFiles/holmes_net_tests.dir/net/test_topology_parse.cpp.o.d"
+  "holmes_net_tests"
+  "holmes_net_tests.pdb"
+  "holmes_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

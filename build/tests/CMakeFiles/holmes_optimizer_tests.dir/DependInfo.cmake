@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimizer/test_adam.cpp" "tests/CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_adam.cpp.o" "gcc" "tests/CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_adam.cpp.o.d"
+  "/root/repo/tests/optimizer/test_dp_strategy.cpp" "tests/CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_dp_strategy.cpp.o" "gcc" "tests/CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_dp_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/holmes_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/holmes_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

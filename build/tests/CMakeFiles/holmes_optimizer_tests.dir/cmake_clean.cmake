@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_adam.cpp.o"
+  "CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_adam.cpp.o.d"
+  "CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_dp_strategy.cpp.o"
+  "CMakeFiles/holmes_optimizer_tests.dir/optimizer/test_dp_strategy.cpp.o.d"
+  "holmes_optimizer_tests"
+  "holmes_optimizer_tests.pdb"
+  "holmes_optimizer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_optimizer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel/test_group_builder.cpp" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_builder.cpp.o" "gcc" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_builder.cpp.o.d"
+  "/root/repo/tests/parallel/test_group_fuzz.cpp" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_fuzz.cpp.o" "gcc" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_fuzz.cpp.o.d"
+  "/root/repo/tests/parallel/test_groups.cpp" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_groups.cpp.o" "gcc" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_groups.cpp.o.d"
+  "/root/repo/tests/parallel/test_parallel_config.cpp" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_parallel_config.cpp.o" "gcc" "tests/CMakeFiles/holmes_parallel_tests.dir/parallel/test_parallel_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/holmes_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_builder.cpp.o"
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_builder.cpp.o.d"
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_fuzz.cpp.o"
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_group_fuzz.cpp.o.d"
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_groups.cpp.o"
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_groups.cpp.o.d"
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_parallel_config.cpp.o"
+  "CMakeFiles/holmes_parallel_tests.dir/parallel/test_parallel_config.cpp.o.d"
+  "holmes_parallel_tests"
+  "holmes_parallel_tests.pdb"
+  "holmes_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

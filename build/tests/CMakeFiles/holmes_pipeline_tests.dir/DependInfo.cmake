@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline/test_partition.cpp" "tests/CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_partition.cpp.o" "gcc" "tests/CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_partition.cpp.o.d"
+  "/root/repo/tests/pipeline/test_schedule.cpp" "tests/CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/holmes_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/holmes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

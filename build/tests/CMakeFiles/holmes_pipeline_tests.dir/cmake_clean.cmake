@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_partition.cpp.o"
+  "CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_partition.cpp.o.d"
+  "CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_schedule.cpp.o"
+  "CMakeFiles/holmes_pipeline_tests.dir/pipeline/test_schedule.cpp.o.d"
+  "holmes_pipeline_tests"
+  "holmes_pipeline_tests.pdb"
+  "holmes_pipeline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_pipeline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

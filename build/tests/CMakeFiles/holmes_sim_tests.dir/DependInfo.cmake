@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_executor.cpp" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_executor.cpp.o" "gcc" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_executor.cpp.o.d"
+  "/root/repo/tests/sim/test_executor_properties.cpp" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_executor_properties.cpp.o" "gcc" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_executor_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_task_graph.cpp" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_task_graph.cpp.o" "gcc" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_task_graph.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/holmes_sim_tests.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holmes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

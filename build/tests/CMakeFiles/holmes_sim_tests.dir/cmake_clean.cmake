@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_executor.cpp.o"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_executor.cpp.o.d"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_executor_properties.cpp.o"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_executor_properties.cpp.o.d"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_task_graph.cpp.o"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_task_graph.cpp.o.d"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/holmes_sim_tests.dir/sim/test_trace.cpp.o.d"
+  "holmes_sim_tests"
+  "holmes_sim_tests.pdb"
+  "holmes_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_error.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_error.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_error.cpp.o.d"
+  "/root/repo/tests/util/test_logging.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_logging.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_logging.cpp.o.d"
+  "/root/repo/tests/util/test_math_util.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_math_util.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_math_util.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/CMakeFiles/holmes_util_tests.dir/util/test_units.cpp.o" "gcc" "tests/CMakeFiles/holmes_util_tests.dir/util/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/holmes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

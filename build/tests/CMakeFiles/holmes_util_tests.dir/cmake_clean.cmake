@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_util_tests.dir/util/test_csv.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/holmes_util_tests.dir/util/test_error.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_error.cpp.o.d"
+  "CMakeFiles/holmes_util_tests.dir/util/test_logging.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_logging.cpp.o.d"
+  "CMakeFiles/holmes_util_tests.dir/util/test_math_util.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_math_util.cpp.o.d"
+  "CMakeFiles/holmes_util_tests.dir/util/test_rng.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/holmes_util_tests.dir/util/test_table.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/holmes_util_tests.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_thread_pool.cpp.o.d"
+  "CMakeFiles/holmes_util_tests.dir/util/test_units.cpp.o"
+  "CMakeFiles/holmes_util_tests.dir/util/test_units.cpp.o.d"
+  "holmes_util_tests"
+  "holmes_util_tests.pdb"
+  "holmes_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/holmes_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_comm_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_model_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_parallel_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_pipeline_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_optimizer_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/holmes_net_tests[1]_include.cmake")

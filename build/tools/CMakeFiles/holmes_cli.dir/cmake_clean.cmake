@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holmes_cli.dir/holmes_cli.cpp.o"
+  "CMakeFiles/holmes_cli.dir/holmes_cli.cpp.o.d"
+  "holmes_cli"
+  "holmes_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holmes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_envs "/root/repo/build/tools/holmes_cli" "envs")
+set_tests_properties(cli_envs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/holmes_cli" "simulate" "hybrid:4" "1")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate_spec "/root/repo/build/tools/holmes_cli" "simulate" "2x8:ib+2x8:roce" "1" "--framework" "megatron-llama")
+set_tests_properties(cli_simulate_spec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build/tools/holmes_cli" "plan" "hybrid:4" "3")
+set_tests_properties(cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tune "/root/repo/build/tools/holmes_cli" "tune" "ib:2" "1" "--top" "3" "--max-pipeline" "4")
+set_tests_properties(cli_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/holmes_cli" "sweep" "hybrid:4" "1" "--csv")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analytic "/root/repo/build/tools/holmes_cli" "analytic" "roce:4" "1")
+set_tests_properties(cli_analytic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_straggler "/root/repo/build/tools/holmes_cli" "simulate" "ib:2" "1" "--straggler" "0:1.5")
+set_tests_properties(cli_straggler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_env "/root/repo/build/tools/holmes_cli" "simulate" "mars" "1")
+set_tests_properties(cli_rejects_bad_env PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
