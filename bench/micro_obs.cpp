@@ -1,0 +1,138 @@
+/// Micro-benchmarks of the telemetry subsystem: registry hot-path updates,
+/// the executor-attached recorder's overhead versus an unobserved run, and
+/// post-hoc accounting over a finished simulation. The recorder benches are
+/// the interesting ones — they bound how much instrumenting a sweep costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/run_stats.h"
+#include "core/training_sim.h"
+#include "model/gpt_zoo.h"
+#include "net/topology.h"
+#include "obs/accounting.h"
+#include "obs/recorder.h"
+#include "sim/executor.h"
+
+using namespace holmes;
+using namespace holmes::sim;
+
+namespace {
+
+/// A pipeline-ish graph: `width` serial resources, each running `depth`
+/// compute tasks, with transfers handing off between neighbours. Dense
+/// enough that recorder overhead per task dominates graph construction.
+TaskGraph make_grid_graph(int width, int depth) {
+  TaskGraph g;
+  std::vector<ResourceId> gpus;
+  std::vector<ResourceId> tx;
+  std::vector<ResourceId> rx;
+  for (int i = 0; i < width; ++i) {
+    gpus.push_back(g.add_resource("gpu" + std::to_string(i)));
+    tx.push_back(g.add_resource("gpu" + std::to_string(i) + ".tx"));
+    rx.push_back(g.add_resource("gpu" + std::to_string(i) + ".rx"));
+  }
+  const ChannelId pp = g.channel("pp");
+  std::vector<TaskId> prev(static_cast<std::size_t>(width), kInvalidTask);
+  for (int d = 0; d < depth; ++d) {
+    for (int i = 0; i < width; ++i) {
+      const TaskId c = g.add_compute(gpus[i], 1e-5, "fwd", 1);
+      if (prev[i] != kInvalidTask) g.add_dep(c, prev[i]);
+      prev[i] = c;
+      if (i + 1 < width) {
+        const TaskId t = g.add_transfer(tx[i], rx[i + 1], 1 << 16, 25e9,
+                                        5e-6, "p2p", 3, pp);
+        g.add_dep(t, c);
+        prev[i + 1] = t;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+static void BM_RegistryCounterHotPath(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& hot = registry.counter("device.busy_seconds",
+                                       obs::Labels{{"device", "gpu0"}});
+  for (auto _ : state) {
+    hot.add(1e-5);
+    benchmark::DoNotOptimize(hot.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterHotPath);
+
+static void BM_RegistryLabelLookup(benchmark::State& state) {
+  // The cold path the recorder avoids: name+labels -> instrument each call.
+  obs::MetricsRegistry registry;
+  for (auto _ : state) {
+    registry.counter("device.busy_seconds", obs::Labels{{"device", "gpu0"}})
+        .add(1e-5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryLabelLookup);
+
+static void BM_ExecutorUnobserved(benchmark::State& state) {
+  const TaskGraph g = make_grid_graph(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TaskGraphExecutor{}.run(g).makespan());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.task_count()));
+}
+BENCHMARK(BM_ExecutorUnobserved)->Arg(1 << 6)->Arg(1 << 9);
+
+static void BM_ExecutorWithRecorder(benchmark::State& state) {
+  // Same workload as BM_ExecutorUnobserved; the delta is recorder cost.
+  const TaskGraph g = make_grid_graph(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    obs::MetricsRegistry registry;
+    obs::RegistryRecorder recorder(registry);
+    benchmark::DoNotOptimize(TaskGraphExecutor{}.run(g, &recorder).makespan());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.task_count()));
+}
+BENCHMARK(BM_ExecutorWithRecorder)->Arg(1 << 6)->Arg(1 << 9);
+
+static void BM_AccountResources(benchmark::State& state) {
+  const TaskGraph g = make_grid_graph(8, static_cast<int>(state.range(0)));
+  const SimResult result = TaskGraphExecutor{}.run(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::account_resources(g, result));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.task_count()));
+}
+BENCHMARK(BM_AccountResources)->Arg(1 << 9);
+
+static void BM_AccountOverlap(benchmark::State& state) {
+  const TaskGraph g = make_grid_graph(8, static_cast<int>(state.range(0)));
+  const SimResult result = TaskGraphExecutor{}.run(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obs::account_overlap(g, result, obs::tag_in({3}), obs::tag_in({1})));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.task_count()));
+}
+BENCHMARK(BM_AccountOverlap)->Arg(1 << 9);
+
+static void BM_BuildRunSummary(benchmark::State& state) {
+  // End-to-end cost of the stats surface on a real training run.
+  using namespace holmes::core;
+  const net::Topology topo = net::Topology::hybrid_two_clusters(2);
+  const TrainingPlan plan = Planner(FrameworkConfig::holmes())
+                                .plan(topo, model::parameter_group(1));
+  SimArtifacts artifacts;
+  const IterationMetrics metrics =
+      TrainingSimulator{}.run(topo, plan, 3, {}, nullptr, &artifacts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_run_summary(topo, plan, metrics, artifacts));
+  }
+}
+BENCHMARK(BM_BuildRunSummary);
+
+BENCHMARK_MAIN();

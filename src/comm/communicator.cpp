@@ -154,6 +154,11 @@ TaskHandles Communicator::lower_steps(sim::TaskGraph& graph,
   if (!ready.empty()) last_recv = ready;
   TaskHandles last_send(static_cast<std::size_t>(n), sim::kInvalidTask);
 
+  // Attribute every transfer of this collective to the communicator's
+  // channel, so the observability layer can report per-communicator bytes
+  // and effective bus bandwidth without label parsing.
+  const sim::ChannelId channel = graph.channel(name_);
+
   // Process round by round; a send depends on what its rank had received by
   // the *end of the previous round* (never on same-round arrivals, which
   // would serialize the ring and destroy its pipelining).
@@ -173,10 +178,10 @@ TaskHandles Communicator::lower_steps(sim::TaskGraph& graph,
               ? net::emit_transfer_on(graph, ports, *topo_,
                                       *internode_override_, src_rank, dst_rank,
                                       s.count, op + ".r" + std::to_string(round),
-                                      tag)
+                                      tag, channel)
               : net::emit_transfer(graph, ports, *topo_, src_rank, dst_rank,
                                    s.count, op + ".r" + std::to_string(round),
-                                   tag);
+                                   tag, channel);
       graph.add_deps(t, {recv_snapshot[static_cast<std::size_t>(s.src)]});
       arrivals[static_cast<std::size_t>(s.dst)].push_back(t);
       last_send[static_cast<std::size_t>(s.src)] = t;

@@ -47,6 +47,9 @@ ExperimentGrid::Extractor ExperimentGrid::iteration_seconds() {
 ExperimentGrid::Extractor ExperimentGrid::grad_sync_seconds() {
   return [](const IterationMetrics& m) { return m.grad_sync_span; };
 }
+ExperimentGrid::Extractor ExperimentGrid::grad_sync_exposed_seconds() {
+  return [](const IterationMetrics& m) { return m.grad_sync_exposed; };
+}
 
 std::string ExperimentGrid::to_text(const Extractor& extract,
                                     int precision) const {
@@ -90,13 +93,14 @@ std::string ExperimentGrid::to_csv() const {
   std::ostringstream os;
   CsvWriter csv(os);
   csv.row("row", "column", "tflops", "throughput", "iteration_s",
-          "grad_sync_s", "allgather_s", "optimizer_s");
+          "grad_sync_s", "grad_exposed_s", "allgather_s", "optimizer_s");
   for (const std::string& row : rows_) {
     for (const std::string& column : columns_) {
       if (!has(row, column)) continue;
       const IterationMetrics& m = at(row, column);
       csv.row(row, column, m.tflops_per_gpu, m.throughput, m.iteration_time,
-              m.grad_sync_span, m.param_allgather_span, m.optimizer_span);
+              m.grad_sync_span, m.grad_sync_exposed, m.param_allgather_span,
+              m.optimizer_span);
     }
   }
   return os.str();

@@ -41,6 +41,8 @@ class ExperimentGrid {
   static Extractor throughput();
   static Extractor iteration_seconds();
   static Extractor grad_sync_seconds();
+  /// The part of the grad sync not hidden under fwd/bwd compute (Table 5).
+  static Extractor grad_sync_exposed_seconds();
 
   /// Aligned text table of one metric (missing cells render as "-").
   std::string to_text(const Extractor& extract, int precision = 2) const;
@@ -48,8 +50,8 @@ class ExperimentGrid {
   /// GitHub-flavoured markdown table of one metric.
   std::string to_markdown(const Extractor& extract, int precision = 2) const;
 
-  /// CSV with one line per cell: row,column,tflops,throughput,
-  /// iteration_s,grad_sync_s,allgather_s,optimizer_s. Includes a header.
+  /// CSV with one line per cell: row,column,tflops,throughput,iteration_s,
+  /// grad_sync_s,grad_exposed_s,allgather_s,optimizer_s. Includes a header.
   std::string to_csv() const;
 
  private:

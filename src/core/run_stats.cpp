@@ -1,0 +1,144 @@
+#include "core/run_stats.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/tags.h"
+#include "net/topology_parse.h"
+#include "obs/accounting.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace holmes::core {
+
+namespace {
+
+std::string format_billions(double billions) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", billions);
+  return buf;
+}
+
+}  // namespace
+
+obs::RunSummary build_run_summary(const net::Topology& topo,
+                                  const TrainingPlan& plan,
+                                  const IterationMetrics& metrics,
+                                  const SimArtifacts& artifacts) {
+  HOLMES_CHECK_MSG(artifacts.result.has_value(),
+                   "run summary needs populated artifacts (pass a "
+                   "SimArtifacts* to TrainingSimulator::run)");
+  const sim::TaskGraph& graph = artifacts.graph;
+  const sim::SimResult& result = *artifacts.result;
+  const obs::Window window{artifacts.window_begin(), artifacts.window_end()};
+  const int last = artifacts.iterations - 1;
+  auto last_tag = [last](sim::TaskTag base) {
+    return tags::for_iteration(base, last);
+  };
+
+  obs::RunSummary s;
+  s.topology = net::format_topology(topo);
+  s.framework = plan.framework.name;
+  s.workload = "group " + std::to_string(plan.workload.id) + " (" +
+               format_billions(plan.workload.nominal_billions) + "B params)";
+  s.iterations = artifacts.iterations;
+  s.window_begin_s = window.begin;
+  s.window_end_s = window.end;
+  s.iteration_s = metrics.iteration_time;
+  s.tflops_per_gpu = metrics.tflops_per_gpu;
+  s.throughput = metrics.throughput;
+
+  // ---- per-resource accounts: devices and links ----
+  const std::vector<obs::ResourceAccount> resources =
+      obs::account_resources(graph, result, window);
+  for (const obs::ResourceAccount& r : resources) {
+    if (r.is_device) {
+      obs::RunSummary::Device d;
+      d.name = r.name;
+      d.busy_s = r.busy;
+      d.waiting_s = r.waiting;
+      d.utilization = r.utilization(window);
+      d.tasks = r.tasks;
+      s.devices.push_back(std::move(d));
+    } else if (r.is_link && (r.busy > 0 || r.bytes > 0)) {
+      obs::RunSummary::Link l;
+      l.name = r.name;
+      l.busy_s = r.busy;
+      l.waiting_s = r.waiting;
+      l.utilization = r.utilization(window);
+      l.bytes = r.bytes;
+      l.transfers = r.tasks;
+      l.effective_gbps =
+          r.busy > 0
+              ? units::bytes_per_sec_to_gbps(static_cast<double>(r.bytes) /
+                                             r.busy)
+              : 0.0;
+      s.links.push_back(std::move(l));
+    }
+  }
+
+  // ---- per-stage pipeline-bubble fraction, over the measured iteration ----
+  const int p = plan.degrees.pipeline;
+  const int virtual_stages = plan.virtual_stages();
+  for (int stage = 0; stage < p; ++stage) {
+    const std::vector<int> ranks = plan.groups.stage_ranks(stage);
+    std::vector<bool> on_stage(graph.resource_count(), false);
+    for (int rank : ranks) {
+      on_stage[static_cast<std::size_t>(
+          artifacts.compute_resource[static_cast<std::size_t>(rank)])] = true;
+    }
+    const sim::TaskTag fwd = last_tag(tags::kForward);
+    const sim::TaskTag bwd = last_tag(tags::kBackward);
+    const obs::SpanAccount acct = obs::account_tasks(
+        graph, result,
+        [&](sim::TaskId, const sim::Task& task) {
+          return (task.tag == fwd || task.tag == bwd) && task.resource >= 0 &&
+                 on_stage[static_cast<std::size_t>(task.resource)];
+        },
+        window);
+    obs::RunSummary::Stage st;
+    st.stage = stage;
+    st.devices = static_cast<int>(ranks.size());
+    for (int v = stage; v < virtual_stages; v += p) {
+      st.layers += plan.partition[static_cast<std::size_t>(v)];
+    }
+    st.compute_busy_s = acct.busy;
+    st.span_s = acct.span;
+    const double capacity = st.devices * acct.span;
+    st.bubble_fraction = capacity > 0 ? 1.0 - acct.busy / capacity : 0.0;
+    s.stages.push_back(st);
+  }
+
+  // ---- per-communicator traffic ----
+  for (const obs::ChannelAccount& c :
+       obs::account_channels(graph, result, window)) {
+    if (c.transfers == 0) continue;
+    obs::RunSummary::Comm comm;
+    comm.name = c.name;
+    comm.bytes = c.bytes;
+    comm.transfers = c.transfers;
+    comm.busy_s = c.busy;
+    comm.span_s = c.span;
+    comm.bus_gbps = units::bytes_per_sec_to_gbps(c.effective_bandwidth());
+    s.comms.push_back(std::move(comm));
+  }
+
+  // ---- exposed vs overlapped communication, measured iteration ----
+  const obs::TaskPredicate compute_cover =
+      obs::tag_in({last_tag(tags::kForward), last_tag(tags::kBackward)});
+  const obs::OverlapAccount grad = obs::account_overlap(
+      graph, result,
+      obs::tag_in({last_tag(tags::kGradReduceScatter),
+                   last_tag(tags::kGradAllReduce)}),
+      compute_cover, window);
+  s.grad_sync = {grad.total, grad.overlapped, grad.exposed};
+  const obs::OverlapAccount gather = obs::account_overlap(
+      graph, result, obs::tag_in({last_tag(tags::kParamAllGather)}),
+      compute_cover, window);
+  s.param_allgather = {gather.total, gather.overlapped, gather.exposed};
+
+  return s;
+}
+
+}  // namespace holmes::core

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file run_stats.h
+/// Builds the stable obs::RunSummary from a simulated run's artifacts.
+///
+/// TrainingSimulator::run hands back a SimArtifacts (task graph + timings +
+/// iteration markers); this module joins it with the plan's structure
+/// (stage membership, layer partition) and the obs accounting to produce
+/// per-device utilization, per-stage pipeline-bubble fractions, per-link
+/// busy/contention time, per-communicator traffic, and the exposed-vs-
+/// overlapped split of the gradient synchronization — everything the
+/// `holmes_cli stats` subcommand and the JSON export surface report.
+
+#include "core/plan.h"
+#include "core/training_sim.h"
+#include "net/topology.h"
+#include "obs/summary.h"
+
+namespace holmes::core {
+
+/// Derives the full run summary. `artifacts` must be populated (run with a
+/// non-null artifacts pointer); throws otherwise. All breakdowns are
+/// restricted to the steady-state window (warm-up excluded); per-stage and
+/// overlap accounting use the final measured iteration's tags.
+obs::RunSummary build_run_summary(const net::Topology& topo,
+                                  const TrainingPlan& plan,
+                                  const IterationMetrics& metrics,
+                                  const SimArtifacts& artifacts);
+
+}  // namespace holmes::core

@@ -6,6 +6,7 @@
 #include "comm/communicator.h"
 #include "core/tags.h"
 #include "net/ports.h"
+#include "obs/accounting.h"
 #include "optimizer/dp_strategy.h"
 #include "pipeline/schedule.h"
 #include "sim/executor.h"
@@ -80,11 +81,25 @@ std::vector<pipeline::StageProgram> build_programs(const TrainingPlan& plan) {
 
 }  // namespace
 
+SimTime SimArtifacts::window_begin() const {
+  HOLMES_CHECK_MSG(result.has_value() && !iteration_markers.empty(),
+                   "artifacts not populated");
+  return result->timing(iteration_markers.front()).finish;
+}
+
+SimTime SimArtifacts::window_end() const {
+  HOLMES_CHECK_MSG(result.has_value() && !iteration_markers.empty(),
+                   "artifacts not populated");
+  return result->timing(iteration_markers.back()).finish;
+}
+
 IterationMetrics TrainingSimulator::run(const net::Topology& topo,
                                         const TrainingPlan& plan,
                                         int iterations,
                                         const Perturbations& perturbations,
-                                        std::ostream* chrome_trace) const {
+                                        std::ostream* chrome_trace,
+                                        SimArtifacts* artifacts,
+                                        sim::ExecutionObserver* observer) const {
   if (iterations < 2) {
     throw ConfigError("need at least 2 iterations (1 warm-up + 1 measured)");
   }
@@ -140,15 +155,17 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
   };
 
   // Emits the point-to-point transfer for an activation or gradient hop,
-  // honoring the Ethernet fallback for cross-node pairs.
+  // honoring the Ethernet fallback for cross-node pairs. All hops share
+  // the "pp" accounting channel.
+  const sim::ChannelId pp_channel = graph.channel("pp");
   auto emit_p2p = [&](int src, int dst, const char* label, sim::TaskTag tag) {
     const bool cross_node = topo.node_of(src) != topo.node_of(dst);
     return plan.ethernet_fallback && cross_node
                ? net::emit_transfer_on(graph, ports, topo,
                                        net::FabricKind::kEthernet, src, dst,
-                                       act_bytes, label, tag)
+                                       act_bytes, label, tag, pp_channel)
                : net::emit_transfer(graph, ports, topo, src, dst, act_bytes,
-                                    label, tag);
+                                    label, tag, pp_channel);
   };
 
   // Cross-iteration state, indexed by global rank.
@@ -403,7 +420,7 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
     iteration_markers.push_back(marker);
   }
 
-  const sim::SimResult result = sim::TaskGraphExecutor{}.run(graph);
+  sim::SimResult result = sim::TaskGraphExecutor{}.run(graph, observer);
   if (chrome_trace != nullptr) {
     sim::write_chrome_trace(*chrome_trace, graph, result);
   }
@@ -439,6 +456,29 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
   metrics.forward_busy = result.tag_busy(graph, last_tag(tags::kForward));
   metrics.backward_busy = result.tag_busy(graph, last_tag(tags::kBackward));
   metrics.task_count = graph.task_count();
+
+  // Split the measured iteration's grad-sync wall time into the part hidden
+  // under forward/backward compute and the part that extends the iteration
+  // (interval-union arithmetic; Table 5's ablation metric).
+  const obs::OverlapAccount grad_overlap = obs::account_overlap(
+      graph, result,
+      obs::tag_in({last_tag(tags::kGradReduceScatter),
+                   last_tag(tags::kGradAllReduce)}),
+      obs::tag_in({last_tag(tags::kForward), last_tag(tags::kBackward)}));
+  metrics.grad_sync_overlapped = grad_overlap.overlapped;
+  metrics.grad_sync_exposed = grad_overlap.exposed;
+
+  if (artifacts != nullptr) {
+    artifacts->compute_resource.clear();
+    artifacts->compute_resource.reserve(static_cast<std::size_t>(n));
+    for (int rank = 0; rank < n; ++rank) {
+      artifacts->compute_resource.push_back(ports.compute(rank));
+    }
+    artifacts->iteration_markers = std::move(iteration_markers);
+    artifacts->iterations = iterations;
+    artifacts->result = std::move(result);
+    artifacts->graph = std::move(graph);  // last: invalidates graph
+  }
   return metrics;
 }
 

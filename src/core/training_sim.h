@@ -10,10 +10,14 @@
 /// modeled analytically.
 
 #include <iosfwd>
+#include <optional>
+#include <vector>
 
 #include "core/cost_model.h"
 #include "core/perturbation.h"
 #include "core/plan.h"
+#include "sim/executor.h"
+#include "sim/task_graph.h"
 #include "util/units.h"
 
 namespace holmes::core {
@@ -26,6 +30,11 @@ struct IterationMetrics {
   /// Wall-span of the gradient reduce-scatter (or all-reduce, for the
   /// classic DDP strategy) in the measured iteration — Fig. 3's metric.
   SimTime grad_sync_span = 0;
+  /// Split of the measured iteration's grad-sync wall time into the part
+  /// hidden under forward/backward compute and the part directly extending
+  /// the iteration (Table 5's overlapped-optimizer ablation metric).
+  SimTime grad_sync_overlapped = 0;
+  SimTime grad_sync_exposed = 0;
   /// Wall-span of the parameter all-gather (distributed optimizers only).
   SimTime param_allgather_span = 0;
   /// Wall-span of the optimizer step compute.
@@ -37,6 +46,27 @@ struct IterationMetrics {
   std::size_t task_count = 0;   ///< simulated tasks across all iterations
 };
 
+/// Everything a run leaves behind beyond the scalar metrics: the lowered
+/// task graph, its timings, and enough structure (iteration markers, the
+/// rank -> compute-resource map) for the observability layer to derive
+/// utilization, bubble, contention, and overlap accounting. Request it via
+/// TrainingSimulator::run's `artifacts` parameter (see core/run_stats.h).
+struct SimArtifacts {
+  sim::TaskGraph graph;
+  std::optional<sim::SimResult> result;
+  /// One marker noop per simulated iteration; marker i finishes when every
+  /// device's optimizer state for iteration i is final.
+  std::vector<sim::TaskId> iteration_markers;
+  /// Global rank -> compute resource id in `graph`.
+  std::vector<sim::ResourceId> compute_resource;
+  int iterations = 0;
+
+  /// Steady-state observation window [first marker finish, last marker
+  /// finish) — the warm-up iteration is excluded.
+  SimTime window_begin() const;
+  SimTime window_end() const;
+};
+
 class TrainingSimulator {
  public:
   explicit TrainingSimulator(CostModel cost = {}) : cost_(cost) {}
@@ -45,11 +75,16 @@ class TrainingSimulator {
   /// `topo` and reports steady-state metrics from the last one.
   /// `iterations` must be >= 2 (one warm-up minimum). `perturbations`
   /// optionally slows individual devices or adds seeded compute jitter
-  /// (see core/perturbation.h).
+  /// (see core/perturbation.h). `artifacts`, when non-null, receives the
+  /// task graph and timings for post-hoc accounting; `observer`, when
+  /// non-null, is fed scheduling events while the simulation runs (e.g.
+  /// obs::RegistryRecorder).
   IterationMetrics run(const net::Topology& topo, const TrainingPlan& plan,
                        int iterations = 3,
                        const Perturbations& perturbations = {},
-                       std::ostream* chrome_trace = nullptr) const;
+                       std::ostream* chrome_trace = nullptr,
+                       SimArtifacts* artifacts = nullptr,
+                       sim::ExecutionObserver* observer = nullptr) const;
 
   const CostModel& cost_model() const { return cost_; }
 

@@ -58,11 +58,13 @@ class PortMap {
 
 /// Emits a transfer task moving `bytes` from `src` to `dst` over the fabric
 /// the topology resolves for that pair, and returns its id. A zero-byte
-/// transfer still models one message latency (control traffic).
+/// transfer still models one message latency (control traffic). `channel`
+/// optionally attributes the traffic to a communicator for accounting.
 sim::TaskId emit_transfer(sim::TaskGraph& graph, const PortMap& ports,
                           const Topology& topo, int src, int dst, Bytes bytes,
                           std::string label = {},
-                          sim::TaskTag tag = sim::kUntagged);
+                          sim::TaskTag tag = sim::kUntagged,
+                          sim::ChannelId channel = sim::kInvalidChannel);
 
 /// Same, but forces the traffic onto `fabric` (used by communicators whose
 /// transport was already selected for the whole group). The fabric must be
@@ -71,6 +73,7 @@ sim::TaskId emit_transfer(sim::TaskGraph& graph, const PortMap& ports,
 sim::TaskId emit_transfer_on(sim::TaskGraph& graph, const PortMap& ports,
                              const Topology& topo, FabricKind fabric, int src,
                              int dst, Bytes bytes, std::string label = {},
-                             sim::TaskTag tag = sim::kUntagged);
+                             sim::TaskTag tag = sim::kUntagged,
+                             sim::ChannelId channel = sim::kInvalidChannel);
 
 }  // namespace holmes::net

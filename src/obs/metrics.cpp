@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace holmes::obs {
+
+Labels::Labels(
+    std::initializer_list<std::pair<std::string, std::string>> kv)
+    : items_(kv) {
+  std::sort(items_.begin(), items_.end());
+  for (std::size_t i = 1; i < items_.size(); ++i) {
+    HOLMES_CHECK_MSG(items_[i - 1].first != items_[i].first,
+                     "duplicate label key '" + items_[i].first + "'");
+  }
+  if (items_.empty()) return;
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << items_[i].first << "=" << items_[i].second;
+  }
+  os << "}";
+  key_ = os.str();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    HOLMES_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                     "histogram bounds must be strictly increasing");
+  }
+  buckets_.assign(bounds_.size() + 1, 0.0);
+}
+
+void Histogram::observe(double value, double weight) {
+  HOLMES_CHECK_MSG(weight >= 0, "negative histogram weight");
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += weight;
+  total_weight_ += weight;
+  weighted_sum_ += value * weight;
+  max_ = std::max(max_, value);
+}
+
+double Histogram::mean() const {
+  return total_weight_ > 0 ? weighted_sum_ / total_weight_ : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  HOLMES_CHECK_MSG(q >= 0 && q <= 1, "quantile must be in [0,1]");
+  if (total_weight_ <= 0) return 0.0;
+  const double target = q * total_weight_;
+  double cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return counters_[{name, labels}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[{name, labels}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::vector<double> bounds) {
+  const Key key{name, labels};
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(key, Histogram(std::move(bounds))).first->second;
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::ostringstream os;
+  for (const auto& [key, c] : counters_) {
+    os << key.first << key.second.key() << " " << c.value() << "\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    os << key.first << key.second.key() << " " << g.value() << "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    os << key.first << key.second.key() << " mean=" << h.mean()
+       << " weight=" << h.total_weight() << " max=" << h.max() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void write_key(std::ostream& out, const MetricsRegistry::Key& key) {
+  out << "{\"name\":\"" << json_escape(key.first) << "\",\"labels\":{";
+  const auto& items = key.second.items();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(items[i].first) << "\":\""
+        << json_escape(items[i].second) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    write_key(out, key);
+    out << ",\"value\":" << json_number(c.value())
+        << ",\"events\":" << c.events() << "}";
+  }
+  out << "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    write_key(out, key);
+    out << ",\"value\":" << json_number(g.value()) << "}";
+  }
+  out << "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    write_key(out, key);
+    out << ",\"mean\":" << json_number(h.mean())
+        << ",\"weight\":" << json_number(h.total_weight())
+        << ",\"max\":" << json_number(h.max()) << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace holmes::obs

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file metrics.h
+/// Lightweight metrics registry for the simulation substrate.
+///
+/// Instruments are keyed by (name, label set); labels identify the entity
+/// being measured (device, link, communicator, task kind). The registry
+/// hands out stable references, so hot paths — the executor's event loop —
+/// look an instrument up once and then update it with a plain add/set
+/// (see obs/recorder.h). Iteration order is deterministic (lexicographic
+/// by name, then label key), which keeps every export reproducible.
+///
+/// Three instrument kinds, mirroring what the paper's analysis needs:
+///  - Counter: monotone accumulations (bytes moved, tasks completed,
+///    busy-seconds).
+///  - Gauge: last-written values (makespan, in-flight tasks).
+///  - Histogram: time-weighted distributions — each observation carries a
+///    weight in seconds, so mean() answers "averaged over *time*, what was
+///    the queueing delay", not "averaged over events".
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace holmes::obs {
+
+/// Immutable-after-construction sorted label set, e.g.
+/// {device=gpu0, kind=compute}.
+class Labels {
+ public:
+  Labels() = default;
+  Labels(std::initializer_list<std::pair<std::string, std::string>> kv);
+
+  const std::vector<std::pair<std::string, std::string>>& items() const {
+    return items_;
+  }
+  bool empty() const { return items_.empty(); }
+
+  /// Canonical rendering "{a=b,c=d}" ("" when empty); doubles as the sort /
+  /// identity key.
+  const std::string& key() const { return key_; }
+
+  bool operator==(const Labels& other) const { return key_ == other.key_; }
+  bool operator<(const Labels& other) const { return key_ < other.key_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+  std::string key_;
+};
+
+class Counter {
+ public:
+  void add(double delta) {
+    value_ += delta;
+    ++events_;
+  }
+  double value() const { return value_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  double value_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Weighted histogram with explicit upper bounds; observations above the
+/// last bound land in a +Inf overflow bucket.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing (may be empty: distribution-free
+  /// mean/weight tracking only).
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double value, double weight = 1.0);
+
+  double total_weight() const { return total_weight_; }
+  double weighted_sum() const { return weighted_sum_; }
+  /// Weight-averaged observation; 0 when nothing was observed.
+  double mean() const;
+  double max() const { return max_; }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// One weight per bound plus the overflow bucket (size bounds()+1).
+  const std::vector<double>& bucket_weights() const { return buckets_; }
+
+  /// Smallest bound whose cumulative weight covers quantile `q` in [0,1];
+  /// returns max() for the overflow bucket and 0 on an empty histogram.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<double> buckets_;
+  double total_weight_ = 0;
+  double weighted_sum_ = 0;
+  double max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` is consulted only when the histogram is first created.
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> bounds = {});
+
+  std::size_t size() const;
+
+  /// "name{labels} value" per line, sorted — the debug/test export.
+  std::string to_text() const;
+
+  /// Stable machine-readable export:
+  /// {"counters":[{"name":..,"labels":{..},"value":..,"events":..},...],
+  ///  "gauges":[...],"histograms":[...]}.
+  void write_json(std::ostream& out) const;
+
+  using Key = std::pair<std::string, Labels>;
+  const std::map<Key, Counter>& counters() const { return counters_; }
+  const std::map<Key, Gauge>& gauges() const { return gauges_; }
+  const std::map<Key, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+};
+
+}  // namespace holmes::obs

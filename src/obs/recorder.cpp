@@ -1,0 +1,116 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+
+namespace holmes::obs {
+
+namespace {
+
+const char* kind_label(sim::TaskKind kind) {
+  switch (kind) {
+    case sim::TaskKind::kCompute: return "compute";
+    case sim::TaskKind::kTransfer: return "transfer";
+    case sim::TaskKind::kNoop: return "noop";
+  }
+  return "?";
+}
+
+Counter& cached(std::vector<Counter*>& cache, std::int32_t id,
+                MetricsRegistry& registry, const char* name,
+                const char* label_key, const std::string& label_value) {
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= cache.size()) cache.resize(index + 1, nullptr);
+  if (cache[index] == nullptr) {
+    cache[index] = &registry.counter(name, Labels{{label_key, label_value}});
+  }
+  return *cache[index];
+}
+
+}  // namespace
+
+Counter& RegistryRecorder::device_busy(const sim::TaskGraph& graph,
+                                       sim::ResourceId id) {
+  return cached(device_busy_, id, *registry_, "device.busy_seconds", "device",
+                graph.resource_name(id));
+}
+
+Counter& RegistryRecorder::device_tasks(const sim::TaskGraph& graph,
+                                        sim::ResourceId id) {
+  return cached(device_tasks_, id, *registry_, "device.tasks", "device",
+                graph.resource_name(id));
+}
+
+Counter& RegistryRecorder::link_busy(const sim::TaskGraph& graph,
+                                     sim::ResourceId id) {
+  return cached(link_busy_, id, *registry_, "link.busy_seconds", "link",
+                graph.resource_name(id));
+}
+
+Counter& RegistryRecorder::link_bytes(const sim::TaskGraph& graph,
+                                      sim::ResourceId id) {
+  return cached(link_bytes_, id, *registry_, "link.bytes", "link",
+                graph.resource_name(id));
+}
+
+Counter& RegistryRecorder::comm_bytes(const sim::TaskGraph& graph,
+                                      sim::ChannelId id) {
+  return cached(comm_bytes_, id, *registry_, "comm.bytes", "comm",
+                graph.channel_name(id));
+}
+
+Counter& RegistryRecorder::comm_transfers(const sim::TaskGraph& graph,
+                                          sim::ChannelId id) {
+  return cached(comm_transfers_, id, *registry_, "comm.transfers", "comm",
+                graph.channel_name(id));
+}
+
+void RegistryRecorder::on_task_scheduled(const sim::TaskGraph& graph,
+                                         sim::TaskId id,
+                                         const sim::TaskTiming& timing,
+                                         SimTime ready_at) {
+  const sim::Task& task = graph.tasks()[static_cast<std::size_t>(id)];
+  registry_->counter("sim.tasks", Labels{{"kind", kind_label(task.kind)}})
+      .add(1);
+
+  const double wait = std::max(0.0, timing.start - ready_at);
+  if (task.kind != sim::TaskKind::kNoop) {
+    registry_
+        ->histogram("sim.queue_wait_seconds",
+                    Labels{{"kind", kind_label(task.kind)}},
+                    {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})
+        .observe(wait, wait);
+  }
+
+  switch (task.kind) {
+    case sim::TaskKind::kCompute:
+      device_busy(graph, task.resource).add(task.duration);
+      device_tasks(graph, task.resource).add(1);
+      break;
+    case sim::TaskKind::kTransfer: {
+      const SimTime serialization =
+          std::max(0.0, timing.finish - timing.start - task.latency);
+      link_busy(graph, task.src_port).add(serialization);
+      if (task.dst_port != task.src_port) {
+        link_busy(graph, task.dst_port).add(serialization);
+      }
+      link_bytes(graph, task.src_port)
+          .add(static_cast<double>(task.bytes));
+      if (task.channel != sim::kInvalidChannel) {
+        comm_bytes(graph, task.channel)
+            .add(static_cast<double>(task.bytes));
+        comm_transfers(graph, task.channel).add(1);
+      }
+      break;
+    }
+    case sim::TaskKind::kNoop:
+      break;
+  }
+}
+
+void RegistryRecorder::on_run_complete(const sim::TaskGraph& graph,
+                                       const sim::SimResult& result) {
+  (void)graph;
+  registry_->gauge("sim.makespan_seconds").set(result.makespan());
+}
+
+}  // namespace holmes::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file recorder.h
+/// Bridges the simulation executor's event stream into a MetricsRegistry.
+///
+/// Attach a RegistryRecorder to TaskGraphExecutor::run (or pass it through
+/// TrainingSimulator::run) and the registry fills up while the simulation
+/// executes:
+///
+///   sim.tasks{kind=...}                 counter, one increment per task
+///   device.busy_seconds{device=...}     counter, compute occupancy
+///   device.tasks{device=...}            counter
+///   link.busy_seconds{link=...}         counter, port serialization time
+///   link.bytes{link=...}                counter, egress bytes per TX port
+///   comm.bytes{comm=...}                counter, per-channel payload
+///   comm.transfers{comm=...}            counter
+///   sim.queue_wait_seconds{kind=...}    histogram of start - ready_at,
+///                                       weighted by the wait itself
+///   sim.makespan_seconds                gauge, set at run completion
+///
+/// Instrument references are cached per resource/channel id, so the hot
+/// path does no map lookups after the first task on each entity.
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/executor.h"
+
+namespace holmes::obs {
+
+class RegistryRecorder final : public sim::ExecutionObserver {
+ public:
+  /// The registry must outlive the recorder. One recorder instance is
+  /// meant for one run; reuse across runs keeps accumulating (counters are
+  /// monotone) but the id->instrument caches assume one graph.
+  explicit RegistryRecorder(MetricsRegistry& registry)
+      : registry_(&registry) {}
+
+  void on_task_scheduled(const sim::TaskGraph& graph, sim::TaskId id,
+                         const sim::TaskTiming& timing,
+                         SimTime ready_at) override;
+  void on_run_complete(const sim::TaskGraph& graph,
+                       const sim::SimResult& result) override;
+
+  MetricsRegistry& registry() { return *registry_; }
+
+ private:
+  Counter& device_busy(const sim::TaskGraph& graph, sim::ResourceId id);
+  Counter& device_tasks(const sim::TaskGraph& graph, sim::ResourceId id);
+  Counter& link_busy(const sim::TaskGraph& graph, sim::ResourceId id);
+  Counter& link_bytes(const sim::TaskGraph& graph, sim::ResourceId id);
+  Counter& comm_bytes(const sim::TaskGraph& graph, sim::ChannelId id);
+  Counter& comm_transfers(const sim::TaskGraph& graph, sim::ChannelId id);
+
+  MetricsRegistry* registry_;
+  // Lazily grown id -> instrument caches (nullptr until first touch).
+  std::vector<Counter*> device_busy_, device_tasks_;
+  std::vector<Counter*> link_busy_, link_bytes_;
+  std::vector<Counter*> comm_bytes_, comm_transfers_;
+};
+
+}  // namespace holmes::obs

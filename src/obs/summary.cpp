@@ -1,0 +1,132 @@
+#include "obs/summary.h"
+
+#include <ostream>
+
+#include "util/json.h"
+
+namespace holmes::obs {
+
+namespace {
+
+void field(std::ostream& out, const char* key, const std::string& value,
+           bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":\"" << json_escape(value) << "\"";
+}
+
+void field(std::ostream& out, const char* key, double value, bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":" << json_number(value);
+}
+
+void field(std::ostream& out, const char* key, std::int64_t value,
+           bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":" << value;
+}
+
+void field(std::ostream& out, const char* key, std::uint64_t value,
+           bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":" << value;
+}
+
+void field(std::ostream& out, const char* key, int value, bool* first) {
+  field(out, key, static_cast<std::int64_t>(value), first);
+}
+
+void write_overlap(std::ostream& out, const char* key,
+                   const RunSummary::Overlap& o, bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":{";
+  bool f = true;
+  field(out, "total_s", o.total_s, &f);
+  field(out, "overlapped_s", o.overlapped_s, &f);
+  field(out, "exposed_s", o.exposed_s, &f);
+  out << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const RunSummary& s) {
+  out << "{";
+  bool first = true;
+  field(out, "schema", s.schema, &first);
+  field(out, "topology", s.topology, &first);
+  field(out, "framework", s.framework, &first);
+  field(out, "workload", s.workload, &first);
+  field(out, "iterations", s.iterations, &first);
+  field(out, "window_begin_s", s.window_begin_s, &first);
+  field(out, "window_end_s", s.window_end_s, &first);
+  field(out, "iteration_s", s.iteration_s, &first);
+  field(out, "tflops_per_gpu", s.tflops_per_gpu, &first);
+  field(out, "throughput", s.throughput, &first);
+
+  out << ",\"devices\":[";
+  for (std::size_t i = 0; i < s.devices.size(); ++i) {
+    const RunSummary::Device& d = s.devices[i];
+    if (i > 0) out << ",";
+    out << "{";
+    bool f = true;
+    field(out, "name", d.name, &f);
+    field(out, "busy_s", d.busy_s, &f);
+    field(out, "waiting_s", d.waiting_s, &f);
+    field(out, "utilization", d.utilization, &f);
+    field(out, "tasks", d.tasks, &f);
+    out << "}";
+  }
+  out << "],\"stages\":[";
+  for (std::size_t i = 0; i < s.stages.size(); ++i) {
+    const RunSummary::Stage& st = s.stages[i];
+    if (i > 0) out << ",";
+    out << "{";
+    bool f = true;
+    field(out, "stage", st.stage, &f);
+    field(out, "devices", st.devices, &f);
+    field(out, "layers", st.layers, &f);
+    field(out, "compute_busy_s", st.compute_busy_s, &f);
+    field(out, "span_s", st.span_s, &f);
+    field(out, "bubble_fraction", st.bubble_fraction, &f);
+    out << "}";
+  }
+  out << "],\"links\":[";
+  for (std::size_t i = 0; i < s.links.size(); ++i) {
+    const RunSummary::Link& l = s.links[i];
+    if (i > 0) out << ",";
+    out << "{";
+    bool f = true;
+    field(out, "name", l.name, &f);
+    field(out, "busy_s", l.busy_s, &f);
+    field(out, "waiting_s", l.waiting_s, &f);
+    field(out, "utilization", l.utilization, &f);
+    field(out, "bytes", l.bytes, &f);
+    field(out, "transfers", l.transfers, &f);
+    field(out, "effective_gbps", l.effective_gbps, &f);
+    out << "}";
+  }
+  out << "],\"comms\":[";
+  for (std::size_t i = 0; i < s.comms.size(); ++i) {
+    const RunSummary::Comm& c = s.comms[i];
+    if (i > 0) out << ",";
+    out << "{";
+    bool f = true;
+    field(out, "name", c.name, &f);
+    field(out, "bytes", c.bytes, &f);
+    field(out, "transfers", c.transfers, &f);
+    field(out, "busy_s", c.busy_s, &f);
+    field(out, "span_s", c.span_s, &f);
+    field(out, "bus_gbps", c.bus_gbps, &f);
+    out << "}";
+  }
+  out << "]";
+  write_overlap(out, "grad_sync", s.grad_sync, &first);
+  write_overlap(out, "param_allgather", s.param_allgather, &first);
+  out << "}";
+}
+
+}  // namespace holmes::obs

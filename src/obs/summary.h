@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file summary.h
+/// Stable JSON run-summary schema.
+///
+/// One RunSummary captures everything the benches, tests, and external
+/// plotting need to explain a simulated training run: headline metrics,
+/// per-device utilization, per-stage pipeline-bubble fractions, per-link
+/// busy/contention time, per-communicator traffic, and the exposed-vs-
+/// overlapped split of the gradient synchronization (the paper's Fig. 3 /
+/// Table 5 story).
+///
+/// The writer emits keys in a fixed order with "%.12g" numbers, so output
+/// is byte-stable for fixed inputs — tests/obs/test_summary.cpp locks the
+/// schema with a golden file. Bump `kRunSummarySchema` whenever a field is
+/// added, renamed, or re-interpreted.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace holmes::obs {
+
+inline constexpr const char* kRunSummarySchema = "holmes.run_summary.v1";
+
+struct RunSummary {
+  // ---- identity ----
+  std::string schema = kRunSummarySchema;
+  std::string topology;   ///< e.g. "2x8:ib+2x8:roce"
+  std::string framework;  ///< planner name, e.g. "Holmes"
+  std::string workload;   ///< e.g. "group 3 (GPT 175B)"
+  int iterations = 0;     ///< simulated iterations (incl. warm-up)
+
+  /// Measured steady-state window in simulated seconds (post-warm-up).
+  double window_begin_s = 0;
+  double window_end_s = 0;
+
+  // ---- headline metrics ----
+  double iteration_s = 0;
+  double tflops_per_gpu = 0;
+  double throughput = 0;  ///< samples/s aggregate
+
+  // ---- breakdowns ----
+  struct Device {
+    std::string name;       ///< resource name, e.g. "gpu3.compute"
+    double busy_s = 0;      ///< compute occupancy inside the window
+    double waiting_s = 0;   ///< ready-but-blocked (resource contention)
+    double utilization = 0; ///< busy / window length
+    std::uint64_t tasks = 0;
+  };
+
+  struct Stage {
+    int stage = 0;
+    int devices = 0;              ///< ranks on this physical stage
+    int layers = 0;               ///< transformer layers hosted
+    double compute_busy_s = 0;    ///< fwd+bwd busy over the measured iteration
+    double span_s = 0;            ///< wall span of that compute
+    double bubble_fraction = 0;   ///< 1 - busy / (devices * span)
+  };
+
+  struct Link {
+    std::string name;       ///< port resource name, e.g. "gpu0.InfiniBand.tx"
+    double busy_s = 0;      ///< serialization seconds inside the window
+    double waiting_s = 0;   ///< transfers blocked on this port (contention)
+    double utilization = 0;
+    std::int64_t bytes = 0;
+    std::uint64_t transfers = 0;
+    double effective_gbps = 0;  ///< bytes/busy, as Gbit/s
+  };
+
+  struct Comm {
+    std::string name;       ///< channel name, e.g. "dp0"
+    std::int64_t bytes = 0;
+    std::uint64_t transfers = 0;
+    double busy_s = 0;
+    double span_s = 0;
+    double bus_gbps = 0;    ///< bytes/span, as Gbit/s
+  };
+
+  /// Exposure split of one communication family over the measured
+  /// iteration: `total_s` is the union wall time, `overlapped_s` the part
+  /// hidden under forward/backward compute, `exposed_s` the remainder that
+  /// directly lengthens the iteration.
+  struct Overlap {
+    double total_s = 0;
+    double overlapped_s = 0;
+    double exposed_s = 0;
+  };
+
+  std::vector<Device> devices;
+  std::vector<Stage> stages;
+  std::vector<Link> links;
+  std::vector<Comm> comms;
+  Overlap grad_sync;
+  Overlap param_allgather;
+};
+
+/// Writes the summary as a single stable JSON object (no trailing newline).
+void write_json(std::ostream& out, const RunSummary& summary);
+
+}  // namespace holmes::obs

@@ -67,7 +67,8 @@ SimTime SimResult::tag_span(const TaskGraph& graph, TaskTag tag) const {
   return any ? last - first : 0;
 }
 
-SimResult TaskGraphExecutor::run(const TaskGraph& graph) {
+SimResult TaskGraphExecutor::run(const TaskGraph& graph,
+                                 ExecutionObserver* observer) {
   const auto& tasks = graph.tasks();
   const std::size_t n = tasks.size();
 
@@ -133,6 +134,11 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph) {
     timing[static_cast<std::size_t>(id)] = {start, finish};
     makespan = std::max(makespan, finish);
     ++completed;
+    if (observer != nullptr) {
+      observer->on_task_scheduled(graph, id,
+                                  timing[static_cast<std::size_t>(id)],
+                                  ready_at);
+    }
 
     for (TaskId next : dependents[static_cast<std::size_t>(id)]) {
       auto& rt = ready_time[static_cast<std::size_t>(next)];
@@ -150,7 +156,9 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph) {
     throw ConfigError(os.str());
   }
 
-  return SimResult(std::move(timing), std::move(resource_busy), makespan);
+  SimResult result(std::move(timing), std::move(resource_busy), makespan);
+  if (observer != nullptr) observer->on_run_complete(graph, result);
+  return result;
 }
 
 }  // namespace holmes::sim

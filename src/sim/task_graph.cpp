@@ -37,7 +37,8 @@ TaskId TaskGraph::add_compute(ResourceId resource, SimTime duration,
 
 TaskId TaskGraph::add_transfer(ResourceId src_port, ResourceId dst_port,
                                Bytes bytes, double bandwidth, SimTime latency,
-                               std::string label, TaskTag tag) {
+                               std::string label, TaskTag tag,
+                               ChannelId channel) {
   HOLMES_CHECK_MSG(src_port >= 0 &&
                        static_cast<std::size_t>(src_port) < resource_names_.size(),
                    "unknown src port");
@@ -48,8 +49,13 @@ TaskId TaskGraph::add_transfer(ResourceId src_port, ResourceId dst_port,
   HOLMES_CHECK_MSG(bytes == 0 || bandwidth > 0,
                    "non-empty transfer needs positive bandwidth");
   HOLMES_CHECK_MSG(latency >= 0, "negative latency");
+  HOLMES_CHECK_MSG(channel == kInvalidChannel ||
+                       (channel >= 0 && static_cast<std::size_t>(channel) <
+                                            channel_names_.size()),
+                   "unknown channel");
   Task t;
   t.kind = TaskKind::kTransfer;
+  t.channel = channel;
   t.src_port = src_port;
   t.dst_port = dst_port;
   t.bytes = bytes;
@@ -91,6 +97,21 @@ const Task& TaskGraph::task(TaskId id) const {
 const std::string& TaskGraph::resource_name(ResourceId id) const {
   HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < resource_names_.size());
   return resource_names_[static_cast<std::size_t>(id)];
+}
+
+ChannelId TaskGraph::channel(const std::string& name) {
+  for (std::size_t i = 0; i < channel_names_.size(); ++i) {
+    if (channel_names_[i] == name) return static_cast<ChannelId>(i);
+  }
+  HOLMES_CHECK(channel_names_.size() <
+               static_cast<std::size_t>(std::numeric_limits<ChannelId>::max()));
+  channel_names_.push_back(name);
+  return static_cast<ChannelId>(channel_names_.size() - 1);
+}
+
+const std::string& TaskGraph::channel_name(ChannelId id) const {
+  HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < channel_names_.size());
+  return channel_names_[static_cast<std::size_t>(id)];
 }
 
 }  // namespace holmes::sim

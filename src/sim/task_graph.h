@@ -28,7 +28,14 @@ namespace holmes::sim {
 using TaskId = std::int32_t;
 using ResourceId = std::int32_t;
 
+/// Logical traffic channel a transfer belongs to (typically a communicator
+/// such as "dp0", or "pp" for pipeline point-to-point hops). Channels let
+/// the observability layer attribute bytes and bandwidth per communicator
+/// without parsing labels; they have no effect on scheduling.
+using ChannelId = std::int32_t;
+
 inline constexpr TaskId kInvalidTask = -1;
+inline constexpr ChannelId kInvalidChannel = -1;
 
 enum class TaskKind : std::uint8_t { kCompute, kTransfer, kNoop };
 
@@ -53,6 +60,7 @@ struct Task {
   Bytes bytes = 0;
   double bandwidth = 0;  ///< bytes per second on the resolved path
   SimTime latency = 0;   ///< propagation latency of the resolved path
+  ChannelId channel = kInvalidChannel;  ///< owning communicator, if any
 
   std::string label;  ///< optional; used in traces and error messages
 
@@ -74,7 +82,12 @@ class TaskGraph {
   /// additionally wait for the propagation latency.
   TaskId add_transfer(ResourceId src_port, ResourceId dst_port, Bytes bytes,
                       double bandwidth, SimTime latency,
-                      std::string label = {}, TaskTag tag = kUntagged);
+                      std::string label = {}, TaskTag tag = kUntagged,
+                      ChannelId channel = kInvalidChannel);
+
+  /// Returns the channel named `name`, registering it on first use. Channel
+  /// ids are dense and stable in registration order.
+  ChannelId channel(const std::string& name);
 
   /// Adds a zero-cost join/fork point.
   TaskId add_noop(std::string label = {}, TaskTag tag = kUntagged);
@@ -88,9 +101,11 @@ class TaskGraph {
 
   std::size_t task_count() const { return tasks_.size(); }
   std::size_t resource_count() const { return resource_names_.size(); }
+  std::size_t channel_count() const { return channel_names_.size(); }
 
   const Task& task(TaskId id) const;
   const std::string& resource_name(ResourceId id) const;
+  const std::string& channel_name(ChannelId id) const;
 
   const std::vector<Task>& tasks() const { return tasks_; }
 
@@ -99,6 +114,7 @@ class TaskGraph {
 
   std::vector<Task> tasks_;
   std::vector<std::string> resource_names_;
+  std::vector<std::string> channel_names_;
 };
 
 }  // namespace holmes::sim

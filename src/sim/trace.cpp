@@ -1,34 +1,14 @@
 #include "sim/trace.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/json.h"
 
 namespace holmes::sim {
 
 namespace {
-
-/// JSON string escape for labels and resource names (ASCII control chars,
-/// quotes, backslashes).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 const char* kind_name(TaskKind kind) {
   switch (kind) {
@@ -39,6 +19,36 @@ const char* kind_name(TaskKind kind) {
   return "?";
 }
 
+/// Accumulates step deltas per timestamp for one counter track and emits
+/// the resulting staircase as "C" events.
+class CounterTrack {
+ public:
+  CounterTrack(std::string name, std::string unit)
+      : name_(std::move(name)), unit_(std::move(unit)) {}
+
+  void step(SimTime at, double delta) { deltas_[at] += delta; }
+
+  void emit(std::ostream& out, int pid, bool* first) const {
+    double value = 0;
+    for (const auto& [at, delta] : deltas_) {
+      if (delta == 0) continue;
+      value += delta;
+      if (!*first) out << ",";
+      *first = false;
+      // Clamp tiny negative float residue so the track never dips below 0.
+      const double shown = value < 0 && value > -1e-9 ? 0 : value;
+      out << "\n{\"name\":\"" << json_escape(name_)
+          << "\",\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":" << at * 1e6
+          << ",\"args\":{\"" << unit_ << "\":" << json_number(shown) << "}}";
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::map<SimTime, double> deltas_;  ///< ordered by time
+};
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
@@ -46,7 +56,13 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
   out << "[";
   bool first = true;
 
-  // Thread-name metadata: one row per resource.
+  // Process-name metadata, then thread-name metadata: one row per resource.
+  if (!options.process_name.empty()) {
+    first = false;
+    out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << options.pid
+        << ",\"args\":{\"name\":\"" << json_escape(options.process_name)
+        << "\"}}";
+  }
   for (std::size_t r = 0; r < graph.resource_count(); ++r) {
     if (!first) out << ",";
     first = false;
@@ -56,12 +72,38 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
         << "\"}}";
   }
 
+  CounterTrack compute_track("compute in flight", "devices");
+  CounterTrack link_track("links busy", "ports");
+  CounterTrack bytes_track("bytes in flight", "bytes");
+
   for (std::size_t i = 0; i < graph.task_count(); ++i) {
     const Task& task = graph.tasks()[i];
     const TaskTiming& timing = result.timing(static_cast<TaskId>(i));
     const SimTime duration = timing.finish - timing.start;
-    if (duration < options.min_duration) continue;
     if (task.kind == TaskKind::kNoop) continue;
+
+    if (options.counters) {
+      if (task.kind == TaskKind::kCompute) {
+        if (duration > 0) {
+          compute_track.step(timing.start, 1);
+          compute_track.step(timing.finish, -1);
+        }
+      } else {
+        // Ports are busy for the serialization time only; the payload is
+        // "in flight" until the transfer completes (incl. latency).
+        const SimTime serialization = std::max(0.0, duration - task.latency);
+        if (serialization > 0) {
+          link_track.step(timing.start, 1);
+          link_track.step(timing.start + serialization, -1);
+        }
+        if (task.bytes > 0 && duration > 0) {
+          bytes_track.step(timing.start, static_cast<double>(task.bytes));
+          bytes_track.step(timing.finish, -static_cast<double>(task.bytes));
+        }
+      }
+    }
+
+    if (duration < options.min_duration) continue;
     const ResourceId row =
         task.kind == TaskKind::kTransfer ? task.src_port : task.resource;
     if (!first) out << ",";
@@ -74,6 +116,12 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
         << ",\"ts\":" << timing.start * 1e6 << ",\"dur\":" << duration * 1e6
         << ",\"args\":{\"tag\":" << task.tag << ",\"bytes\":" << task.bytes
         << "}}";
+  }
+
+  if (options.counters) {
+    compute_track.emit(out, options.pid, &first);
+    link_track.emit(out, options.pid, &first);
+    bytes_track.emit(out, options.pid, &first);
   }
   out << "\n]";
 }

@@ -4,12 +4,15 @@
 /// Chrome-trace export of a simulated task graph.
 ///
 /// Writes the `chrome://tracing` / Perfetto JSON array format: one complete
-/// ("X") event per task, with the task's resource as the thread row. Load
-/// the file in https://ui.perfetto.dev to inspect pipeline bubbles, the
-/// overlap of gradient reduce-scatter with backward compute, or NIC port
-/// contention.
+/// ("X") event per task, with the task's resource as the thread row. Rows
+/// are labeled via "M" (process_name / thread_name) metadata events, and
+/// counter ("C") tracks chart global state over time — devices computing,
+/// ports transferring, payload bytes in flight. Load the file in
+/// https://ui.perfetto.dev to inspect pipeline bubbles, the overlap of
+/// gradient reduce-scatter with backward compute, or NIC port contention.
 
 #include <ostream>
+#include <string>
 
 #include "sim/executor.h"
 #include "sim/task_graph.h"
@@ -23,6 +26,12 @@ struct TraceOptions {
   /// Process id recorded in the trace (useful when concatenating multiple
   /// simulations into one file).
   int pid = 1;
+  /// Process row label emitted as "process_name" metadata.
+  std::string process_name = "holmes simulation";
+  /// Emit "C" counter tracks ("compute in flight", "links busy",
+  /// "bytes in flight"). Counters always cover *all* tasks, regardless of
+  /// min_duration, so the aggregate view stays exact.
+  bool counters = true;
 };
 
 /// Writes the trace of `graph` as executed in `result`. Transfers appear on

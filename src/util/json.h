@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file json.h
+/// Minimal JSON emission helpers shared by the Chrome-trace writer and the
+/// observability summary exporter. The library never *parses* JSON — it
+/// only produces it for external tools (Perfetto, plotting pipelines) — so
+/// a tiny escape/format surface is all that is needed.
+
+#include <string>
+
+#include "util/units.h"
+
+namespace holmes {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, ASCII control characters).
+std::string json_escape(const std::string& s);
+
+/// Formats a double as a JSON number: finite values via "%.12g" (stable
+/// across runs, round-trips the precisions we care about), non-finite
+/// values as 0 (JSON has no Inf/NaN literals).
+std::string json_number(double value);
+
+}  // namespace holmes

@@ -243,5 +243,26 @@ TEST(CommunicatorLowering, TagPropagatesToTasks) {
   EXPECT_GT(result.tag_busy(graph, kTag), 0.0);
 }
 
+TEST(CommunicatorLowering, TransfersCarryTheCommunicatorChannel) {
+  // Every transfer a collective emits is attributed to a channel named
+  // after the communicator, so the observability layer can report
+  // per-communicator bytes without parsing labels.
+  Topology topo = Topology::homogeneous(4, NicType::kInfiniBand, 1);
+  Communicator comm(topo, {0, 1, 2, 3}, "dp0");
+  sim::TaskGraph graph;
+  PortMap ports(topo, graph);
+  comm.lower_all_reduce(graph, ports, 1'000'000, {});
+  ASSERT_EQ(graph.channel_count(), 1u);
+  const sim::ChannelId dp0 = graph.channel("dp0");
+  std::size_t transfers = 0;
+  for (const sim::Task& task : graph.tasks()) {
+    if (task.kind != sim::TaskKind::kTransfer) continue;
+    EXPECT_EQ(task.channel, dp0);
+    ++transfers;
+  }
+  // Ring all-reduce over 4 members: 2*(n-1) rounds of n transfers.
+  EXPECT_EQ(transfers, 24u);
+}
+
 }  // namespace
 }  // namespace holmes::comm

@@ -69,10 +69,35 @@ TEST(ExperimentGrid, ExtractorsPickFields) {
   m.throughput = 2;
   m.iteration_time = 3;
   m.grad_sync_span = 4;
+  m.grad_sync_exposed = 5;
   EXPECT_DOUBLE_EQ(ExperimentGrid::tflops()(m), 1);
   EXPECT_DOUBLE_EQ(ExperimentGrid::throughput()(m), 2);
   EXPECT_DOUBLE_EQ(ExperimentGrid::iteration_seconds()(m), 3);
   EXPECT_DOUBLE_EQ(ExperimentGrid::grad_sync_seconds()(m), 4);
+  EXPECT_DOUBLE_EQ(ExperimentGrid::grad_sync_exposed_seconds()(m), 5);
+}
+
+TEST(ExperimentGrid, CsvSkipsMissingCellsEntirely) {
+  const std::string csv = sample().to_csv();
+  // The missing (2, RoCE) cell produces no line at all — no dangling commas
+  // or placeholder values a downstream parser could misread.
+  EXPECT_EQ(csv.find("2,RoCE"), std::string::npos);
+  EXPECT_NE(csv.find("2,InfiniBand"), std::string::npos);
+  EXPECT_NE(csv.find("grad_exposed_s"), std::string::npos);
+}
+
+TEST(ExperimentGrid, MarkdownRendersMissingCellsAsDash) {
+  const std::string md = sample().to_markdown(ExperimentGrid::tflops(), 0);
+  // Row 2 has InfiniBand but no RoCE value.
+  EXPECT_NE(md.find("| 2 | 206 | - |"), std::string::npos) << md;
+}
+
+TEST(ExperimentGrid, EmptyGridRendersHeadersOnly) {
+  const ExperimentGrid grid("Empty", "Row");
+  const std::string csv = grid.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);  // header only
+  const std::string md = grid.to_markdown(ExperimentGrid::tflops());
+  EXPECT_NE(md.find("### Empty"), std::string::npos);
 }
 
 }  // namespace

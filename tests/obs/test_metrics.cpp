@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace holmes::obs {
+namespace {
+
+TEST(Labels, CanonicalKeyIsSortedAndStable) {
+  const Labels a{{"device", "gpu0"}, {"kind", "compute"}};
+  const Labels b{{"kind", "compute"}, {"device", "gpu0"}};
+  EXPECT_EQ(a.key(), "{device=gpu0,kind=compute}");
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(Labels{}.empty());
+  EXPECT_EQ(Labels{}.key(), "");
+}
+
+TEST(Labels, RejectsDuplicateKeys) {
+  EXPECT_THROW((Labels{{"a", "1"}, {"a", "2"}}), Error);
+}
+
+TEST(Counter, AccumulatesValueAndEvents) {
+  Counter c;
+  c.add(1.5);
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 4.0);
+  EXPECT_EQ(c.events(), 2u);
+}
+
+TEST(Histogram, WeightedMeanAndQuantiles) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5, 2.0);   // bucket <=1, weight 2
+  h.observe(5.0, 1.0);   // bucket <=10, weight 1
+  h.observe(1000.0, 1.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (0.5 * 2 + 5.0 + 1000.0) / 4.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Half the weight sits in the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // The tail falls into the overflow bucket -> reported as max().
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1000.0);
+  EXPECT_EQ(h.bucket_weights().size(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_weights()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weights()[3], 1.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("sim.tasks", Labels{{"kind", "compute"}});
+  a.add(1);
+  Counter& b = registry.counter("sim.tasks", Labels{{"kind", "compute"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+  // Different labels are distinct instruments.
+  registry.counter("sim.tasks", Labels{{"kind", "transfer"}}).add(5);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("sim.tasks", Labels{{"kind", "compute"}}).value(), 1.0);
+  registry.gauge("sim.makespan_seconds").set(2.5);
+  registry.histogram("wait", {}, {0.1, 1.0}).observe(0.05);
+  // compute counter + transfer counter + gauge + histogram.
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(MetricsRegistry, TextExportIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b.metric").add(2);
+  registry.counter("a.metric", Labels{{"x", "1"}}).add(1);
+  registry.gauge("c.metric").set(3);
+  const std::string text = registry.to_text();
+  const auto a = text.find("a.metric{x=1} 1");
+  const auto b = text.find("b.metric 2");
+  const auto c = text.find("c.metric 3");
+  ASSERT_NE(a, std::string::npos) << text;
+  ASSERT_NE(b, std::string::npos) << text;
+  ASSERT_NE(c, std::string::npos) << text;
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(MetricsRegistry, JsonExportHasAllSections) {
+  MetricsRegistry registry;
+  registry.counter("sim.tasks").add(3);
+  registry.gauge("sim.makespan_seconds").set(1.25);
+  registry.histogram("wait", {}, {1.0}).observe(0.5, 2.0);
+  std::ostringstream os;
+  registry.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.tasks\""), std::string::npos);
+  EXPECT_NE(json.find("1.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace holmes::obs

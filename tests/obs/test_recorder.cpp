@@ -1,0 +1,81 @@
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+
+namespace holmes::obs {
+namespace {
+
+using sim::TaskGraph;
+using sim::TaskGraphExecutor;
+
+TEST(RegistryRecorder, FillsRegistryWhileRunning) {
+  TaskGraph g;
+  const auto gpu = g.add_resource("gpu0.compute");
+  const auto tx = g.add_resource("gpu0.NIC.tx");
+  const auto rx = g.add_resource("gpu1.NIC.rx");
+  const auto dp0 = g.channel("dp0");
+  const auto c = g.add_compute(gpu, 2.0, "fwd");
+  const auto x = g.add_transfer(tx, rx, 1000, 1000.0, 0.5, "rs", 0, dp0);
+  g.add_dep(x, c);
+  g.add_noop("join");
+
+  MetricsRegistry registry;
+  RegistryRecorder recorder(registry);
+  const sim::SimResult result = TaskGraphExecutor{}.run(g, &recorder);
+
+  EXPECT_DOUBLE_EQ(
+      registry.counter("sim.tasks", Labels{{"kind", "compute"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("sim.tasks", Labels{{"kind", "transfer"}}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("sim.tasks", Labels{{"kind", "noop"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry
+          .counter("device.busy_seconds", Labels{{"device", "gpu0.compute"}})
+          .value(),
+      2.0);
+  // Port busy time is the serialization only (1 s), not latency.
+  EXPECT_DOUBLE_EQ(
+      registry.counter("link.busy_seconds", Labels{{"link", "gpu0.NIC.tx"}})
+          .value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("link.busy_seconds", Labels{{"link", "gpu1.NIC.rx"}})
+          .value(),
+      1.0);
+  // Egress bytes are attributed to the TX port only.
+  EXPECT_DOUBLE_EQ(
+      registry.counter("link.bytes", Labels{{"link", "gpu0.NIC.tx"}}).value(),
+      1000.0);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("comm.bytes", Labels{{"comm", "dp0"}}).value(), 1000.0);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("comm.transfers", Labels{{"comm", "dp0"}}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("sim.makespan_seconds").value(),
+                   result.makespan());
+}
+
+TEST(RegistryRecorder, RecordsQueueWaits) {
+  TaskGraph g;
+  const auto gpu = g.add_resource("gpu0.compute");
+  g.add_compute(gpu, 2.0, "a");
+  g.add_compute(gpu, 1.0, "b");  // ready at 0, waits 2 s for the resource
+
+  MetricsRegistry registry;
+  RegistryRecorder recorder(registry);
+  TaskGraphExecutor{}.run(g, &recorder);
+
+  const Histogram& wait =
+      registry.histogram("sim.queue_wait_seconds", Labels{{"kind", "compute"}});
+  EXPECT_DOUBLE_EQ(wait.total_weight(), 2.0);  // weighted by the wait itself
+  EXPECT_DOUBLE_EQ(wait.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace holmes::obs

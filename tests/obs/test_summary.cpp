@@ -1,0 +1,88 @@
+#include "obs/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace holmes::obs {
+namespace {
+
+std::string render(const RunSummary& s) {
+  std::ostringstream os;
+  write_json(os, s);
+  return os.str();
+}
+
+RunSummary sample() {
+  RunSummary s;
+  s.topology = "2x8:ib+2x8:roce";
+  s.framework = "Holmes";
+  s.workload = "group 1 (3.6B params)";
+  s.iterations = 3;
+  s.window_begin_s = 1.5;
+  s.window_end_s = 3.5;
+  s.iteration_s = 1.0;
+  s.tflops_per_gpu = 150.5;
+  s.throughput = 768.0;
+  s.devices = {{"gpu0.compute", 0.9, 0.05, 0.45, 42}};
+  s.stages = {{0, 2, 12, 1.8, 1.0, 0.1}};
+  s.links = {{"gpu0.InfiniBand.tx", 0.25, 0.0, 0.125, 1000000, 10, 0.032}};
+  s.comms = {{"dp0", 1000000, 10, 0.25, 0.5, 0.016}};
+  s.grad_sync = {0.5, 0.4, 0.1};
+  s.param_allgather = {0.25, 0.05, 0.2};
+  return s;
+}
+
+// The schema is a contract: plotting pipelines and the stats CLI's --json
+// consumers parse it. Any change to field names, order, or number
+// formatting must bump kRunSummarySchema and update this golden string.
+TEST(RunSummaryJson, GoldenSchema) {
+  const std::string expected =
+      "{\"schema\":\"holmes.run_summary.v1\","
+      "\"topology\":\"2x8:ib+2x8:roce\","
+      "\"framework\":\"Holmes\","
+      "\"workload\":\"group 1 (3.6B params)\","
+      "\"iterations\":3,"
+      "\"window_begin_s\":1.5,\"window_end_s\":3.5,"
+      "\"iteration_s\":1,\"tflops_per_gpu\":150.5,\"throughput\":768,"
+      "\"devices\":[{\"name\":\"gpu0.compute\",\"busy_s\":0.9,"
+      "\"waiting_s\":0.05,\"utilization\":0.45,\"tasks\":42}],"
+      "\"stages\":[{\"stage\":0,\"devices\":2,\"layers\":12,"
+      "\"compute_busy_s\":1.8,\"span_s\":1,\"bubble_fraction\":0.1}],"
+      "\"links\":[{\"name\":\"gpu0.InfiniBand.tx\",\"busy_s\":0.25,"
+      "\"waiting_s\":0,\"utilization\":0.125,\"bytes\":1000000,"
+      "\"transfers\":10,\"effective_gbps\":0.032}],"
+      "\"comms\":[{\"name\":\"dp0\",\"bytes\":1000000,\"transfers\":10,"
+      "\"busy_s\":0.25,\"span_s\":0.5,\"bus_gbps\":0.016}],"
+      "\"grad_sync\":{\"total_s\":0.5,\"overlapped_s\":0.4,"
+      "\"exposed_s\":0.1},"
+      "\"param_allgather\":{\"total_s\":0.25,\"overlapped_s\":0.05,"
+      "\"exposed_s\":0.2}}";
+  EXPECT_EQ(render(sample()), expected);
+}
+
+TEST(RunSummaryJson, OutputIsDeterministic) {
+  EXPECT_EQ(render(sample()), render(sample()));
+}
+
+TEST(RunSummaryJson, EmptyBreakdownsStayValid) {
+  RunSummary s;
+  const std::string json = render(s);
+  EXPECT_NE(json.find("\"devices\":[]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stages\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"links\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"comms\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"holmes.run_summary.v1\""),
+            std::string::npos);
+}
+
+TEST(RunSummaryJson, EscapesStrings) {
+  RunSummary s;
+  s.workload = "odd \"name\"\nwith breaks";
+  const std::string json = render(s);
+  EXPECT_NE(json.find("odd \\\"name\\\"\\nwith breaks"), std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace holmes::obs

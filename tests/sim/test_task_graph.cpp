@@ -92,5 +92,32 @@ TEST(TaskGraph, NoopHasZeroCost) {
   EXPECT_DOUBLE_EQ(g.task(t).duration, 0.0);
 }
 
+TEST(TaskGraph, ChannelsAreDenseAndStable) {
+  TaskGraph g;
+  EXPECT_EQ(g.channel_count(), 0u);
+  const ChannelId dp0 = g.channel("dp0");
+  const ChannelId pp = g.channel("pp");
+  EXPECT_EQ(dp0, 0);
+  EXPECT_EQ(pp, 1);
+  // Get-or-create: the same name maps to the same id.
+  EXPECT_EQ(g.channel("dp0"), dp0);
+  EXPECT_EQ(g.channel_count(), 2u);
+  EXPECT_EQ(g.channel_name(dp0), "dp0");
+  EXPECT_EQ(g.channel_name(pp), "pp");
+}
+
+TEST(TaskGraph, TransferCarriesChannel) {
+  TaskGraph g;
+  const ResourceId tx = g.add_resource("tx");
+  const ResourceId rx = g.add_resource("rx");
+  const ChannelId dp0 = g.channel("dp0");
+  const TaskId attributed = g.add_transfer(tx, rx, 10, 1e9, 0, "a", 0, dp0);
+  const TaskId plain = g.add_transfer(tx, rx, 10, 1e9, 0, "b");
+  EXPECT_EQ(g.task(attributed).channel, dp0);
+  EXPECT_EQ(g.task(plain).channel, kInvalidChannel);
+  // Unknown channel ids are rejected.
+  EXPECT_THROW(g.add_transfer(tx, rx, 10, 1e9, 0, "c", 0, 99), InternalError);
+}
+
 }  // namespace
 }  // namespace holmes::sim

@@ -89,8 +89,65 @@ TEST(Trace, EmptyGraph) {
   TaskGraph g;
   const SimResult result = TaskGraphExecutor{}.run(g);
   std::ostringstream os;
-  write_chrome_trace(os, g, result);
+  TraceOptions options;
+  options.process_name.clear();  // no metadata row either
+  write_chrome_trace(os, g, result, options);
   EXPECT_EQ(os.str(), "[\n]");
+}
+
+TEST(Trace, EmitsProcessAndThreadNameMetadata) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  std::ostringstream os;
+  write_chrome_trace(os, g, result);
+  const std::string trace = os.str();
+  EXPECT_TRUE(json_balanced(trace)) << trace;
+  // Default process name plus one thread_name row per resource, so Perfetto
+  // shows "gpu0.compute" etc. instead of bare tids.
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("holmes simulation"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::size_t at = trace.find("\"thread_name\""); at != std::string::npos;
+       at = trace.find("\"thread_name\"", at + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, g.resource_count());
+  EXPECT_NE(trace.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(Trace, EmitsCounterTracks) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  std::ostringstream os;
+  write_chrome_trace(os, g, result);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(trace.find("\"compute in flight\""), std::string::npos);
+  EXPECT_NE(trace.find("\"links busy\""), std::string::npos);
+  EXPECT_NE(trace.find("\"bytes in flight\""), std::string::npos);
+}
+
+TEST(Trace, CountersCoverTasksBelowMinDuration) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  TraceOptions options;
+  options.min_duration = 1e9;  // drop every slice...
+  std::ostringstream os;
+  write_chrome_trace(os, g, result, options);
+  // ...but the counter staircase still reflects them.
+  EXPECT_EQ(os.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(Trace, CountersCanBeDisabled) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  TraceOptions options;
+  options.counters = false;
+  std::ostringstream os;
+  write_chrome_trace(os, g, result, options);
+  EXPECT_EQ(os.str().find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_TRUE(json_balanced(os.str()));
 }
 
 }  // namespace

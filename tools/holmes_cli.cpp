@@ -21,15 +21,30 @@
 ///   holmes_cli analytic <topology> <group> [--framework F]
 ///       Closed-form iteration-time breakdown (see core/analytic.h).
 ///
+///   holmes_cli stats <topology> <group> [options]
+///       Simulate one scenario and print the observability breakdown:
+///       per-device utilization, per-stage pipeline-bubble fraction,
+///       per-link busy/contention time, per-communicator traffic, and the
+///       exposed-vs-overlapped grad-sync split (docs/observability.md).
+///       --framework F    as for simulate          (default holmes)
+///       --iterations N   simulated iterations     (default 3)
+///       --json FILE      also write the stable JSON run summary
+///       --straggler R:F  slow rank R down by factor F (repeatable)
+///
 ///   holmes_cli envs
 ///       List the named environments and their topology specs.
+///
+/// Global options:
+///   --log-level L    debug | info | warning | error  (default warning)
 ///
 /// <topology> is either a named environment (ib, roce, eth, hybrid —
 /// 4 nodes by default, or e.g. hybrid:8 for 8 nodes) or a spec like
 /// "2x8:ib+2x8:roce" (see net/topology_parse.h).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,9 +52,12 @@
 #include "core/autotune.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/run_stats.h"
 #include "model/memory.h"
 #include "net/topology_parse.h"
+#include "obs/summary.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -117,6 +135,24 @@ FrameworkConfig resolve_framework(const Args& args) {
 int option_int(const Args& args, const std::string& key, int fallback) {
   const auto it = args.options.find(key);
   return it == args.options.end() ? fallback : std::stoi(it->second);
+}
+
+void apply_log_level(const Args& args) {
+  const auto it = args.options.find("log-level");
+  if (it == args.options.end()) return;
+  const std::string& level = it->second;
+  if (level == "debug") {
+    set_log_level(LogLevel::kDebug);
+  } else if (level == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (level == "warning") {
+    set_log_level(LogLevel::kWarning);
+  } else if (level == "error") {
+    set_log_level(LogLevel::kError);
+  } else {
+    throw ConfigError("unknown log level '" + level +
+                      "' (debug|info|warning|error)");
+  }
 }
 
 Perturbations resolve_perturbations(const Args& args) {
@@ -298,6 +334,103 @@ int cmd_analytic(const Args& args) {
   return 0;
 }
 
+int cmd_stats(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError("usage: holmes_cli stats <topology> <group>");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const FrameworkConfig framework = resolve_framework(args);
+  const int iterations = option_int(args, "iterations", 3);
+  const Perturbations perturb = resolve_perturbations(args);
+
+  const TrainingPlan plan =
+      Planner(framework).plan(topo, model::parameter_group(group));
+  SimArtifacts artifacts;
+  const IterationMetrics m =
+      TrainingSimulator{}.run(topo, plan, iterations, perturb,
+                              /*chrome_trace=*/nullptr, &artifacts);
+  const obs::RunSummary summary =
+      build_run_summary(topo, plan, m, artifacts);
+
+  std::cout << summary.framework << " / " << summary.workload << " on "
+            << summary.topology << " (" << plan.degrees.to_string() << ")\n"
+            << "  iteration   " << format_time(m.iteration_time)
+            << "   TFLOPS/GPU " << TextTable::num(m.tflops_per_gpu, 1)
+            << "   throughput " << TextTable::num(m.throughput, 2)
+            << " samples/s\n"
+            << "  window      [" << TextTable::num(summary.window_begin_s, 3)
+            << "s, " << TextTable::num(summary.window_end_s, 3) << "s)\n\n";
+
+  TextTable devices({"Device", "Busy", "Waiting", "Util %", "Tasks"});
+  for (const auto& d : summary.devices) {
+    devices.add_row({d.name, format_time(d.busy_s), format_time(d.waiting_s),
+                     TextTable::num(d.utilization * 100, 1),
+                     TextTable::num(static_cast<std::int64_t>(d.tasks))});
+  }
+  std::cout << "device utilization (steady-state window)\n";
+  devices.print();
+
+  TextTable stages(
+      {"Stage", "Devices", "Layers", "Compute busy", "Span", "Bubble %"});
+  for (const auto& st : summary.stages) {
+    stages.add_row({TextTable::num(static_cast<std::int64_t>(st.stage)),
+                    TextTable::num(static_cast<std::int64_t>(st.devices)),
+                    TextTable::num(static_cast<std::int64_t>(st.layers)),
+                    format_time(st.compute_busy_s), format_time(st.span_s),
+                    TextTable::num(st.bubble_fraction * 100, 1)});
+  }
+  std::cout << "\npipeline bubble (measured iteration)\n";
+  stages.print();
+
+  // Links, busiest first; everything idle is dropped by the summary already.
+  std::vector<obs::RunSummary::Link> links = summary.links;
+  std::sort(links.begin(), links.end(),
+            [](const auto& a, const auto& b) { return a.busy_s > b.busy_s; });
+  constexpr std::size_t kMaxLinks = 16;
+  TextTable link_table(
+      {"Link", "Busy", "Waiting", "Util %", "Bytes", "Eff Gbit/s"});
+  for (std::size_t i = 0; i < std::min(links.size(), kMaxLinks); ++i) {
+    const auto& l = links[i];
+    link_table.add_row({l.name, format_time(l.busy_s), format_time(l.waiting_s),
+                        TextTable::num(l.utilization * 100, 1),
+                        format_bytes(l.bytes),
+                        TextTable::num(l.effective_gbps, 1)});
+  }
+  std::cout << "\nbusiest links (" << std::min(links.size(), kMaxLinks)
+            << " of " << links.size() << " active)\n";
+  link_table.print();
+
+  TextTable comms({"Comm", "Bytes", "Transfers", "Busy", "Span", "Bus Gbit/s"});
+  for (const auto& c : summary.comms) {
+    comms.add_row({c.name, format_bytes(c.bytes),
+                   TextTable::num(static_cast<std::int64_t>(c.transfers)),
+                   format_time(c.busy_s), format_time(c.span_s),
+                   TextTable::num(c.bus_gbps, 1)});
+  }
+  std::cout << "\ncommunicator traffic (steady-state window)\n";
+  comms.print();
+
+  std::cout << "\ngrad sync      total " << format_time(summary.grad_sync.total_s)
+            << "  overlapped " << format_time(summary.grad_sync.overlapped_s)
+            << "  exposed " << format_time(summary.grad_sync.exposed_s) << "\n"
+            << "param gather   total "
+            << format_time(summary.param_allgather.total_s) << "  overlapped "
+            << format_time(summary.param_allgather.overlapped_s)
+            << "  exposed " << format_time(summary.param_allgather.exposed_s)
+            << "\n";
+
+  const auto json = args.options.find("json");
+  if (json != args.options.end()) {
+    std::ofstream out(json->second);
+    if (!out) throw ConfigError("cannot open " + json->second);
+    obs::write_json(out, summary);
+    out << "\n";
+    std::cout << "\nJSON summary written to " << json->second << "\n";
+  }
+  return 0;
+}
+
 int cmd_envs() {
   TextTable table({"Name", "Spec (4 nodes)", "Description"});
   table.add_row({"ib", "4x8:ib", "one InfiniBand cluster"});
@@ -320,14 +453,16 @@ int cmd_envs() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    apply_log_level(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "plan") return cmd_plan(args);
     if (args.command == "tune") return cmd_tune(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "analytic") return cmd_analytic(args);
+    if (args.command == "stats") return cmd_stats(args);
     if (args.command == "envs") return cmd_envs();
     throw ConfigError("unknown command '" + args.command +
-                      "' (simulate|plan|tune|sweep|analytic|envs)");
+                      "' (simulate|plan|tune|sweep|analytic|stats|envs)");
   } catch (const Error& e) {
     std::cerr << e.what() << "\n";
     return 1;
