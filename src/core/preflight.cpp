@@ -1,0 +1,67 @@
+#include "core/preflight.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace holmes::core {
+
+verify::PlanView make_plan_view(const TrainingPlan& plan) {
+  verify::PlanView view;
+  view.groups = &plan.groups;
+  view.partition = &plan.partition;
+  view.stage_nics = &plan.stage_nics;
+  view.model = &plan.workload.config;
+  view.micro_batch_size = plan.workload.micro_batch_size;
+  view.micro_batches = plan.micro_batches;
+  view.ethernet_fallback = plan.ethernet_fallback;
+  view.per_group_transport =
+      plan.framework.transport == TransportPolicy::kPerGroupBest;
+  const int d = plan.degrees.data;
+  view.optimizer_shards = plan.framework.dp_sync.shards_optimizer() ? d : 1;
+  view.weight_shards = plan.framework.dp_sync.shards_weights() ? d : 1;
+  return view;
+}
+
+verify::LintReport lint_training_plan(const net::Topology& topo,
+                                      const TrainingPlan& plan) {
+  return verify::lint_plan(topo, make_plan_view(plan));
+}
+
+verify::LintReport lint_artifacts(const SimArtifacts& artifacts) {
+  verify::GraphLintOptions options;
+  options.serial_programs = artifacts.compute_resource;
+  verify::LintReport report = verify::lint_graph(artifacts.graph, options);
+  if (artifacts.result.has_value()) {
+    report.merge(
+        verify::lint_execution(artifacts.graph, *artifacts.result, options));
+  }
+  return report;
+}
+
+void preflight_or_throw(const net::Topology& topo, const TrainingPlan& plan) {
+  if (log_level() > LogLevel::kDebug) {
+    return;
+  }
+  const verify::LintReport report = lint_training_plan(topo, plan);
+  for (const verify::Diagnostic& diag : report.diagnostics()) {
+    HOLMES_LOG(kDebug) << "preflight " << diag.rule << " ["
+                       << verify::to_string(diag.severity) << "] "
+                       << diag.subject << ": " << diag.message;
+  }
+  if (!report.ok()) {
+    std::ostringstream oss;
+    oss << "plan pre-flight failed (" << report.count(verify::Severity::kError)
+        << " error(s)); first: ";
+    for (const verify::Diagnostic& diag : report.diagnostics()) {
+      if (diag.severity == verify::Severity::kError) {
+        oss << diag.rule << " " << diag.subject << ": " << diag.message;
+        break;
+      }
+    }
+    throw ConfigError(oss.str());
+  }
+}
+
+}  // namespace holmes::core

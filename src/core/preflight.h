@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file preflight.h
+/// Adapter between the planning layer and the static verifier.
+///
+/// `holmes_verify` deliberately layers below `core` (it knows nothing about
+/// TrainingPlan or SimArtifacts); this module owns the downward mapping:
+///
+///  - make_plan_view   — TrainingPlan -> verify::PlanView (non-owning; the
+///                       plan must outlive the view)
+///  - lint_training_plan — run the HV1xx plan rules against a resolved plan
+///  - lint_artifacts   — run the HV2xx graph rules (and, when timings are
+///                       present, the HV3xx execution rules) against the
+///                       artifacts a TrainingSimulator::run left behind
+///  - preflight_or_throw — the debug-mode hook TrainingSimulator::run calls
+///                       before lowering: logs every diagnostic and throws
+///                       ConfigError when any rule fires at error severity.
+///
+/// The pre-flight only engages when the log level is kDebug or lower, so
+/// production sweeps pay nothing for it.
+
+#include "core/training_sim.h"
+#include "net/topology.h"
+#include "verify/graph_lints.h"
+#include "verify/plan_lints.h"
+
+namespace holmes::core {
+
+/// Builds the verifier's non-owning view of `plan`. The returned view
+/// borrows `plan`'s groups/partition/stage_nics/model; `plan` must outlive
+/// it.
+verify::PlanView make_plan_view(const TrainingPlan& plan);
+
+/// Runs every plan-family (HV1xx) rule against `plan` on `topo`.
+verify::LintReport lint_training_plan(const net::Topology& topo,
+                                      const TrainingPlan& plan);
+
+/// Runs the graph-family (HV2xx) rules against `artifacts.graph`, using the
+/// rank -> compute-resource map as the serial programs for the deadlock
+/// rule, and — when `artifacts.result` is populated — the execution-family
+/// (HV3xx) rules against the timings.
+verify::LintReport lint_artifacts(const SimArtifacts& artifacts);
+
+/// Debug-mode pre-flight: when logging at kDebug or lower, lints `plan` and
+/// logs each diagnostic; throws holmes::ConfigError if any error-severity
+/// diagnostic fired. No-op at higher log levels.
+void preflight_or_throw(const net::Topology& topo, const TrainingPlan& plan);
+
+}  // namespace holmes::core

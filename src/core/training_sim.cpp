@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "comm/communicator.h"
+#include "core/preflight.h"
 #include "core/tags.h"
 #include "net/ports.h"
 #include "obs/accounting.h"
@@ -103,6 +104,9 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
   if (iterations < 2) {
     throw ConfigError("need at least 2 iterations (1 warm-up + 1 measured)");
   }
+  // Debug-mode static pre-flight: lint the plan before lowering it. No-op
+  // unless logging at kDebug or lower (see core/preflight.h).
+  preflight_or_throw(topo, plan);
   const int t = plan.degrees.tensor;
   const int p = plan.degrees.pipeline;
   const int d = plan.degrees.data;

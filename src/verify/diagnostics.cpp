@@ -1,0 +1,95 @@
+#include "verify/diagnostics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/json.h"
+
+namespace holmes::verify {
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void LintReport::add(std::string rule, Severity severity, std::string subject,
+                     std::string message) {
+  mark_checked(rule);
+  diagnostics_.push_back(Diagnostic{std::move(rule), severity,
+                                    std::move(subject), std::move(message)});
+}
+
+void LintReport::mark_checked(std::string rule) {
+  if (std::find(checked_.begin(), checked_.end(), rule) == checked_.end()) {
+    checked_.push_back(std::move(rule));
+  }
+}
+
+void LintReport::merge(const LintReport& other) {
+  for (const std::string& rule : other.checked_) mark_checked(rule);
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+bool LintReport::fired(std::string_view rule) const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+void LintReport::promote_warnings() {
+  for (Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kWarning) d.severity = Severity::kError;
+  }
+}
+
+void print_text(std::ostream& out, const LintReport& report) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    out << "  " << d.rule << " [" << to_string(d.severity) << "] " << d.subject
+        << ": " << d.message << "\n";
+  }
+  out << "checked " << report.rules_checked().size()
+      << " rules: " << report.count(Severity::kError) << " errors, "
+      << report.count(Severity::kWarning) << " warnings, "
+      << report.count(Severity::kNote) << " notes\n"
+      << "verdict: " << (report.ok() ? "pass" : "fail") << "\n";
+}
+
+void write_json(std::ostream& out, const LintReport& report) {
+  out << "{\"schema\":\"" << kLintReportSchema << "\",\"verdict\":\""
+      << (report.ok() ? "pass" : "fail")
+      << "\",\"errors\":" << report.count(Severity::kError)
+      << ",\"warnings\":" << report.count(Severity::kWarning)
+      << ",\"notes\":" << report.count(Severity::kNote)
+      << ",\"rules_checked\":[";
+  for (std::size_t i = 0; i < report.rules_checked().size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(report.rules_checked()[i]) << "\"";
+  }
+  out << "],\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics().size(); ++i) {
+    const Diagnostic& d = report.diagnostics()[i];
+    if (i > 0) out << ",";
+    out << "{\"rule\":\"" << json_escape(d.rule) << "\",\"severity\":\""
+        << to_string(d.severity) << "\",\"subject\":\""
+        << json_escape(d.subject) << "\",\"message\":\""
+        << json_escape(d.message) << "\"}";
+  }
+  out << "]}";
+}
+
+}  // namespace holmes::verify

@@ -1,0 +1,487 @@
+#include "verify/graph_lints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+#include "verify/rules.h"
+
+namespace holmes::verify {
+
+namespace {
+
+using sim::ResourceId;
+using sim::Task;
+using sim::TaskId;
+using sim::TaskKind;
+
+std::string resource_name(const TaskSetRef& view, ResourceId id) {
+  if (view.graph != nullptr && id >= 0 &&
+      static_cast<std::size_t>(id) < view.resource_count) {
+    return view.graph->resource_name(id);
+  }
+  return "r" + std::to_string(id);
+}
+
+std::string channel_name(const TaskSetRef& view, sim::ChannelId id) {
+  if (view.graph != nullptr && id >= 0 &&
+      static_cast<std::size_t>(id) < view.channel_count) {
+    return view.graph->channel_name(id);
+  }
+  return "ch" + std::to_string(id);
+}
+
+std::string task_subject(const TaskSetRef& view, std::size_t id) {
+  const Task& task = (*view.tasks)[id];
+  std::string subject = "task " + std::to_string(id);
+  if (!task.label.empty()) subject += " '" + task.label + "'";
+  return subject;
+}
+
+bool resource_ok(const TaskSetRef& view, ResourceId id) {
+  return id >= 0 && static_cast<std::size_t>(id) < view.resource_count;
+}
+
+/// Serialization time a transfer occupies its ports for.
+SimTime serialization_of(const Task& task) {
+  return task.bytes > 0 && task.bandwidth > 0
+             ? static_cast<double>(task.bytes) / task.bandwidth
+             : 0.0;
+}
+
+/// True when every dep id of every task is a valid, distinct task id.
+/// HV202. Returns validity so dependent rules can skip on broken ids.
+bool lint_deps_valid(const TaskSetRef& view, const GraphLintOptions& options,
+                     LintReport& report) {
+  report.mark_checked(kRuleDepsValid);
+  const std::size_t n = view.tasks->size();
+  std::size_t findings = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TaskId dep : (*view.tasks)[i].deps) {
+      const bool dangling = dep < 0 || static_cast<std::size_t>(dep) >= n;
+      const bool self = !dangling && static_cast<std::size_t>(dep) == i;
+      if (!dangling && !self) continue;
+      if (findings < options.max_diagnostics_per_rule) {
+        report.add(kRuleDepsValid, Severity::kError, task_subject(view, i),
+                   dangling ? "depends on task id " + std::to_string(dep) +
+                                  " which does not exist (dangling edge)"
+                            : "depends on itself");
+      }
+      ++findings;
+    }
+  }
+  return findings == 0;
+}
+
+/// Kahn's algorithm over deps plus `extra` edges (from -> to pairs).
+/// Returns ids that never became ready (empty means acyclic).
+std::vector<std::size_t> stuck_tasks(
+    const TaskSetRef& view,
+    const std::vector<std::pair<std::size_t, std::size_t>>& extra) {
+  const std::size_t n = view.tasks->size();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TaskId dep : (*view.tasks)[i].deps) {
+      indegree[i] += 1;
+      dependents[static_cast<std::size_t>(dep)].push_back(i);
+    }
+  }
+  for (const auto& [from, to] : extra) {
+    indegree[to] += 1;
+    dependents[from].push_back(to);
+  }
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  std::size_t completed = 0;
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.back();
+    frontier.pop_back();
+    ++completed;
+    for (std::size_t next : dependents[id]) {
+      if (--indegree[next] == 0) frontier.push_back(next);
+    }
+  }
+  std::vector<std::size_t> stuck;
+  if (completed == n) return stuck;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] > 0) stuck.push_back(i);
+  }
+  return stuck;
+}
+
+std::string sample_tasks(const TaskSetRef& view,
+                         const std::vector<std::size_t>& ids,
+                         std::size_t limit) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ids.size() && i < limit; ++i) {
+    if (i > 0) os << ", ";
+    os << task_subject(view, ids[i]);
+  }
+  if (ids.size() > limit) os << ", ...";
+  return os.str();
+}
+
+void lint_acyclic(const TaskSetRef& view, const GraphLintOptions& options,
+                  LintReport& report) {
+  report.mark_checked(kRuleGraphAcyclic);
+  const std::vector<std::size_t> stuck = stuck_tasks(view, {});
+  if (stuck.empty()) return;
+  std::ostringstream os;
+  os << "dependency cycle: " << stuck.size()
+     << " tasks can never become ready ("
+     << sample_tasks(view, stuck, options.max_diagnostics_per_rule) << ")";
+  report.add(kRuleGraphAcyclic, Severity::kError, "graph", os.str());
+}
+
+void lint_task_fields(const TaskSetRef& view, const GraphLintOptions& options,
+                      LintReport& report) {
+  report.mark_checked(kRuleTaskFields);
+  std::size_t findings = 0;
+  auto emit = [&](std::size_t id, const std::string& message) {
+    if (findings < options.max_diagnostics_per_rule) {
+      report.add(kRuleTaskFields, Severity::kError, task_subject(view, id),
+                 message);
+    }
+    ++findings;
+  };
+  for (std::size_t i = 0; i < view.tasks->size(); ++i) {
+    const Task& task = (*view.tasks)[i];
+    switch (task.kind) {
+      case TaskKind::kCompute:
+        if (!resource_ok(view, task.resource)) {
+          emit(i, "compute task references unknown resource " +
+                      std::to_string(task.resource));
+        }
+        if (task.duration < 0) emit(i, "compute task has negative duration");
+        break;
+      case TaskKind::kTransfer:
+        if (!resource_ok(view, task.src_port)) {
+          emit(i, "transfer references unknown TX port " +
+                      std::to_string(task.src_port));
+        }
+        if (!resource_ok(view, task.dst_port)) {
+          emit(i, "transfer references unknown RX port " +
+                      std::to_string(task.dst_port));
+        }
+        if (resource_ok(view, task.src_port) && task.src_port == task.dst_port) {
+          emit(i, "transfer TX and RX port are the same resource '" +
+                      resource_name(view, task.src_port) + "'");
+        }
+        if (task.bytes < 0) emit(i, "transfer moves a negative byte count");
+        if (task.bytes > 0 && task.bandwidth <= 0) {
+          emit(i, "non-empty transfer has no positive bandwidth");
+        }
+        if (task.latency < 0) emit(i, "transfer has negative latency");
+        if (task.channel != sim::kInvalidChannel &&
+            (task.channel < 0 ||
+             static_cast<std::size_t>(task.channel) >= view.channel_count)) {
+          emit(i, "transfer references unknown channel " +
+                      std::to_string(task.channel));
+        }
+        break;
+      case TaskKind::kNoop:
+        break;
+    }
+  }
+}
+
+void lint_serial_order(const TaskSetRef& view, const GraphLintOptions& options,
+                       LintReport& report) {
+  if (options.serial_programs.empty()) return;
+  report.mark_checked(kRuleSerialOrder);
+  // Chain consecutive compute tasks of each declared program resource in
+  // creation order; a cycle through deps ∪ chains means the device's
+  // in-order issue engine would deadlock.
+  std::vector<std::pair<std::size_t, std::size_t>> extra;
+  for (ResourceId resource : options.serial_programs) {
+    bool have_prev = false;
+    std::size_t prev = 0;
+    for (std::size_t i = 0; i < view.tasks->size(); ++i) {
+      const Task& task = (*view.tasks)[i];
+      if (task.kind != TaskKind::kCompute || task.resource != resource) {
+        continue;
+      }
+      if (have_prev) extra.emplace_back(prev, i);
+      prev = i;
+      have_prev = true;
+    }
+  }
+  const std::vector<std::size_t> stuck = stuck_tasks(view, extra);
+  if (stuck.empty()) return;
+  std::ostringstream os;
+  os << "declared program order conflicts with the dependency structure: "
+     << stuck.size() << " tasks deadlock under in-order issue ("
+     << sample_tasks(view, stuck, options.max_diagnostics_per_rule) << ")";
+  report.add(kRuleSerialOrder, Severity::kError, "graph", os.str());
+}
+
+/// Strips a trailing ".tx"/".rx" so a port pair collapses to its endpoint.
+std::string endpoint_of(const std::string& port) {
+  if (port.size() > 3) {
+    const std::string suffix = port.substr(port.size() - 3);
+    if (suffix == ".tx" || suffix == ".rx") {
+      return port.substr(0, port.size() - 3);
+    }
+  }
+  return port;
+}
+
+void lint_channel_conservation(const TaskSetRef& view,
+                               const GraphLintOptions& options,
+                               LintReport& report) {
+  if (view.channel_count == 0) return;
+  report.mark_checked(kRuleChannelConservation);
+  struct Flow {
+    Bytes tx = 0;
+    Bytes rx = 0;
+    bool sends = false;
+    bool receives = false;
+  };
+  // channel -> endpoint -> flow
+  std::vector<std::map<std::string, Flow>> flows(view.channel_count);
+  for (const Task& task : *view.tasks) {
+    if (task.kind != TaskKind::kTransfer) continue;
+    if (task.channel == sim::kInvalidChannel || task.channel < 0 ||
+        static_cast<std::size_t>(task.channel) >= view.channel_count) {
+      continue;
+    }
+    if (!resource_ok(view, task.src_port) || !resource_ok(view, task.dst_port)) {
+      continue;  // HV203 reports these
+    }
+    auto& per_endpoint = flows[static_cast<std::size_t>(task.channel)];
+    Flow& src = per_endpoint[endpoint_of(resource_name(view, task.src_port))];
+    src.tx += task.bytes;
+    src.sends = true;
+    Flow& dst = per_endpoint[endpoint_of(resource_name(view, task.dst_port))];
+    dst.rx += task.bytes;
+    dst.receives = true;
+  }
+  std::size_t findings = 0;
+  for (std::size_t c = 0; c < flows.size(); ++c) {
+    const auto& per_endpoint = flows[c];
+    if (per_endpoint.size() < 2) continue;
+    // Conservation only holds on *closed* channels where every endpoint
+    // both sends and receives (ring collectives; also the pipeline channel,
+    // whose act/grad byte counts mirror each other).
+    const bool closed = std::all_of(
+        per_endpoint.begin(), per_endpoint.end(),
+        [](const auto& kv) { return kv.second.sends && kv.second.receives; });
+    if (!closed) continue;
+    for (const auto& [endpoint, flow] : per_endpoint) {
+      if (flow.tx == flow.rx) continue;
+      if (findings < options.max_diagnostics_per_rule) {
+        std::ostringstream os;
+        os << "endpoint '" << endpoint << "' transmitted " << flow.tx
+           << " bytes but received " << flow.rx
+           << " on a closed collective channel — bytes-in != bytes-out";
+        report.add(kRuleChannelConservation, Severity::kWarning,
+                   "channel " + channel_name(view, static_cast<sim::ChannelId>(c)),
+                   os.str());
+      }
+      ++findings;
+    }
+  }
+}
+
+/// a >= b, up to relative/absolute tolerance.
+bool ge(double a, double b, double tolerance) {
+  const double eps =
+      tolerance * std::max({1.0, std::fabs(a), std::fabs(b)});
+  return a >= b - eps;
+}
+
+bool near(double a, double b, double tolerance) {
+  return ge(a, b, tolerance) && ge(b, a, tolerance);
+}
+
+void lint_timing_monotone(const TaskSetRef& view, const sim::SimResult& result,
+                          const GraphLintOptions& options, LintReport& report) {
+  report.mark_checked(kRuleTimingMonotone);
+  std::size_t findings = 0;
+  auto emit = [&](std::size_t id, const std::string& message) {
+    if (findings < options.max_diagnostics_per_rule) {
+      report.add(kRuleTimingMonotone, Severity::kError,
+                 task_subject(view, id), message);
+    }
+    ++findings;
+  };
+  for (std::size_t i = 0; i < view.tasks->size(); ++i) {
+    const Task& task = (*view.tasks)[i];
+    const sim::TaskTiming& timing = result.timings()[i];
+    if (timing.start < 0) emit(i, "starts at negative simulated time");
+    if (timing.finish < timing.start) {
+      emit(i, "has a negative span (finish precedes start)");
+      continue;
+    }
+    const double span = timing.finish - timing.start;
+    switch (task.kind) {
+      case TaskKind::kCompute:
+        if (!near(span, task.duration, options.tolerance)) {
+          emit(i, "compute span disagrees with its declared duration");
+        }
+        break;
+      case TaskKind::kTransfer:
+        if (!near(span, serialization_of(task) + task.latency,
+                  options.tolerance)) {
+          emit(i, "transfer span disagrees with serialization + latency");
+        }
+        break;
+      case TaskKind::kNoop:
+        if (!near(span, 0.0, options.tolerance)) {
+          emit(i, "noop consumed simulated time");
+        }
+        break;
+    }
+    for (TaskId dep : task.deps) {
+      if (dep < 0 || static_cast<std::size_t>(dep) >= view.tasks->size()) {
+        continue;  // HV202 reports these
+      }
+      const sim::TaskTiming& dep_timing =
+          result.timings()[static_cast<std::size_t>(dep)];
+      if (!ge(timing.start, dep_timing.finish, options.tolerance)) {
+        emit(i, "starts before its dependency " +
+                    task_subject(view, static_cast<std::size_t>(dep)) +
+                    " finished");
+      }
+    }
+  }
+}
+
+void lint_resource_exclusive(const TaskSetRef& view,
+                             const sim::SimResult& result,
+                             const GraphLintOptions& options,
+                             LintReport& report) {
+  report.mark_checked(kRuleResourceExclusive);
+  struct Occupancy {
+    SimTime begin;
+    SimTime end;
+    std::size_t task;
+  };
+  std::vector<std::vector<Occupancy>> per_resource(view.resource_count);
+  auto occupy = [&](ResourceId resource, SimTime begin, SimTime end,
+                    std::size_t task) {
+    if (!resource_ok(view, resource)) return;  // HV203 reports these
+    per_resource[static_cast<std::size_t>(resource)].push_back(
+        {begin, end, task});
+  };
+  for (std::size_t i = 0; i < view.tasks->size(); ++i) {
+    const Task& task = (*view.tasks)[i];
+    const sim::TaskTiming& timing = result.timings()[i];
+    switch (task.kind) {
+      case TaskKind::kCompute:
+        occupy(task.resource, timing.start, timing.start + task.duration, i);
+        break;
+      case TaskKind::kTransfer: {
+        // Ports are held for the serialization time only; the propagation
+        // latency delays dependents, not the ports.
+        const SimTime end = timing.start + serialization_of(task);
+        occupy(task.src_port, timing.start, end, i);
+        if (task.dst_port != task.src_port) {
+          occupy(task.dst_port, timing.start, end, i);
+        }
+        break;
+      }
+      case TaskKind::kNoop:
+        break;
+    }
+  }
+  std::size_t findings = 0;
+  for (std::size_t r = 0; r < per_resource.size(); ++r) {
+    auto& intervals = per_resource[r];
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Occupancy& a, const Occupancy& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.end < b.end;
+              });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      const Occupancy& prev = intervals[i - 1];
+      const Occupancy& next = intervals[i];
+      if (ge(next.begin, prev.end, options.tolerance)) continue;
+      if (findings < options.max_diagnostics_per_rule) {
+        std::ostringstream os;
+        os << task_subject(view, prev.task) << " and "
+           << task_subject(view, next.task)
+           << " overlap on the serial resource";
+        report.add(kRuleResourceExclusive, Severity::kError,
+                   "resource '" + resource_name(view, static_cast<ResourceId>(r)) +
+                       "'",
+                   os.str());
+      }
+      ++findings;
+    }
+  }
+}
+
+bool lint_result_complete(const TaskSetRef& view, const sim::SimResult& result,
+                          const GraphLintOptions& options,
+                          LintReport& report) {
+  report.mark_checked(kRuleResultComplete);
+  if (result.timings().size() != view.tasks->size()) {
+    std::ostringstream os;
+    os << "result carries " << result.timings().size() << " timings for "
+       << view.tasks->size() << " tasks";
+    report.add(kRuleResultComplete, Severity::kError, "result", os.str());
+    return false;
+  }
+  SimTime last = 0;
+  for (const sim::TaskTiming& timing : result.timings()) {
+    last = std::max(last, timing.finish);
+  }
+  if (!near(result.makespan(), last, options.tolerance)) {
+    std::ostringstream os;
+    os << "makespan " << result.makespan()
+       << " disagrees with the latest task finish " << last;
+    report.add(kRuleResultComplete, Severity::kError, "result", os.str());
+  }
+  return true;
+}
+
+}  // namespace
+
+TaskSetRef as_ref(const sim::TaskGraph& graph) {
+  return TaskSetRef{&graph.tasks(), graph.resource_count(),
+                    graph.channel_count(), &graph};
+}
+
+LintReport lint_graph(const TaskSetRef& view, const GraphLintOptions& options) {
+  HOLMES_CHECK_MSG(view.tasks != nullptr, "TaskSetRef needs tasks");
+  LintReport report;
+  const bool deps_ok = lint_deps_valid(view, options, report);
+  lint_task_fields(view, options, report);
+  if (deps_ok) {
+    lint_acyclic(view, options, report);
+    lint_serial_order(view, options, report);
+  }
+  lint_channel_conservation(view, options, report);
+  return report;
+}
+
+LintReport lint_graph(const sim::TaskGraph& graph,
+                      const GraphLintOptions& options) {
+  return lint_graph(as_ref(graph), options);
+}
+
+LintReport lint_execution(const TaskSetRef& view, const sim::SimResult& result,
+                          const GraphLintOptions& options) {
+  HOLMES_CHECK_MSG(view.tasks != nullptr, "TaskSetRef needs tasks");
+  LintReport report;
+  if (lint_result_complete(view, result, options, report)) {
+    lint_timing_monotone(view, result, options, report);
+    lint_resource_exclusive(view, result, options, report);
+  }
+  return report;
+}
+
+LintReport lint_execution(const sim::TaskGraph& graph,
+                          const sim::SimResult& result,
+                          const GraphLintOptions& options) {
+  return lint_execution(as_ref(graph), result, options);
+}
+
+}  // namespace holmes::verify

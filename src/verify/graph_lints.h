@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file graph_lints.h
+/// Graph-family (HV2xx) and execution-family (HV3xx) lints.
+///
+/// Graph lints are structural checks on a built task graph: acyclicity,
+/// dangling dependencies, per-kind field consistency, per-device
+/// serial-order deadlock detection (deps vs declared program order), and
+/// bytes-in == bytes-out conservation per collective channel.
+///
+/// Execution lints audit a finished sim::SimResult against the graph:
+/// monotone timings that honor dependencies and declared costs, exclusive
+/// occupancy of every serial resource, and completeness of the result.
+///
+/// The passes deliberately re-derive everything from the Task records
+/// rather than trusting TaskGraph's construction-time checks — the point of
+/// the verifier is to survive refactors that bypass or weaken those checks.
+/// The TaskSetRef view makes that testable: known-bad fixtures are raw
+/// `std::vector<sim::Task>` values that the TaskGraph API would refuse to
+/// build.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+#include "verify/diagnostics.h"
+
+namespace holmes::verify {
+
+/// Non-owning view of a task set. `graph` is optional and used only to
+/// resolve resource/channel names for subjects and the HV205 endpoint
+/// pairing; when absent, synthetic names ("r7", "ch2") are used.
+struct TaskSetRef {
+  const std::vector<sim::Task>* tasks = nullptr;
+  std::size_t resource_count = 0;
+  std::size_t channel_count = 0;
+  const sim::TaskGraph* graph = nullptr;
+};
+
+/// View over a real TaskGraph.
+TaskSetRef as_ref(const sim::TaskGraph& graph);
+
+struct GraphLintOptions {
+  /// Resources whose task creation order is the intended serial program
+  /// order (device compute engines). HV204 checks that deps plus that
+  /// program order are jointly acyclic; empty skips the rule.
+  std::vector<sim::ResourceId> serial_programs;
+  /// Relative tolerance for floating-point timing comparisons.
+  double tolerance = 1e-9;
+  /// Cap on diagnostics emitted per rule (the first violations are the
+  /// informative ones; a broken 100k-task graph should not produce 100k
+  /// diagnostics).
+  std::size_t max_diagnostics_per_rule = 8;
+};
+
+/// Structural rules HV201..HV205.
+LintReport lint_graph(const TaskSetRef& view, const GraphLintOptions& options = {});
+LintReport lint_graph(const sim::TaskGraph& graph,
+                      const GraphLintOptions& options = {});
+
+/// Execution rules HV301..HV303 over a finished run.
+LintReport lint_execution(const TaskSetRef& view, const sim::SimResult& result,
+                          const GraphLintOptions& options = {});
+LintReport lint_execution(const sim::TaskGraph& graph,
+                          const sim::SimResult& result,
+                          const GraphLintOptions& options = {});
+
+}  // namespace holmes::verify

@@ -1,0 +1,99 @@
+#include "verify/rules.h"
+
+namespace holmes::verify {
+
+std::string to_string(RuleFamily family) {
+  switch (family) {
+    case RuleFamily::kPlan:
+      return "plan";
+    case RuleFamily::kGraph:
+      return "graph";
+    case RuleFamily::kExecution:
+      return "execution";
+  }
+  return "unknown";
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {kRuleDpGroupTransport, RuleFamily::kPlan, Severity::kError,
+       "dp-group-transport",
+       "A data-parallel group with RDMA-capable members cannot establish a "
+       "common RDMA fabric (mixed NICs or cluster-crossing membership); its "
+       "high-volume gradient traffic degrades to Ethernet."},
+      {kRuleTpGroupLocality, RuleFamily::kPlan, Severity::kError,
+       "tp-group-locality",
+       "A tensor-parallel group leaves a single node; TP traffic must stay "
+       "on NVLink/PCIe."},
+      {kRuleDpClusterCrossing, RuleFamily::kPlan, Severity::kWarning,
+       "dp-cluster-crossing",
+       "A data-parallel group spans clusters: cluster-crossing traffic is "
+       "only tolerable on the low-volume pipeline dimension."},
+      {kRulePartitionStructure, RuleFamily::kPlan, Severity::kError,
+       "partition-structure",
+       "The stage partition is malformed: not a positive multiple of the "
+       "pipeline degree, a stage with < 1 layer, or layers not summing to "
+       "the model's layer count."},
+      {kRulePartitionSpeedOrder, RuleFamily::kPlan, Severity::kWarning,
+       "partition-speed-order",
+       "Layer counts invert the Eq. (2) NIC speed order: a stage on a "
+       "strictly faster NIC received fewer layers than a stage on a "
+       "strictly slower one."},
+      {kRuleMemoryFit, RuleFamily::kPlan, Severity::kError,
+       "memory-fit",
+       "The worst stage's estimated per-device memory footprint exceeds the "
+       "device memory budget."},
+      {kRuleDegreesConsistent, RuleFamily::kPlan, Severity::kError,
+       "degrees-consistent",
+       "Parallelism degrees are inconsistent with the topology: t*p*d does "
+       "not equal the world size, t does not divide a node's GPU count, or "
+       "the plan has no micro-batches."},
+      {kRuleNeedlessFallback, RuleFamily::kPlan, Severity::kWarning,
+       "needless-fallback",
+       "The global Ethernet fallback is engaged on a single homogeneous "
+       "RDMA cluster, forfeiting RDMA for no compatibility reason."},
+      {kRuleGraphAcyclic, RuleFamily::kGraph, Severity::kError,
+       "graph-acyclic",
+       "The task dependency graph contains a cycle; the affected tasks can "
+       "never become ready."},
+      {kRuleDepsValid, RuleFamily::kGraph, Severity::kError,
+       "deps-valid",
+       "A dependency references a task id that does not exist (dangling "
+       "edge) or the task itself."},
+      {kRuleTaskFields, RuleFamily::kGraph, Severity::kError,
+       "task-fields",
+       "A task's fields are inconsistent: compute without a valid resource "
+       "or with negative duration; transfer with invalid/identical ports, "
+       "negative bytes/latency, or missing bandwidth; unknown channel."},
+      {kRuleSerialOrder, RuleFamily::kGraph, Severity::kError,
+       "serial-order",
+       "A device's declared program order (task creation order on a serial "
+       "resource) conflicts with the dependency structure — an in-order "
+       "issue engine (1F1B) would deadlock."},
+      {kRuleChannelConservation, RuleFamily::kGraph, Severity::kWarning,
+       "channel-conservation",
+       "On a closed collective channel (every endpoint both sends and "
+       "receives) an endpoint's bytes-in does not equal its bytes-out."},
+      {kRuleTimingMonotone, RuleFamily::kExecution, Severity::kError,
+       "timing-monotone",
+       "A simulated task has a negative span, starts before a dependency "
+       "finished, or its span disagrees with its declared cost."},
+      {kRuleResourceExclusive, RuleFamily::kExecution, Severity::kError,
+       "resource-exclusive",
+       "Two tasks occupy the same serial resource at overlapping times."},
+      {kRuleResultComplete, RuleFamily::kExecution, Severity::kError,
+       "result-complete",
+       "The simulation result does not cover every task, or its makespan "
+       "disagrees with the latest task finish."},
+  };
+  return catalog;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    if (id == rule.id) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace holmes::verify

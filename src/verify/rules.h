@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file rules.h
+/// Registry of every verifier rule: stable id, family, default severity,
+/// and documentation. The catalog is the single source of truth — the lint
+/// passes reference ids from here, `holmes_cli lint --rules` prints it, and
+/// docs/static-analysis.md mirrors it. Ids are never reused or renumbered;
+/// retired rules keep their slot.
+///
+/// Numbering: HV1xx are *plan* lints (ParallelConfig / group layout /
+/// partition / memory, checked before graph construction), HV2xx are
+/// *graph* lints (structural checks on a built TaskGraph), HV3xx are
+/// *execution* lints (conservation checks on a SimResult).
+
+#include <string_view>
+#include <vector>
+
+#include "verify/diagnostics.h"
+
+namespace holmes::verify {
+
+enum class RuleFamily { kPlan, kGraph, kExecution };
+
+std::string to_string(RuleFamily family);
+
+struct RuleInfo {
+  const char* id;            ///< "HV101"
+  RuleFamily family;
+  Severity default_severity;
+  const char* title;         ///< short kebab-case name, e.g. "dp-group-transport"
+  const char* detail;        ///< one-sentence description for docs/CLI
+};
+
+/// Every registered rule, ascending by id.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Looks a rule up by id; nullptr when unknown.
+const RuleInfo* find_rule(std::string_view id);
+
+// ---- Plan family ----
+inline constexpr const char* kRuleDpGroupTransport = "HV101";
+inline constexpr const char* kRuleTpGroupLocality = "HV102";
+inline constexpr const char* kRuleDpClusterCrossing = "HV103";
+inline constexpr const char* kRulePartitionStructure = "HV104";
+inline constexpr const char* kRulePartitionSpeedOrder = "HV105";
+inline constexpr const char* kRuleMemoryFit = "HV106";
+inline constexpr const char* kRuleDegreesConsistent = "HV107";
+inline constexpr const char* kRuleNeedlessFallback = "HV108";
+
+// ---- Graph family ----
+inline constexpr const char* kRuleGraphAcyclic = "HV201";
+inline constexpr const char* kRuleDepsValid = "HV202";
+inline constexpr const char* kRuleTaskFields = "HV203";
+inline constexpr const char* kRuleSerialOrder = "HV204";
+inline constexpr const char* kRuleChannelConservation = "HV205";
+
+// ---- Execution family ----
+inline constexpr const char* kRuleTimingMonotone = "HV301";
+inline constexpr const char* kRuleResourceExclusive = "HV302";
+inline constexpr const char* kRuleResultComplete = "HV303";
+
+}  // namespace holmes::verify

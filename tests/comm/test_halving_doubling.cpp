@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, HalvingDoublingSweep,
     ::testing::Values(Shape{1, 8}, Shape{2, 16}, Shape{4, 64}, Shape{8, 64},
                       Shape{16, 256}, Shape{8, 5}, Shape{4, 1}, Shape{32, 97}),
-    [](const ::testing::TestParamInfo<Shape>& info) {
-      return "n" + std::to_string(info.param.n) + "_e" +
-             std::to_string(info.param.elems);
+    [](const ::testing::TestParamInfo<Shape>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_e" +
+             std::to_string(param_info.param.elems);
     });
 
 TEST(HalvingDoubling, BandwidthMatchesRing) {

@@ -68,10 +68,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Shape{2, 2, 16}, Shape{2, 4, 64}, Shape{4, 2, 64},
                       Shape{4, 8, 256}, Shape{3, 3, 27}, Shape{2, 8, 7},
                       Shape{1, 4, 32}, Shape{4, 1, 32}),
-    [](const ::testing::TestParamInfo<Shape>& info) {
-      return "n" + std::to_string(info.param.nodes) + "x" +
-             std::to_string(info.param.locals) + "_e" +
-             std::to_string(info.param.elems);
+    [](const ::testing::TestParamInfo<Shape>& param_info) {
+      return "n" + std::to_string(param_info.param.nodes) + "x" +
+             std::to_string(param_info.param.locals) + "_e" +
+             std::to_string(param_info.param.elems);
     });
 
 TEST(Hierarchical, DegeneratesToFlatRing) {

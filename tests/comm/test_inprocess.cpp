@@ -120,9 +120,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Shape{1, 16}, Shape{2, 16}, Shape{3, 16}, Shape{4, 64},
                       Shape{5, 17}, Shape{8, 64}, Shape{8, 3}, Shape{16, 256},
                       Shape{7, 1}),
-    [](const ::testing::TestParamInfo<Shape>& info) {
-      return "n" + std::to_string(info.param.n) + "_e" +
-             std::to_string(info.param.elems);
+    [](const ::testing::TestParamInfo<Shape>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_e" +
+             std::to_string(param_info.param.elems);
     });
 
 TEST(InProcessAllToAll, ExchangesBlocksBySourceAndDestination) {

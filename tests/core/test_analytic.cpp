@@ -35,8 +35,8 @@ TEST_P(AnalyticAgreement, WithinTwentyFivePercentOfSimulation) {
 INSTANTIATE_TEST_SUITE_P(Envs, AnalyticAgreement,
                          ::testing::Values(NicEnv::kInfiniBand, NicEnv::kRoCE,
                                            NicEnv::kEthernet, NicEnv::kHybrid),
-                         [](const ::testing::TestParamInfo<NicEnv>& info) {
-                           std::string name = to_string(info.param);
+                         [](const ::testing::TestParamInfo<NicEnv>& param_info) {
+                           std::string name = to_string(param_info.param);
                            for (char& c : name) {
                              if (!std::isalnum(static_cast<unsigned char>(c))) {
                                c = '_';

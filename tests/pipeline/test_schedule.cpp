@@ -54,10 +54,10 @@ INSTANTIATE_TEST_SUITE_P(Shapes, ScheduleSweep,
                                            Shape{2, 12}, Shape{3, 16},
                                            Shape{4, 4}, Shape{4, 24},
                                            Shape{8, 96}, Shape{3, 2}),
-                         [](const ::testing::TestParamInfo<Shape>& info) {
-                           return "p" + std::to_string(info.param.stages) +
+                         [](const ::testing::TestParamInfo<Shape>& param_info) {
+                           return "p" + std::to_string(param_info.param.stages) +
                                   "_m" +
-                                  std::to_string(info.param.microbatches);
+                                  std::to_string(param_info.param.microbatches);
                          });
 
 TEST(Schedule, LastStageAlternatesImmediately) {
@@ -121,10 +121,10 @@ INSTANTIATE_TEST_SUITE_P(
                       InterleavedShape{2, 12, 3}, InterleavedShape{3, 6, 2},
                       InterleavedShape{4, 8, 2}, InterleavedShape{4, 8, 4},
                       InterleavedShape{2, 2, 5}),
-    [](const ::testing::TestParamInfo<InterleavedShape>& info) {
-      return "p" + std::to_string(info.param.stages) + "_m" +
-             std::to_string(info.param.microbatches) + "_c" +
-             std::to_string(info.param.chunks);
+    [](const ::testing::TestParamInfo<InterleavedShape>& param_info) {
+      return "p" + std::to_string(param_info.param.stages) + "_m" +
+             std::to_string(param_info.param.microbatches) + "_c" +
+             std::to_string(param_info.param.chunks);
     });
 
 TEST(Interleaved, SingleChunkEqualsPipeDreamFlush) {

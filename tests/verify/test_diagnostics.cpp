@@ -1,0 +1,121 @@
+#include "verify/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace holmes::verify {
+namespace {
+
+TEST(LintReport, EmptyReportPasses) {
+  LintReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.count(Severity::kError), 0u);
+  EXPECT_TRUE(report.diagnostics().empty());
+  EXPECT_TRUE(report.rules_checked().empty());
+}
+
+TEST(LintReport, CountsBySeverity) {
+  LintReport report;
+  report.add("HV101", Severity::kError, "dp0", "broken");
+  report.add("HV103", Severity::kWarning, "dp1", "suspicious");
+  report.add("HV103", Severity::kWarning, "dp2", "suspicious");
+  report.add("HV108", Severity::kNote, "transport", "fyi");
+  EXPECT_EQ(report.count(Severity::kError), 1u);
+  EXPECT_EQ(report.count(Severity::kWarning), 2u);
+  EXPECT_EQ(report.count(Severity::kNote), 1u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.fired("HV101"));
+  EXPECT_TRUE(report.fired("HV103"));
+  EXPECT_FALSE(report.fired("HV102"));
+}
+
+TEST(LintReport, WarningsDoNotFailTheVerdict) {
+  LintReport report;
+  report.add("HV103", Severity::kWarning, "dp1", "suspicious");
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LintReport, AddMarksTheRuleChecked) {
+  LintReport report;
+  report.add("HV101", Severity::kError, "dp0", "broken");
+  ASSERT_EQ(report.rules_checked().size(), 1u);
+  EXPECT_EQ(report.rules_checked()[0], "HV101");
+}
+
+TEST(LintReport, MarkCheckedIsIdempotent) {
+  LintReport report;
+  report.mark_checked("HV201");
+  report.mark_checked("HV201");
+  report.mark_checked("HV202");
+  EXPECT_EQ(report.rules_checked().size(), 2u);
+}
+
+TEST(LintReport, MergeAppendsDiagnosticsAndDedupesCheckedRules) {
+  LintReport a;
+  a.mark_checked("HV101");
+  a.add("HV102", Severity::kError, "tp0", "spans nodes");
+  LintReport b;
+  b.mark_checked("HV101");  // duplicate across reports
+  b.add("HV201", Severity::kError, "graph", "cycle");
+  a.merge(b);
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_EQ(a.rules_checked().size(), 3u);  // HV101, HV102, HV201
+  EXPECT_TRUE(a.fired("HV201"));
+}
+
+TEST(LintReport, PromoteWarningsTurnsWarningsIntoErrors) {
+  LintReport report;
+  report.add("HV103", Severity::kWarning, "dp1", "suspicious");
+  report.add("HV108", Severity::kNote, "transport", "fyi");
+  EXPECT_TRUE(report.ok());
+  report.promote_warnings();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.count(Severity::kWarning), 0u);
+  EXPECT_EQ(report.count(Severity::kError), 1u);
+  EXPECT_EQ(report.count(Severity::kNote), 1u);  // notes are untouched
+}
+
+TEST(PrintText, RendersDiagnosticsSummaryAndVerdict) {
+  LintReport report;
+  report.mark_checked("HV102");
+  report.add("HV101", Severity::kError, "dp0", "no common RDMA fabric");
+  std::ostringstream out;
+  print_text(out, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("HV101 [error] dp0: no common RDMA fabric"),
+            std::string::npos);
+  EXPECT_NE(text.find("checked 2 rules: 1 errors, 0 warnings, 0 notes"),
+            std::string::npos);
+  EXPECT_NE(text.find("verdict: fail"), std::string::npos);
+}
+
+TEST(WriteJson, ByteStableDocument) {
+  LintReport report;
+  report.mark_checked("HV101");
+  report.add("HV103", Severity::kWarning, "dp1", "crosses clusters");
+  std::ostringstream out;
+  write_json(out, report);
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"holmes.lint_report.v1\",\"verdict\":\"pass\","
+            "\"errors\":0,\"warnings\":1,\"notes\":0,"
+            "\"rules_checked\":[\"HV101\",\"HV103\"],"
+            "\"diagnostics\":[{\"rule\":\"HV103\",\"severity\":\"warning\","
+            "\"subject\":\"dp1\",\"message\":\"crosses clusters\"}]}");
+}
+
+TEST(WriteJson, EscapesMessages) {
+  LintReport report;
+  report.add("HV203", Severity::kError, "task 1 'x\"y'", "a\"b");
+  std::ostringstream out;
+  write_json(out, report);
+  EXPECT_NE(out.str().find("\"subject\":\"task 1 'x\\\"y'\""),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"message\":\"a\\\"b\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace holmes::verify

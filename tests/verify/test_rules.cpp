@@ -1,0 +1,85 @@
+#include "verify/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace holmes::verify {
+namespace {
+
+TEST(RuleCatalog, HasSixteenRulesWithUniqueAscendingIds) {
+  const auto& catalog = rule_catalog();
+  EXPECT_EQ(catalog.size(), 16u);
+  std::set<std::string> ids;
+  std::string prev;
+  for (const RuleInfo& rule : catalog) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate id " << rule.id;
+    EXPECT_LT(prev, rule.id) << "catalog not ascending at " << rule.id;
+    prev = rule.id;
+  }
+}
+
+TEST(RuleCatalog, FamiliesMatchIdNumbering) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    const std::string id = rule.id;
+    ASSERT_EQ(id.size(), 5u) << id;
+    ASSERT_EQ(id.substr(0, 2), "HV") << id;
+    switch (id[2]) {
+      case '1':
+        EXPECT_EQ(rule.family, RuleFamily::kPlan) << id;
+        break;
+      case '2':
+        EXPECT_EQ(rule.family, RuleFamily::kGraph) << id;
+        break;
+      case '3':
+        EXPECT_EQ(rule.family, RuleFamily::kExecution) << id;
+        break;
+      default:
+        FAIL() << "unknown family digit in " << id;
+    }
+  }
+}
+
+TEST(RuleCatalog, EveryRuleIsDocumented) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    EXPECT_FALSE(std::string(rule.title).empty()) << rule.id;
+    EXPECT_FALSE(std::string(rule.detail).empty()) << rule.id;
+  }
+}
+
+TEST(RuleCatalog, ConstantsResolve) {
+  for (const char* id :
+       {kRuleDpGroupTransport, kRuleTpGroupLocality, kRuleDpClusterCrossing,
+        kRulePartitionStructure, kRulePartitionSpeedOrder, kRuleMemoryFit,
+        kRuleDegreesConsistent, kRuleNeedlessFallback, kRuleGraphAcyclic,
+        kRuleDepsValid, kRuleTaskFields, kRuleSerialOrder,
+        kRuleChannelConservation, kRuleTimingMonotone, kRuleResourceExclusive,
+        kRuleResultComplete}) {
+    EXPECT_NE(find_rule(id), nullptr) << id << " missing from the catalog";
+  }
+}
+
+TEST(RuleCatalog, FindRuleReturnsNullForUnknownIds) {
+  EXPECT_EQ(find_rule("HV999"), nullptr);
+  EXPECT_EQ(find_rule(""), nullptr);
+}
+
+TEST(RuleCatalog, KnownDefaults) {
+  const RuleInfo* hv101 = find_rule("HV101");
+  ASSERT_NE(hv101, nullptr);
+  EXPECT_EQ(hv101->default_severity, Severity::kError);
+  EXPECT_EQ(std::string(hv101->title), "dp-group-transport");
+  const RuleInfo* hv103 = find_rule("HV103");
+  ASSERT_NE(hv103, nullptr);
+  EXPECT_EQ(hv103->default_severity, Severity::kWarning);
+}
+
+TEST(RuleFamilyNames, ToString) {
+  EXPECT_EQ(to_string(RuleFamily::kPlan), "plan");
+  EXPECT_EQ(to_string(RuleFamily::kGraph), "graph");
+  EXPECT_EQ(to_string(RuleFamily::kExecution), "execution");
+}
+
+}  // namespace
+}  // namespace holmes::verify

@@ -31,6 +31,18 @@
 ///       --json FILE      also write the stable JSON run summary
 ///       --straggler R:F  slow rank R down by factor F (repeatable)
 ///
+///   holmes_cli lint <topology> <group> [options]
+///       Static verifier: plan-family (HV1xx) lints over the resolved plan,
+///       then graph/execution-family (HV2xx/HV3xx) lints over a simulated
+///       run. Exits non-zero when any error-severity rule fires
+///       (docs/static-analysis.md).
+///       --framework F    as for simulate          (default holmes)
+///       --iterations N   simulated iterations     (default 3)
+///       --json FILE      also write the stable JSON lint report
+///       --strict         promote warnings to errors
+///       --no-graph       plan lints only (skip the simulation)
+///       --rules          print the rule catalog and exit
+///
 ///   holmes_cli envs
 ///       List the named environments and their topology specs.
 ///
@@ -50,6 +62,7 @@
 
 #include "core/analytic.h"
 #include "core/autotune.h"
+#include "core/preflight.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/run_stats.h"
@@ -60,6 +73,7 @@
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/units.h"
+#include "verify/rules.h"
 
 using namespace holmes;
 using namespace holmes::core;
@@ -81,7 +95,9 @@ Args parse_args(int argc, char** argv) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
-      const bool is_flag = key == "markdown" || key == "csv";
+      const bool is_flag = key == "markdown" || key == "csv" ||
+                           key == "strict" || key == "no-graph" ||
+                           key == "rules";
       if (!is_flag) {
         if (i + 1 >= argc) throw ConfigError("missing value for --" + key);
         const std::string value = argv[++i];
@@ -431,6 +447,60 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_lint(const Args& args) {
+  if (args.options.count("rules")) {
+    TextTable table({"Rule", "Family", "Severity", "Title"});
+    for (const verify::RuleInfo& rule : verify::rule_catalog()) {
+      table.add_row({rule.id, verify::to_string(rule.family),
+                     verify::to_string(rule.default_severity), rule.title});
+    }
+    table.print();
+    std::cout << "\nSee docs/static-analysis.md for the full catalog.\n";
+    return 0;
+  }
+  if (args.positional.size() < 2) {
+    throw ConfigError(
+        "usage: holmes_cli lint <topology> <group> "
+        "[--framework F] [--json FILE] [--strict] [--no-graph] (or lint "
+        "--rules)");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const FrameworkConfig framework = resolve_framework(args);
+  const int iterations = option_int(args, "iterations", 3);
+
+  const TrainingPlan plan =
+      Planner(framework).plan(topo, model::parameter_group(group));
+  verify::LintReport report = lint_training_plan(topo, plan);
+
+  if (!args.options.count("no-graph")) {
+    // Lower + simulate the plan and audit the task graph and its timings.
+    // The debug pre-flight inside run() would re-lint the plan and throw on
+    // the first error; lint wants the *full* report, so run it at the
+    // current (non-debug) log level and keep the linting here.
+    SimArtifacts artifacts;
+    TrainingSimulator{}.run(topo, plan, iterations, /*perturbations=*/{},
+                            /*chrome_trace=*/nullptr, &artifacts);
+    report.merge(lint_artifacts(artifacts));
+  }
+  if (args.options.count("strict")) report.promote_warnings();
+
+  std::cout << framework.name << " / group " << group << " on "
+            << net::format_topology(topo) << " (" << plan.degrees.to_string()
+            << ")\n";
+  verify::print_text(std::cout, report);
+
+  const auto json = args.options.find("json");
+  if (json != args.options.end()) {
+    std::ofstream out(json->second);
+    if (!out) throw ConfigError("cannot open " + json->second);
+    verify::write_json(out, report);
+    out << "\n";
+    std::cout << "JSON report written to " << json->second << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_envs() {
   TextTable table({"Name", "Spec (4 nodes)", "Description"});
   table.add_row({"ib", "4x8:ib", "one InfiniBand cluster"});
@@ -460,9 +530,10 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "analytic") return cmd_analytic(args);
     if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "lint") return cmd_lint(args);
     if (args.command == "envs") return cmd_envs();
     throw ConfigError("unknown command '" + args.command +
-                      "' (simulate|plan|tune|sweep|analytic|stats|envs)");
+                      "' (simulate|plan|tune|sweep|analytic|stats|lint|envs)");
   } catch (const Error& e) {
     std::cerr << e.what() << "\n";
     return 1;
