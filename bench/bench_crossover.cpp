@@ -14,6 +14,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -43,12 +44,14 @@ net::Topology hybrid_with_eth_gbps(double gbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("crossover", argc, argv);
   std::cout << "Crossover sweep 1: degrade the clusters' RDMA NICs (group 1, "
                "4 nodes)\n\n";
   const double ethernet_baseline =
       run_experiment(FrameworkConfig::holmes(), NicEnv::kEthernet, 4, 1)
           .throughput;
+  report.set("rdma_sweep/ethernet_baseline_throughput", ethernet_baseline);
 
   const std::vector<double> rdma_speeds = {200, 100, 50, 25};
   std::vector<double> hybrid_thr(rdma_speeds.size());
@@ -64,6 +67,9 @@ int main() {
     sweep1.add_row({TextTable::num(rdma_speeds[i], 0),
                     TextTable::num(hybrid_thr[i], 2),
                     TextTable::num(hybrid_thr[i] / ethernet_baseline, 2) + "x"});
+    report.set("rdma_sweep/" + TextTable::num(rdma_speeds[i], 0) +
+                   "gbps/holmes_throughput",
+               hybrid_thr[i]);
   }
   sweep1.print();
 
@@ -87,6 +93,10 @@ int main() {
                     TextTable::num(lm_thr[i], 2),
                     TextTable::num(holmes_thr[i], 2),
                     TextTable::num(holmes_thr[i] / lm_thr[i], 2) + "x"});
+    const std::string prefix =
+        "eth_sweep/" + TextTable::num(eth_speeds[i], 0) + "gbps";
+    report.set(prefix + "/megatron_lm_throughput", lm_thr[i]);
+    report.set(prefix + "/holmes_throughput", holmes_thr[i]);
   }
   sweep2.print();
 
@@ -94,5 +104,5 @@ int main() {
                "upgrade on this workload — the fallback\nbaseline needs "
                "hundreds of Gbps of commodity bandwidth to match Holmes on "
                "stock 25 GbE.\n";
-  return 0;
+  return report.write();
 }

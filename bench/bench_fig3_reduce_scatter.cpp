@@ -7,6 +7,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -14,7 +15,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig3_reduce_scatter", argc, argv);
   std::cout << "Figure 3: grads-reduce-scatter time per iteration (seconds), "
                "4 nodes\n\n";
 
@@ -36,15 +38,19 @@ int main() {
                    .grad_sync_span;
   });
 
+  const std::vector<std::string> env_names = {"ib", "roce", "eth", "hybrid"};
   TextTable table({"Group", "InfiniBand", "RoCE", "Ethernet", "Hybrid"});
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     std::vector<std::string> row = {
         TextTable::num(static_cast<std::int64_t>(groups[gi]))};
     for (std::size_t ei = 0; ei < envs.size(); ++ei) {
       row.push_back(TextTable::num(spans[gi * envs.size() + ei], 3));
+      report.set("grad_sync_s/group" + std::to_string(groups[gi]) + "/" +
+                     env_names[ei],
+                 spans[gi * envs.size() + ei]);
     }
     table.add_row(std::move(row));
   }
   table.print();
-  return 0;
+  return report.write();
 }

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -14,7 +15,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig4_case2", argc, argv);
   std::cout << "Figure 4: throughput (samples/s) on 4 nodes, case-2 split "
                "clusters vs homogeneous bounds\n\n";
 
@@ -41,9 +43,12 @@ int main() {
         TextTable::num(static_cast<std::int64_t>(groups[gi]))};
     for (std::size_t ei = 0; ei < envs.size(); ++ei) {
       row.push_back(TextTable::num(thr[gi * envs.size() + ei], 2));
+      report.set("throughput/group" + std::to_string(groups[gi]) + "/" +
+                     to_string(envs[ei]),
+                 thr[gi * envs.size() + ei]);
     }
     table.add_row(std::move(row));
   }
   table.print();
-  return 0;
+  return report.write();
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -12,7 +13,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig5_partition", argc, argv);
   std::cout << "Figure 5: pipeline partition strategies on the Hybrid "
                "environment, 4 nodes (alpha = 1.05)\n\n";
 
@@ -42,6 +44,9 @@ int main() {
                    TextTable::num(c.uni_tflops, 0), TextTable::num(c.uni_thr, 2),
                    TextTable::num(c.sa_tflops, 0), TextTable::num(c.sa_thr, 2),
                    TextTable::num((c.sa_thr / c.uni_thr - 1.0) * 100.0, 1)});
+    const std::string prefix = "group" + std::to_string(groups[i]);
+    report.set(prefix + "/uniform_throughput", c.uni_thr);
+    report.set(prefix + "/self_adapting_throughput", c.sa_thr);
   }
   table.print();
 
@@ -60,7 +65,10 @@ int main() {
                    TextTable::num(m.throughput, 2),
                    std::to_string(plan.partition[0]) + "/" +
                        std::to_string(plan.partition[1])});
+    report.set("alpha_sweep/group1/alpha" + TextTable::num(alpha, 2) +
+                   "/throughput",
+               m.throughput);
   }
   sweep.print();
-  return 0;
+  return report.write();
 }

@@ -6,13 +6,15 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig6_frameworks", argc, argv);
   std::cout << "Figure 6: frameworks on group 3, 8 nodes (4 RoCE + 4 IB)\n"
             << "(paper: LM ~132, DeepSpeed ~133, LLaMA ~150, Holmes ~183)\n\n";
 
@@ -31,7 +33,9 @@ int main() {
     table.add_row({fw.name, TextTable::num(m.tflops_per_gpu, 0),
                    TextTable::num(m.throughput, 2),
                    TextTable::num(m.throughput / lm_throughput, 2) + "x"});
+    report.set(fw.name + "/tflops", m.tflops_per_gpu);
+    report.set(fw.name + "/throughput", m.throughput);
   }
   table.print();
-  return 0;
+  return report.write();
 }

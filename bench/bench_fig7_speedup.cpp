@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -18,7 +19,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig7_speedup", argc, argv);
   std::cout << "Figure 7: Holmes speedup over mainstream frameworks, groups "
                "7-8 on Hybrid clusters\n\n";
 
@@ -71,11 +73,17 @@ int main() {
         TextTable::num(static_cast<std::int64_t>(scenarios[i].group)),
         TextTable::num(static_cast<std::int64_t>(scenarios[i].nodes)),
         TextTable::num(c.holmes_thr, 2)};
-    for (double thr : c.baseline_thr) {
-      row.push_back(TextTable::num(c.holmes_thr / thr, 2) + "x");
+    const std::string prefix = "group" +
+                               std::to_string(scenarios[i].group) + "/" +
+                               std::to_string(scenarios[i].nodes) + "n";
+    report.set(prefix + "/holmes_throughput", c.holmes_thr);
+    for (std::size_t b = 0; b < c.baseline_thr.size(); ++b) {
+      row.push_back(TextTable::num(c.holmes_thr / c.baseline_thr[b], 2) + "x");
+      report.set(prefix + "/speedup_vs_" + baselines[b].name,
+                 c.holmes_thr / c.baseline_thr[b]);
     }
     table.add_row(std::move(row));
   }
   table.print();
-  return 0;
+  return report.write();
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "comm/communicator.h"
 #include "core/experiment.h"
 #include "sim/executor.h"
@@ -35,7 +36,8 @@ SimTime simulate(const net::Topology& topo, Bytes bytes, bool hierarchical) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("hierarchical", argc, argv);
   std::cout << "All-reduce algorithm comparison: 4 nodes x 8 GPUs, 4 GiB "
                "gradient buffer\n\n";
 
@@ -48,6 +50,8 @@ int main() {
     const SimTime hier = simulate(topo, bytes, true);
     table.add_row({net::to_string(nic), TextTable::num(flat, 3),
                    TextTable::num(hier, 3), TextTable::num(flat / hier, 2) + "x"});
+    report.set(net::to_string(nic) + "/flat_ring_s", flat);
+    report.set(net::to_string(nic) + "/hierarchical_s", hier);
   }
   table.print();
 
@@ -55,5 +59,5 @@ int main() {
                "Ethernet gains less per ring because its NICs\nare "
                "node-shared (net::PortMap) — the 8 shard rings contend for "
                "4 port pairs per node.\n";
-  return 0;
+  return report.write();
 }

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file bench_json.h
+/// Shared machine-readable output for the experiment benches.
+///
+/// Every bench_* binary prints a human table; CI and regression tooling
+/// want the same numbers as stable JSON. Each bench constructs a
+/// BenchReport, records every table cell under a stable metric name
+/// ("grad_sync_s/group1/ib"), and ends main with `return report.write();`.
+/// Without `--json` the report is a no-op; with it the bench additionally
+/// emits one holmes.bench.v1 document:
+///
+///   --json         write BENCH_<name>.json in the working directory
+///   --json=FILE    write FILE ("-" for stdout)
+///
+/// The schema is a flat metric list so `holmes_cli diff` aligns two bench
+/// runs by metric name regardless of ordering:
+///
+///   {"schema":"holmes.bench.v1","bench":"<name>",
+///    "metrics":[{"name":"...","value":...},...]}
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace holmes::bench {
+
+class BenchReport {
+ public:
+  /// `name` is the bench's stable identifier (binary name without the
+  /// bench_ prefix). Scans argv for --json[=FILE]; unrelated arguments are
+  /// ignored so benches stay no-argument tools.
+  BenchReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        file_ = "BENCH_" + name_ + ".json";
+      } else if (arg.rfind("--json=", 0) == 0) {
+        file_ = arg.substr(7);
+        if (file_.empty()) file_ = "BENCH_" + name_ + ".json";
+      }
+    }
+  }
+
+  bool enabled() const { return !file_.empty(); }
+
+  /// Records one scalar under a stable name (insertion order preserved).
+  void set(const std::string& metric, double value) {
+    if (enabled()) metrics_.emplace_back(metric, value);
+  }
+
+  /// Writes the report when --json was given. Returns 0 so benches can
+  /// `return report.write();` from main.
+  int write() const {
+    if (!enabled()) return 0;
+    if (file_ == "-") {
+      emit(std::cout);
+      std::cout << "\n";
+      return 0;
+    }
+    std::ofstream out(file_);
+    if (!out) throw ConfigError("cannot open " + file_);
+    emit(out);
+    out << "\n";
+    std::cout << "\nJSON written to " << file_ << "\n";
+    return 0;
+  }
+
+ private:
+  void emit(std::ostream& out) const {
+    out << "{\"schema\":\"holmes.bench.v1\",\"bench\":\"" << json_escape(name_)
+        << "\",\"metrics\":[";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"name\":\"" << json_escape(metrics_[i].first)
+          << "\",\"value\":" << json_number(metrics_[i].second) << "}";
+    }
+    out << "]}";
+  }
+
+  std::string name_;
+  std::string file_;  ///< empty: disabled
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace holmes::bench

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -15,7 +16,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("precision", argc, argv);
   std::cout << "Gradient-precision ablation: group 1, 4 nodes, Holmes "
                "(TFLOPS)\n\n";
 
@@ -46,10 +48,12 @@ int main() {
     table.add_row({to_string(envs[ei]), TextTable::num(fp32, 0),
                    TextTable::num(bf16, 0),
                    TextTable::num((bf16 / fp32 - 1.0) * 100.0, 1)});
+    report.set(to_string(envs[ei]) + "/fp32_tflops", fp32);
+    report.set(to_string(envs[ei]) + "/bf16_tflops", bf16);
   }
   table.print();
   std::cout << "\nHalving gradient bytes helps slow fabrics most, but even "
                "bf16 Ethernet stays far below RDMA —\nprecision cannot "
                "substitute for NIC-aware scheduling.\n";
-  return 0;
+  return report.write();
 }

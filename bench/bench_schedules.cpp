@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -15,7 +16,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("schedules", argc, argv);
   std::cout << "Schedule ablation: group 1, 4 nodes (TFLOPS). Interleaved-k "
                "= k model chunks per device.\n\n";
 
@@ -47,6 +49,8 @@ int main() {
     std::vector<std::string> row = {variants[vi].label};
     for (std::size_t ei = 0; ei < envs.size(); ++ei) {
       row.push_back(TextTable::num(tflops[vi * envs.size() + ei], 0));
+      report.set(variants[vi].label + "/" + to_string(envs[ei]) + "/tflops",
+                 tflops[vi * envs.size() + ei]);
     }
     table.add_row(std::move(row));
   }
@@ -57,5 +61,5 @@ int main() {
                "activation traffic on the hybrid environment — chunk counts "
                "beyond 2 lose more to the Ethernet link than the\n"
                "smaller bubble saves.\n";
-  return 0;
+  return report.write();
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "pipeline/partition.h"
 #include "util/table.h"
@@ -13,7 +14,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("straggler", argc, argv);
   std::cout << "Straggler study: group 1 on the Hybrid environment (4 "
                "nodes); one RoCE-cluster node throttled\n\n";
 
@@ -53,10 +55,14 @@ int main() {
     table.add_row({TextTable::num(slowdown, 1) + "x",
                    TextTable::num(holmes, 2), TextTable::num(lm, 2),
                    TextTable::num(repartitioned, 2)});
+    const std::string prefix = "slowdown" + TextTable::num(slowdown, 1);
+    report.set(prefix + "/holmes_throughput", holmes);
+    report.set(prefix + "/megatron_lm_throughput", lm);
+    report.set(prefix + "/repartitioned_throughput", repartitioned);
   }
   table.print();
   std::cout << "\nA measured-speed re-partition moves layers off the "
                "throttled stage, recovering much of the loss —\nthe "
                "self-adapting mechanism generalizes beyond NIC classes.\n";
-  return 0;
+  return report.write();
 }

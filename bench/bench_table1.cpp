@@ -7,13 +7,15 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("table1", argc, argv);
   std::cout << "Table 1: GPT-3.6B (group 1) on 4 nodes x 8 A100s, per NIC "
                "environment\n"
             << "(paper: IB 197/99.23, RoCE 160/80.54, Ethernet 122/61.32)\n\n";
@@ -32,7 +34,9 @@ int main() {
     table.add_row({to_string(env), TextTable::num(m.tflops_per_gpu, 0),
                    TextTable::num(m.throughput, 2),
                    TextTable::num(topo.catalog().spec(fabric).bandwidth_gbps, 0)});
+    report.set("tflops/" + to_string(env), m.tflops_per_gpu);
+    report.set("throughput/" + to_string(env), m.throughput);
   }
   table.print();
-  return 0;
+  return report.write();
 }

@@ -3,14 +3,17 @@
 /// sizes, computed parameter counts, and FLOPs per iteration.
 
 #include <iostream>
+#include <string>
 
+#include "bench_json.h"
 #include "model/gpt_zoo.h"
 #include "util/table.h"
 
 using namespace holmes;
 using namespace holmes::model;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("table2_params", argc, argv);
   std::cout << "Table 2: parameter groups (vocab 51,200; sequence length "
                "2,048)\n"
             << "P from Eq. (5), F from Eq. (6) at the group's batch size\n\n";
@@ -30,7 +33,11 @@ int main() {
                    TextTable::num(g.batch_size),
                    TextTable::num(
                        g.config.flops_per_iteration(g.batch_size) / 1e15, 1)});
+    const std::string prefix = "group" + std::to_string(g.id);
+    report.set(prefix + "/params_b", g.config.parameter_count() / 1e9);
+    report.set(prefix + "/pflops_per_iteration",
+               g.config.flops_per_iteration(g.batch_size) / 1e15);
   }
   table.print();
-  return 0;
+  return report.write();
 }

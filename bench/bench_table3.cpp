@@ -5,6 +5,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -12,7 +13,8 @@
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("table3", argc, argv);
   std::cout << "Table 3: groups 1-4 x {InfiniBand, RoCE, Ethernet, Hybrid} x "
                "{4, 6, 8} nodes (TFLOPS / throughput)\n\n";
 
@@ -51,10 +53,15 @@ int main() {
             cells[(gi * envs.size() + ei) * node_counts.size() + ni];
         row.push_back(TextTable::num(c.tflops, 0));
         row.push_back(TextTable::num(c.throughput, 2));
+        const std::string prefix = "group" + std::to_string(groups[gi]) + "/" +
+                                   to_string(envs[ei]) + "/" +
+                                   std::to_string(node_counts[ni]) + "n";
+        report.set(prefix + "/tflops", c.tflops);
+        report.set(prefix + "/throughput", c.throughput);
       }
       table.add_row(std::move(row));
     }
   }
   table.print();
-  return 0;
+  return report.write();
 }

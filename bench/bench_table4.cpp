@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -30,7 +31,8 @@ net::Topology three_clusters(int nodes_each, net::NicType a, net::NicType b,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("table4", argc, argv);
   std::cout << "Table 4: three-cluster environments, pipeline degree 3 "
                "(TFLOPS / throughput)\n"
             << "Rows use the 7.5B model at p=3: batch 1536 (group 5) and "
@@ -89,8 +91,14 @@ int main() {
                          TextTable::num(c.eth_thr, 2),
                      TextTable::num(c.hyb_tflops, 0) + " / " +
                          TextTable::num(c.hyb_thr, 2)});
+      const std::string prefix = "group" + std::to_string(groups[gi]) + "/" +
+                                 scenarios[si].label;
+      report.set(prefix + "/ethernet_tflops", c.eth_tflops);
+      report.set(prefix + "/ethernet_throughput", c.eth_thr);
+      report.set(prefix + "/hybrid_tflops", c.hyb_tflops);
+      report.set(prefix + "/hybrid_throughput", c.hyb_thr);
     }
   }
   table.print();
-  return 0;
+  return report.write();
 }

@@ -8,13 +8,15 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/experiment.h"
 #include "util/table.h"
 
 using namespace holmes;
 using namespace holmes::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("table5_ablation", argc, argv);
   std::cout << "Table 5: ablation on group 3, 8 nodes (4 RoCE + 4 IB)\n"
             << "(paper: LM 132, Holmes 183, w/o SA 179, w/o Overlap 170, "
                "w/o both 168)\n\n";
@@ -51,7 +53,9 @@ int main() {
     }
     table.add_row({row.label, TextTable::num(m.tflops_per_gpu, 0),
                    TextTable::num(m.throughput, 2), delta});
+    report.set(row.label + "/tflops", m.tflops_per_gpu);
+    report.set(row.label + "/throughput", m.throughput);
   }
   table.print();
-  return 0;
+  return report.write();
 }

@@ -1,12 +1,15 @@
 #include "core/run_stats.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/tags.h"
 #include "net/topology_parse.h"
 #include "obs/accounting.h"
+#include "obs/sensitivity.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -18,6 +21,39 @@ std::string format_billions(double billions) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", billions);
   return buf;
+}
+
+std::string workload_label(const TrainingPlan& plan) {
+  return "group " + std::to_string(plan.workload.id) + " (" +
+         format_billions(plan.workload.nominal_billions) + "B params)";
+}
+
+/// NIC class of a port resource; the PortMap bakes the fabric name into
+/// every port's resource name ("gpu3.RoCE.tx", "node0.Ethernet0.rx").
+const char* nic_class_of(const std::string& resource_name) {
+  static constexpr const char* kClasses[] = {"NVLink", "PCIe", "InfiniBand",
+                                             "RoCE", "Ethernet"};
+  for (const char* cls : kClasses) {
+    if (resource_name.find(cls) != std::string::npos) return cls;
+  }
+  return "unknown";
+}
+
+/// Communicator kind of a transfer, from its canonical per-iteration tag
+/// (tag = base + iteration * kIterationStride); falls back to the channel
+/// name for transfers outside the canonical set.
+std::string comm_kind_of(const sim::TaskGraph& graph, const sim::Task& task) {
+  switch (task.tag % tags::kIterationStride) {
+    case tags::kActivationP2P: return "pp p2p";
+    case tags::kGradReduceScatter: return "grad reduce-scatter";
+    case tags::kGradAllReduce: return "grad all-reduce";
+    case tags::kParamAllGather: return "param all-gather";
+    default: break;
+  }
+  if (task.channel != sim::kInvalidChannel) {
+    return graph.channel_name(task.channel);
+  }
+  return "other";
 }
 
 }  // namespace
@@ -40,8 +76,7 @@ obs::RunSummary build_run_summary(const net::Topology& topo,
   obs::RunSummary s;
   s.topology = net::format_topology(topo);
   s.framework = plan.framework.name;
-  s.workload = "group " + std::to_string(plan.workload.id) + " (" +
-               format_billions(plan.workload.nominal_billions) + "B params)";
+  s.workload = workload_label(plan);
   s.iterations = artifacts.iterations;
   s.window_begin_s = window.begin;
   s.window_end_s = window.end;
@@ -137,6 +172,158 @@ obs::RunSummary build_run_summary(const net::Topology& topo,
       graph, result, obs::tag_in({last_tag(tags::kParamAllGather)}),
       compute_cover, window);
   s.param_allgather = {gather.total, gather.overlapped, gather.exposed};
+
+  return s;
+}
+
+obs::CriticalPathSummary build_critical_path_summary(
+    const net::Topology& topo, const TrainingPlan& plan,
+    const IterationMetrics& metrics, const SimArtifacts& artifacts,
+    const CriticalPathOptions& options, obs::CriticalPath* path_out) {
+  HOLMES_CHECK_MSG(artifacts.result.has_value(),
+                   "critical-path summary needs populated artifacts (pass a "
+                   "SimArtifacts* to TrainingSimulator::run)");
+  const sim::TaskGraph& graph = artifacts.graph;
+  const sim::SimResult& result = *artifacts.result;
+
+  const obs::CriticalPath path = obs::extract_critical_path(graph, result);
+  if (path_out != nullptr) *path_out = path;
+
+  const double window_begin = std::max(0.0, options.window_begin);
+  const double window_end =
+      options.window_end < 0 ? path.makespan
+                             : std::min(options.window_end, path.makespan);
+  HOLMES_CHECK_MSG(window_begin < window_end,
+                   "critical-path window is empty (begin >= end)");
+
+  // Clip to the attribution window; the default window keeps everything, so
+  // bucket seconds telescope to the full makespan.
+  obs::CriticalPath clipped;
+  clipped.makespan = path.makespan;
+  clipped.tasks = path.tasks;
+  for (obs::PathSegment segment : path.segments) {
+    segment.begin = std::max(segment.begin, window_begin);
+    segment.end = std::min(segment.end, window_end);
+    if (segment.end > segment.begin) clipped.segments.push_back(segment);
+  }
+
+  // Compute resource -> pipeline stage, via the plan's group matrices.
+  std::vector<int> stage_of(graph.resource_count(), -1);
+  for (int rank = 0; rank < topo.world_size(); ++rank) {
+    stage_of[static_cast<std::size_t>(
+        artifacts.compute_resource[static_cast<std::size_t>(rank)])] =
+        plan.groups.coord_of(rank).stage;
+  }
+  auto stage_bucket = [&](sim::ResourceId resource) -> std::string {
+    const int stage =
+        resource >= 0 ? stage_of[static_cast<std::size_t>(resource)] : -1;
+    return stage >= 0 ? "compute/stage" + std::to_string(stage)
+                      : std::string("compute/other");
+  };
+
+  auto bucket_of = [&](const obs::PathSegment& segment) -> std::string {
+    switch (segment.kind) {
+      case obs::SegmentKind::kCompute:
+        return stage_bucket(segment.resource);
+      case obs::SegmentKind::kCommBusy:
+        return std::string("comm/") +
+               nic_class_of(graph.resource_name(segment.resource)) + "/" +
+               comm_kind_of(graph, graph.task(segment.task));
+      case obs::SegmentKind::kCommLatency:
+        return std::string("latency/") +
+               nic_class_of(graph.resource_name(segment.resource));
+      case obs::SegmentKind::kQueueWait: {
+        const std::string& name = graph.resource_name(segment.resource);
+        if (name.find(".compute") != std::string::npos) return "wait/compute";
+        return std::string("wait/") + nic_class_of(name);
+      }
+    }
+    return "other";
+  };
+
+  obs::CriticalPathSummary s;
+  s.topology = net::format_topology(topo);
+  s.framework = plan.framework.name;
+  s.workload = workload_label(plan);
+  s.makespan_s = path.makespan;
+  s.iteration_s = metrics.iteration_time;
+  s.window_begin_s = window_begin;
+  s.window_end_s = window_end;
+  s.total_segments = clipped.segments.size();
+
+  // ---- attribution buckets (partition the window) ----
+  std::map<std::string, obs::CriticalPathSummary::Bucket> buckets;
+  for (const obs::PathSegment& segment : clipped.segments) {
+    const std::string name = bucket_of(segment);
+    obs::CriticalPathSummary::Bucket& b = buckets[name];
+    if (b.name.empty()) {
+      b.name = name;
+      b.kind = obs::to_string(segment.kind);
+    }
+    b.seconds += segment.duration();
+    ++b.segments;
+  }
+  const double window_span = window_end - window_begin;
+  for (auto& [name, bucket] : buckets) {
+    bucket.share = window_span > 0 ? bucket.seconds / window_span : 0.0;
+    s.buckets.push_back(bucket);
+  }
+  std::sort(s.buckets.begin(), s.buckets.end(),
+            [](const obs::CriticalPathSummary::Bucket& a,
+               const obs::CriticalPathSummary::Bucket& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.name < b.name;
+            });
+
+  // ---- longest segments ----
+  std::vector<obs::PathSegment> longest = clipped.segments;
+  std::sort(longest.begin(), longest.end(),
+            [](const obs::PathSegment& a, const obs::PathSegment& b) {
+              if (a.duration() != b.duration())
+                return a.duration() > b.duration();
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.task < b.task;
+            });
+  if (longest.size() > options.top_segments) {
+    longest.resize(options.top_segments);
+  }
+  s.top_segments.reserve(longest.size());
+  for (const obs::PathSegment& segment : longest) {
+    const sim::Task& task = graph.task(segment.task);
+    obs::CriticalPathSummary::Segment out;
+    out.task = segment.task;
+    out.label = task.label.empty() ? "task" + std::to_string(segment.task)
+                                   : task.label;
+    out.kind = obs::to_string(segment.kind);
+    out.edge = obs::to_string(segment.edge);
+    out.resource =
+        segment.resource >= 0 ? graph.resource_name(segment.resource) : "";
+    out.bucket = bucket_of(segment);
+    out.begin_s = segment.begin;
+    out.end_s = segment.end;
+    s.top_segments.push_back(std::move(out));
+  }
+
+  // ---- first-order what-if sensitivities over the windowed path ----
+  const std::vector<obs::WhatIf> whatifs = obs::what_if_sensitivities(
+      graph, clipped,
+      // `task` is the segment's controlling task: its own for busy spans,
+      // the blocking occupant for queue waits. Either way segment.resource
+      // is the resource that task occupied (a wait's contended resource IS
+      // the holder's), so the class lookups below work for both.
+      [&](const obs::PathSegment& segment, const sim::Task& task) -> std::string {
+        if (task.kind == sim::TaskKind::kCompute) {
+          const std::string bucket = stage_bucket(segment.resource);
+          return bucket == "compute/other" ? std::string() : bucket;
+        }
+        return std::string("link/") +
+               nic_class_of(graph.resource_name(segment.resource));
+      });
+  s.sensitivities.reserve(whatifs.size());
+  for (const obs::WhatIf& w : whatifs) {
+    s.sensitivities.push_back(
+        {w.target, w.critical_s, w.dmakespan_ds, w.predicted_savings(1.1)});
+  }
 
   return s;
 }

@@ -14,6 +14,7 @@
 #include "core/plan.h"
 #include "core/training_sim.h"
 #include "net/topology.h"
+#include "obs/critical_path.h"
 #include "obs/summary.h"
 
 namespace holmes::core {
@@ -26,5 +27,27 @@ obs::RunSummary build_run_summary(const net::Topology& topo,
                                   const TrainingPlan& plan,
                                   const IterationMetrics& metrics,
                                   const SimArtifacts& artifacts);
+
+/// Options for build_critical_path_summary (holmes_cli explain's knobs).
+struct CriticalPathOptions {
+  std::size_t top_segments = 16;  ///< cap on the reported longest segments
+  double window_begin = 0;        ///< clip attribution to [begin, end]
+  double window_end = -1;         ///< < 0 means "through the makespan"
+};
+
+/// Extracts the run's critical path and attributes it to plan-aware
+/// buckets: per-stage compute ("compute/stage<k>"), per-NIC-class and
+/// per-communicator-kind transfer serialization ("comm/<class>/<kind>"),
+/// propagation latency ("latency/<class>") and queue wait
+/// ("wait/compute" | "wait/<class>"). Bucket seconds sum exactly to the
+/// attribution window (the full makespan by default). Also derives the
+/// first-order what-if sensitivities ("compute/stage<k>", "link/<class>").
+/// When `path_out` is non-null it receives the raw (unclipped) path, e.g.
+/// for trace emphasis. Throws unless `artifacts` is populated.
+obs::CriticalPathSummary build_critical_path_summary(
+    const net::Topology& topo, const TrainingPlan& plan,
+    const IterationMetrics& metrics, const SimArtifacts& artifacts,
+    const CriticalPathOptions& options = {},
+    obs::CriticalPath* path_out = nullptr);
 
 }  // namespace holmes::core

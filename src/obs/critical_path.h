@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file critical_path.h
+/// Critical-path extraction and makespan attribution over a finished run.
+///
+/// The executor's schedule is fully determined by two constraint families:
+/// dependency edges (a task starts no earlier than its latest-finishing
+/// dependency) and per-resource serial order (a task starts no earlier than
+/// its resources free up). The *critical path* is the chain of tasks walked
+/// backwards from the makespan task along whichever constraint was binding
+/// at each step. Because every task's start time equals one of its
+/// constraint times exactly, consecutive chain elements tile the timeline:
+/// the segment list produced here partitions [0, makespan] with no gaps and
+/// no overlaps, so segment durations sum to the makespan *exactly* — the
+/// invariant `holmes_cli explain` and the tests rely on.
+///
+/// Each chain interval is split into up to three segments:
+///  - kCompute / kCommBusy: the chain task occupying its resource,
+///  - kCommLatency: a transfer's propagation latency (the wire is busy but
+///    no port is), only when the successor waited for the full finish,
+///  - kQueueWait: the tail of an interval during which the *next* chain
+///    task was ready but its resource was still held — resource contention
+///    made visible. Wait is attributed to the final blocking occupant; a
+///    task blocked across several occupants shows the earlier portion under
+///    those occupants' own segments.
+///
+/// Attribution to buckets (per-stage compute, per-NIC-class communication,
+/// queue wait) is a layer above: see CriticalPathSummary and
+/// core::build_critical_path_summary, which add the plan context this
+/// graph-level module deliberately knows nothing about.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+
+namespace holmes::obs {
+
+/// How one chain element was reached from its predecessor (walking forward
+/// in time): it was the first task, its binding constraint was a dependency
+/// edge, or its resource was held by the previous occupant.
+enum class PathEdge : std::uint8_t { kStart, kDependency, kResource };
+
+/// What a segment's span of the timeline was spent on.
+enum class SegmentKind : std::uint8_t {
+  kCompute,      ///< a compute task occupying its device
+  kCommBusy,     ///< a transfer's serialization on its ports
+  kCommLatency,  ///< a transfer's propagation latency
+  kQueueWait,    ///< the next chain task sat ready, blocked on a resource
+};
+
+const char* to_string(PathEdge edge);
+const char* to_string(SegmentKind kind);
+
+struct PathSegment {
+  sim::TaskId task = sim::kInvalidTask;  ///< chain task this span belongs to
+  SegmentKind kind = SegmentKind::kCompute;
+  PathEdge edge = PathEdge::kStart;  ///< how `task` entered the chain
+  SimTime begin = 0;
+  SimTime end = 0;
+  /// Resource the span occupied (compute resource, transfer src port) or,
+  /// for kQueueWait, the contended resource the next task waited on.
+  sim::ResourceId resource = -1;
+  /// The task whose execution controls this span's end: the span's own task
+  /// for busy/latency segments; for kQueueWait, the blocking occupant whose
+  /// release freed the resource. Sensitivity analysis credits wait time to
+  /// the holder's class — speeding the holder shrinks the wait one-for-one.
+  sim::TaskId holder = sim::kInvalidTask;
+
+  SimTime duration() const { return end - begin; }
+};
+
+struct CriticalPath {
+  std::vector<PathSegment> segments;  ///< time order; tiles [0, makespan]
+  SimTime makespan = 0;
+  /// Distinct chain tasks in time order (one task may span several
+  /// segments). Handy for trace emphasis (TraceOptions::critical_tasks).
+  std::vector<sim::TaskId> tasks;
+};
+
+/// Extracts the critical path of `result` over `graph`. Deterministic: ties
+/// (several constraints binding at the same instant) prefer dependency
+/// edges over resource order, then the lowest task id.
+CriticalPath extract_critical_path(const sim::TaskGraph& graph,
+                                   const sim::SimResult& result);
+
+// ---------------------------------------------------------------------------
+// Stable summary schema (holmes.critical_path.v1)
+// ---------------------------------------------------------------------------
+
+inline constexpr const char* kCriticalPathSchema = "holmes.critical_path.v1";
+
+/// Everything `holmes_cli explain` reports: the attributed buckets, the
+/// dominant segments, and the first-order what-if sensitivities. Built from
+/// a CriticalPath plus plan context by core::build_critical_path_summary;
+/// written as stable JSON by write_json below (fixed key order, "%.12g"
+/// numbers — byte-stable for fixed inputs, like the run summary).
+struct CriticalPathSummary {
+  std::string schema = kCriticalPathSchema;
+  std::string topology;
+  std::string framework;
+  std::string workload;
+  double makespan_s = 0;
+  double iteration_s = 0;
+  /// Attribution window (defaults to [0, makespan]). Buckets partition the
+  /// critical path *clipped to this window*, so their seconds sum to
+  /// window_end_s - window_begin_s.
+  double window_begin_s = 0;
+  double window_end_s = 0;
+
+  /// One attribution bucket: a named share of the makespan. Buckets
+  /// partition the (windowed) critical path, so their seconds sum to the
+  /// window span — the full makespan by default.
+  struct Bucket {
+    std::string name;    ///< e.g. "compute/stage0", "comm/Ethernet/pp p2p"
+    std::string kind;    ///< "compute" | "comm" | "latency" | "wait"
+    double seconds = 0;
+    double share = 0;    ///< seconds / makespan
+    std::uint64_t segments = 0;
+  };
+
+  /// One reported segment (the longest `top` of the full path).
+  struct Segment {
+    std::int32_t task = -1;
+    std::string label;
+    std::string kind;      ///< SegmentKind as text
+    std::string edge;      ///< PathEdge as text
+    std::string resource;  ///< resource name
+    std::string bucket;    ///< owning attribution bucket
+    double begin_s = 0;
+    double end_s = 0;
+  };
+
+  /// First-order what-if: speeding the bucket's resource class up by a
+  /// factor (1+eps) removes ~eps * critical_s from the makespan, i.e.
+  /// d(makespan)/d(relative speedup) = -critical_s. Queue-wait time counts
+  /// toward the *blocking occupant's* class (its release ends the wait);
+  /// latency is not speedup-addressable and carries no sensitivity entry.
+  struct Sensitivity {
+    std::string bucket;
+    double critical_s = 0;       ///< seconds of the path in this bucket
+    double dmakespan_ds = 0;     ///< = -critical_s
+    double savings_10pct_s = 0;  ///< predicted saving for a 10% speedup
+  };
+
+  std::vector<Bucket> buckets;        ///< descending seconds
+  std::vector<Segment> top_segments;  ///< descending duration
+  std::vector<Sensitivity> sensitivities;  ///< descending critical_s
+  std::uint64_t total_segments = 0;   ///< before the top-N cut
+};
+
+/// Writes the summary as a single stable JSON object (no trailing newline).
+void write_json(std::ostream& out, const CriticalPathSummary& summary);
+
+/// Human-readable report: bucket table, top segments, what-if table.
+void print_text(std::ostream& out, const CriticalPathSummary& summary,
+                std::size_t top = 16);
+
+}  // namespace holmes::obs

@@ -71,10 +71,23 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
         << json_escape(graph.resource_name(static_cast<ResourceId>(r)))
         << "\"}}";
   }
+  // The emphasized critical-path lane sits below the resource rows.
+  const std::size_t critical_row = graph.resource_count();
+  if (!options.critical_tasks.empty()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << options.pid
+        << ",\"tid\":" << critical_row
+        << ",\"args\":{\"name\":\"critical path\"}}";
+  }
 
   CounterTrack compute_track("compute in flight", "devices");
   CounterTrack link_track("links busy", "ports");
   CounterTrack bytes_track("bytes in flight", "bytes");
+
+  // Rows of the slices actually emitted, for flow-arrow endpoints (arrows
+  // must land on visible slices; -1 marks dropped/noop tasks).
+  std::vector<ResourceId> slice_row(graph.task_count(), -1);
 
   for (std::size_t i = 0; i < graph.task_count(); ++i) {
     const Task& task = graph.tasks()[i];
@@ -106,6 +119,7 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
     if (duration < options.min_duration) continue;
     const ResourceId row =
         task.kind == TaskKind::kTransfer ? task.src_port : task.resource;
+    slice_row[i] = row;
     if (!first) out << ",";
     first = false;
     // Chrome trace timestamps are microseconds.
@@ -114,8 +128,53 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
         << "\",\"cat\":\"" << kind_name(task.kind)
         << "\",\"ph\":\"X\",\"pid\":" << options.pid << ",\"tid\":" << row
         << ",\"ts\":" << timing.start * 1e6 << ",\"dur\":" << duration * 1e6
-        << ",\"args\":{\"tag\":" << task.tag << ",\"bytes\":" << task.bytes
-        << "}}";
+        << ",\"args\":{\"task\":" << i << ",\"tag\":" << task.tag
+        << ",\"bytes\":" << task.bytes << "}}";
+  }
+
+  if (options.flows) {
+    // One arrow per cross-row dependency edge: "s" anchored at the
+    // producer's finish on its row, "f" (bp:"e" = bind to the enclosing
+    // slice) at the consumer's start. Same-row edges read off adjacency.
+    int flow_id = 0;
+    for (std::size_t i = 0; i < graph.task_count(); ++i) {
+      if (slice_row[i] < 0) continue;
+      const TaskTiming& timing = result.timing(static_cast<TaskId>(i));
+      for (TaskId dep : graph.tasks()[i].deps) {
+        const auto d = static_cast<std::size_t>(dep);
+        if (slice_row[d] < 0 || slice_row[d] == slice_row[i]) continue;
+        ++flow_id;
+        const SimTime dep_finish = result.timing(dep).finish;
+        if (!first) out << ",";
+        first = false;
+        out << "\n{\"name\":\"dep\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+            << flow_id << ",\"pid\":" << options.pid
+            << ",\"tid\":" << slice_row[d] << ",\"ts\":" << dep_finish * 1e6
+            << ",\"args\":{\"task\":" << d << "}}";
+        out << ",\n{\"name\":\"dep\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":"
+            << "\"e\",\"id\":" << flow_id << ",\"pid\":" << options.pid
+            << ",\"tid\":" << slice_row[i] << ",\"ts\":" << timing.start * 1e6
+            << ",\"args\":{\"task\":" << i << "}}";
+      }
+    }
+  }
+
+  // Duplicate the critical chain onto its own lane so the binding sequence
+  // reads contiguously; cat "critical" makes the lane filterable.
+  for (TaskId id : options.critical_tasks) {
+    const Task& task = graph.task(id);
+    if (task.kind == TaskKind::kNoop) continue;
+    const TaskTiming& timing = result.timing(id);
+    const SimTime duration = timing.finish - timing.start;
+    if (duration < options.min_duration) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\""
+        << json_escape(task.label.empty() ? kind_name(task.kind) : task.label)
+        << "\",\"cat\":\"critical\",\"ph\":\"X\",\"pid\":" << options.pid
+        << ",\"tid\":" << critical_row << ",\"ts\":" << timing.start * 1e6
+        << ",\"dur\":" << duration * 1e6 << ",\"args\":{\"task\":" << id
+        << ",\"tag\":" << task.tag << ",\"bytes\":" << task.bytes << "}}";
   }
 
   if (options.counters) {

@@ -7,12 +7,16 @@
 /// ("X") event per task, with the task's resource as the thread row. Rows
 /// are labeled via "M" (process_name / thread_name) metadata events, and
 /// counter ("C") tracks chart global state over time — devices computing,
-/// ports transferring, payload bytes in flight. Load the file in
-/// https://ui.perfetto.dev to inspect pipeline bubbles, the overlap of
+/// ports transferring, payload bytes in flight. Flow events ("s"/"f")
+/// draw producer→consumer arrows across rows, and an optional emphasized
+/// "critical path" row duplicates the critical chain's slices so the
+/// binding constraint sequence reads as one contiguous lane. Load the file
+/// in https://ui.perfetto.dev to inspect pipeline bubbles, the overlap of
 /// gradient reduce-scatter with backward compute, or NIC port contention.
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "sim/executor.h"
 #include "sim/task_graph.h"
@@ -32,6 +36,15 @@ struct TraceOptions {
   /// "bytes in flight"). Counters always cover *all* tasks, regardless of
   /// min_duration, so the aggregate view stays exact.
   bool counters = true;
+  /// Emit flow arrows ("s" at the producer's finish, "f" with bp:"e" at
+  /// the consumer's start) for dependency edges that hop between rows.
+  /// Same-row edges are implied by slice adjacency and stay arrow-free.
+  /// Both endpoint slices must be visible under min_duration.
+  bool flows = true;
+  /// Tasks to duplicate onto an emphasized extra "critical path" row (tid
+  /// = resource count), e.g. obs::CriticalPath::tasks. Slices there carry
+  /// cat "critical" so the lane is filterable.
+  std::vector<TaskId> critical_tasks;
 };
 
 /// Writes the trace of `graph` as executed in `result`. Transfers appear on

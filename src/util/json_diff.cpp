@@ -1,0 +1,178 @@
+#include "util/json_diff.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace holmes {
+
+namespace {
+
+/// Identifying members tried, in order, to align arrays of objects.
+constexpr const char* kIdKeys[] = {"name", "bucket", "rule", "id", "label"};
+
+/// The identifying string of an array element, or "" when it has none.
+std::string element_id(const JsonValue& value) {
+  if (!value.is_object()) return {};
+  for (const char* key : kIdKeys) {
+    const JsonValue* member = value.find(key);
+    if (member != nullptr && member->is_string()) return member->as_string();
+  }
+  return {};
+}
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+class Differ {
+ public:
+  explicit Differ(JsonDiffResult& out) : out_(out) {}
+
+  void walk(const std::string& path, const JsonValue& a, const JsonValue& b) {
+    if (a.kind() != b.kind()) {
+      out_.changed.push_back(path + " (" + kind_name(a.kind()) + " -> " +
+                             kind_name(b.kind()) + ")");
+      return;
+    }
+    switch (a.kind()) {
+      case JsonValue::Kind::kNumber:
+        // Equal leaves are recorded too; callers filter by change.
+        ++out_.compared;
+        out_.deltas.push_back({path, a.as_number(), b.as_number()});
+        return;
+      case JsonValue::Kind::kString:
+        if (a.as_string() != b.as_string()) {
+          out_.changed.push_back(path + " (\"" + a.as_string() + "\" -> \"" +
+                                 b.as_string() + "\")");
+        }
+        return;
+      case JsonValue::Kind::kBool:
+        if (a.as_bool() != b.as_bool()) {
+          out_.changed.push_back(path + " (bool changed)");
+        }
+        return;
+      case JsonValue::Kind::kNull:
+        return;
+      case JsonValue::Kind::kObject:
+        walk_object(path, a, b);
+        return;
+      case JsonValue::Kind::kArray:
+        walk_array(path, a, b);
+        return;
+    }
+  }
+
+ private:
+  void walk_object(const std::string& path, const JsonValue& a,
+                   const JsonValue& b) {
+    const std::string prefix = path.empty() ? "" : path + ".";
+    for (const auto& [key, value] : a.as_object()) {
+      const JsonValue* other = b.find(key);
+      if (other == nullptr) {
+        out_.removed.push_back(prefix + key);
+      } else {
+        walk(prefix + key, value, *other);
+      }
+    }
+    for (const auto& [key, value] : b.as_object()) {
+      if (a.find(key) == nullptr) out_.added.push_back(prefix + key);
+    }
+  }
+
+  void walk_array(const std::string& path, const JsonValue& a,
+                  const JsonValue& b) {
+    const auto& av = a.as_array();
+    const auto& bv = b.as_array();
+    // Align by identifying member when every element on both sides has one
+    // and ids are unique per side; otherwise fall back to index pairing.
+    if (aligns_by_id(av) && aligns_by_id(bv)) {
+      for (const JsonValue& ea : av) {
+        const std::string id = element_id(ea);
+        const JsonValue* eb = find_by_id(bv, id);
+        const std::string sub = path + "[" + id + "]";
+        if (eb == nullptr) {
+          out_.removed.push_back(sub);
+        } else {
+          walk(sub, ea, *eb);
+        }
+      }
+      for (const JsonValue& eb : bv) {
+        if (find_by_id(av, element_id(eb)) == nullptr) {
+          out_.added.push_back(path + "[" + element_id(eb) + "]");
+        }
+      }
+      return;
+    }
+    const std::size_t common = std::min(av.size(), bv.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      walk(path + "[" + std::to_string(i) + "]", av[i], bv[i]);
+    }
+    for (std::size_t i = common; i < av.size(); ++i) {
+      out_.removed.push_back(path + "[" + std::to_string(i) + "]");
+    }
+    for (std::size_t i = common; i < bv.size(); ++i) {
+      out_.added.push_back(path + "[" + std::to_string(i) + "]");
+    }
+  }
+
+  static bool aligns_by_id(const std::vector<JsonValue>& values) {
+    if (values.empty()) return true;
+    std::vector<std::string> ids;
+    ids.reserve(values.size());
+    for (const JsonValue& value : values) {
+      const std::string id = element_id(value);
+      if (id.empty()) return false;
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return std::adjacent_find(ids.begin(), ids.end()) == ids.end();
+  }
+
+  static const JsonValue* find_by_id(const std::vector<JsonValue>& values,
+                                     const std::string& id) {
+    for (const JsonValue& value : values) {
+      if (element_id(value) == id) return &value;
+    }
+    return nullptr;
+  }
+
+  JsonDiffResult& out_;
+};
+
+}  // namespace
+
+double JsonDiffResult::max_rel_change(double atol) const {
+  double worst = 0;
+  for (const JsonDelta& delta : deltas) {
+    if (std::fabs(delta.abs_change()) <= atol) continue;
+    worst = std::max(worst, std::fabs(delta.rel_change()));
+  }
+  return worst;
+}
+
+bool JsonDiffResult::over_threshold(double rel_threshold, double atol) const {
+  if (!added.empty() || !removed.empty() || !changed.empty()) return true;
+  return max_rel_change(atol) > rel_threshold;
+}
+
+JsonDiffResult diff_json(const JsonValue& before, const JsonValue& after) {
+  JsonDiffResult result;
+  Differ differ(result);
+  differ.walk("", before, after);
+  std::stable_sort(result.deltas.begin(), result.deltas.end(),
+                   [](const JsonDelta& a, const JsonDelta& b) {
+                     return std::fabs(a.rel_change()) >
+                            std::fabs(b.rel_change());
+                   });
+  return result;
+}
+
+}  // namespace holmes

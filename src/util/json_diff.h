@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file json_diff.h
+/// Structural comparison of two parsed JSON documents.
+///
+/// Built for regression-checking the stable schemas this repo emits
+/// (holmes.run_summary.v1, holmes.critical_path.v1, bench JSON): walk both
+/// documents in parallel, pair up numeric leaves, and report each pair's
+/// relative change plus any structure present on only one side.
+/// `holmes_cli diff` turns the result into a report and a threshold exit
+/// code for CI.
+///
+/// Array elements are aligned by index, except arrays of objects that
+/// carry an identifying member ("name", "bucket", "rule", "id", or
+/// "label"): those align by that member's value, so a reordering of e.g.
+/// attribution buckets between two runs diffs the matching buckets instead
+/// of whatever happens to share a position.
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace holmes {
+
+/// One numeric leaf present in both documents.
+struct JsonDelta {
+  std::string path;  ///< e.g. "buckets[comm/Ethernet/pp p2p].seconds"
+  double before = 0;
+  double after = 0;
+
+  double abs_change() const { return after - before; }
+  /// Relative change against the larger magnitude; exact zero when the
+  /// values are equal (including 0 -> 0).
+  double rel_change() const {
+    if (after == before) return 0;
+    const double scale = std::max(std::fabs(before), std::fabs(after));
+    return (after - before) / scale;
+  }
+};
+
+struct JsonDiffResult {
+  std::vector<JsonDelta> deltas;       ///< descending |rel_change|
+  std::vector<std::string> added;      ///< paths only in the second doc
+  std::vector<std::string> removed;    ///< paths only in the first doc
+  std::vector<std::string> changed;    ///< non-numeric leaves that differ
+  std::size_t compared = 0;            ///< numeric leaves present in both
+
+  /// Largest |rel_change| among deltas whose absolute change exceeds
+  /// `atol` (guards against noise on near-zero values).
+  double max_rel_change(double atol = 1e-12) const;
+
+  /// True when any delta regresses beyond `rel_threshold` (after the
+  /// `atol` guard) or the documents disagree structurally.
+  bool over_threshold(double rel_threshold, double atol = 1e-12) const;
+};
+
+/// Diffs `before` against `after`. Never throws on shape mismatches — a
+/// kind change at a path is reported under `changed`.
+JsonDiffResult diff_json(const JsonValue& before, const JsonValue& after);
+
+}  // namespace holmes

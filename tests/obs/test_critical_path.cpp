@@ -1,0 +1,202 @@
+#include "obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/executor.h"
+
+namespace holmes::obs {
+namespace {
+
+using sim::TaskGraph;
+using sim::TaskGraphExecutor;
+using sim::TaskId;
+
+/// The core invariant: segments tile [0, makespan] with no gaps or
+/// overlaps, using exact FP equality (starts are copies of constraint
+/// times, never re-derived arithmetic).
+void expect_exact_tiling(const CriticalPath& path) {
+  ASSERT_FALSE(path.segments.empty());
+  EXPECT_EQ(path.segments.front().begin, 0.0);
+  for (std::size_t i = 1; i < path.segments.size(); ++i) {
+    EXPECT_EQ(path.segments[i].begin, path.segments[i - 1].end)
+        << "gap/overlap between segments " << i - 1 << " and " << i;
+  }
+  EXPECT_EQ(path.segments.back().end, path.makespan);
+}
+
+TEST(CriticalPath, EmptyGraph) {
+  TaskGraph g;
+  const CriticalPath path =
+      extract_critical_path(g, TaskGraphExecutor{}.run(g));
+  EXPECT_TRUE(path.segments.empty());
+  EXPECT_TRUE(path.tasks.empty());
+  EXPECT_EQ(path.makespan, 0.0);
+}
+
+TEST(CriticalPath, SingleComputeTask) {
+  TaskGraph g;
+  const auto gpu = g.add_resource("gpu0.compute");
+  const TaskId c = g.add_compute(gpu, 2.0, "fwd");
+  const CriticalPath path =
+      extract_critical_path(g, TaskGraphExecutor{}.run(g));
+
+  ASSERT_EQ(path.segments.size(), 1u);
+  EXPECT_EQ(path.segments[0].task, c);
+  EXPECT_EQ(path.segments[0].kind, SegmentKind::kCompute);
+  EXPECT_EQ(path.segments[0].edge, PathEdge::kStart);
+  EXPECT_EQ(path.segments[0].resource, gpu);
+  expect_exact_tiling(path);
+  EXPECT_EQ(path.makespan, 2.0);
+}
+
+TEST(CriticalPath, DependencyChainWithTransferLatency) {
+  TaskGraph g;
+  const auto gpu0 = g.add_resource("gpu0.compute");
+  const auto tx = g.add_resource("gpu0.tx");
+  const auto rx = g.add_resource("gpu1.rx");
+  const auto gpu1 = g.add_resource("gpu1.compute");
+  const TaskId c1 = g.add_compute(gpu0, 1.0, "fwd");
+  // 1000 B at 1000 B/s: ports busy 1 s, then 0.5 s propagation latency.
+  const TaskId x = g.add_transfer(tx, rx, 1000, 1000.0, 0.5, "act");
+  g.add_dep(x, c1);
+  const TaskId c2 = g.add_compute(gpu1, 2.0, "fwd2");
+  g.add_dep(c2, x);
+
+  const CriticalPath path =
+      extract_critical_path(g, TaskGraphExecutor{}.run(g));
+
+  // compute [0,1] -> comm busy [1,2] -> latency [2,2.5] -> compute [2.5,4.5]
+  ASSERT_EQ(path.segments.size(), 4u);
+  EXPECT_EQ(path.segments[0].task, c1);
+  EXPECT_EQ(path.segments[0].kind, SegmentKind::kCompute);
+  EXPECT_EQ(path.segments[1].task, x);
+  EXPECT_EQ(path.segments[1].kind, SegmentKind::kCommBusy);
+  EXPECT_EQ(path.segments[1].edge, PathEdge::kDependency);
+  EXPECT_EQ(path.segments[1].resource, tx);
+  EXPECT_EQ(path.segments[2].task, x);
+  EXPECT_EQ(path.segments[2].kind, SegmentKind::kCommLatency);
+  EXPECT_DOUBLE_EQ(path.segments[2].duration(), 0.5);
+  EXPECT_EQ(path.segments[3].task, c2);
+  EXPECT_EQ(path.segments[3].kind, SegmentKind::kCompute);
+  EXPECT_EQ(path.segments[3].edge, PathEdge::kDependency);
+  expect_exact_tiling(path);
+  EXPECT_DOUBLE_EQ(path.makespan, 4.5);
+  const std::vector<TaskId> expected_tasks = {c1, x, c2};
+  EXPECT_EQ(path.tasks, expected_tasks);
+}
+
+TEST(CriticalPath, ResourceContentionProducesQueueWait) {
+  TaskGraph g;
+  const auto gpu = g.add_resource("gpu0.compute");
+  const auto other = g.add_resource("gpu1.compute");
+  const TaskId a = g.add_compute(gpu, 3.0, "hog");
+  const TaskId c = g.add_compute(other, 1.5, "feeder");
+  const TaskId b = g.add_compute(gpu, 1.0, "blocked");
+  g.add_dep(b, c);
+
+  // a holds gpu0 over [0,3]; b is ready at 1.5 but queues until 3.
+  const CriticalPath path =
+      extract_critical_path(g, TaskGraphExecutor{}.run(g));
+
+  ASSERT_EQ(path.segments.size(), 3u);
+  EXPECT_EQ(path.segments[0].task, a);
+  EXPECT_EQ(path.segments[0].kind, SegmentKind::kCompute);
+  EXPECT_DOUBLE_EQ(path.segments[0].end, 1.5);
+  EXPECT_EQ(path.segments[1].task, b);
+  EXPECT_EQ(path.segments[1].kind, SegmentKind::kQueueWait);
+  EXPECT_EQ(path.segments[1].resource, gpu);  // the contended resource
+  EXPECT_DOUBLE_EQ(path.segments[1].duration(), 1.5);
+  EXPECT_EQ(path.segments[2].task, b);
+  EXPECT_EQ(path.segments[2].kind, SegmentKind::kCompute);
+  EXPECT_EQ(path.segments[2].edge, PathEdge::kResource);
+  expect_exact_tiling(path);
+  EXPECT_DOUBLE_EQ(path.makespan, 4.0);
+}
+
+TEST(CriticalPath, DependencyPreferredOverResourceOnTies) {
+  // c2 starts exactly when c1 both finishes (dependency) and frees the
+  // shared resource: the tie must resolve to the dependency edge.
+  TaskGraph g;
+  const auto gpu = g.add_resource("gpu0.compute");
+  const TaskId c1 = g.add_compute(gpu, 1.0, "first");
+  const TaskId c2 = g.add_compute(gpu, 1.0, "second");
+  g.add_dep(c2, c1);
+
+  const CriticalPath path =
+      extract_critical_path(g, TaskGraphExecutor{}.run(g));
+  ASSERT_EQ(path.segments.size(), 2u);
+  EXPECT_EQ(path.segments[1].task, c2);
+  EXPECT_EQ(path.segments[1].edge, PathEdge::kDependency);
+  expect_exact_tiling(path);
+}
+
+TEST(CriticalPath, ExtractionIsDeterministic) {
+  TaskGraph g;
+  const auto gpu = g.add_resource("gpu0.compute");
+  const auto other = g.add_resource("gpu1.compute");
+  const TaskId a = g.add_compute(gpu, 2.0);
+  const TaskId b = g.add_compute(other, 2.0);
+  const TaskId join = g.add_noop("join");
+  g.add_dep(join, a);
+  g.add_dep(join, b);
+  const TaskId tail = g.add_compute(gpu, 1.0);
+  g.add_dep(tail, join);
+
+  const sim::SimResult result = TaskGraphExecutor{}.run(g);
+  const CriticalPath p1 = extract_critical_path(g, result);
+  const CriticalPath p2 = extract_critical_path(g, result);
+  ASSERT_EQ(p1.segments.size(), p2.segments.size());
+  for (std::size_t i = 0; i < p1.segments.size(); ++i) {
+    EXPECT_EQ(p1.segments[i].task, p2.segments[i].task);
+    EXPECT_EQ(p1.segments[i].begin, p2.segments[i].begin);
+  }
+  EXPECT_EQ(p1.tasks, p2.tasks);
+}
+
+TEST(CriticalPathSummary, JsonIsStableAndCarriesSchema) {
+  CriticalPathSummary s;
+  s.topology = "2n";
+  s.framework = "Holmes";
+  s.workload = "group 1";
+  s.makespan_s = 1.25;
+  s.window_end_s = 1.25;
+  s.buckets.push_back({"compute/stage0", "compute", 1.0, 0.8, 2});
+  s.top_segments.push_back(
+      {0, "fwd", "compute", "start", "gpu0.compute", "compute/stage0", 0.0, 1.0});
+  s.sensitivities.push_back({"compute/stage0", 1.0, -1.0, 0.0909});
+  s.total_segments = 2;
+
+  std::ostringstream a;
+  std::ostringstream b;
+  write_json(a, s);
+  write_json(b, s);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"schema\":\"holmes.critical_path.v1\""),
+            std::string::npos);
+  EXPECT_NE(a.str().find("\"buckets\":[{\"name\":\"compute/stage0\""),
+            std::string::npos);
+}
+
+TEST(CriticalPathSummary, TextReportMentionsWindowOnlyWhenClipped) {
+  CriticalPathSummary s;
+  s.framework = "Holmes";
+  s.workload = "group 1";
+  s.topology = "2n";
+  s.makespan_s = 2.0;
+  s.window_end_s = 2.0;
+  std::ostringstream full;
+  print_text(full, s);
+  EXPECT_EQ(full.str().find("attribution window"), std::string::npos);
+
+  s.window_begin_s = 0.5;
+  s.window_end_s = 1.5;
+  std::ostringstream clipped;
+  print_text(clipped, s);
+  EXPECT_NE(clipped.str().find("attribution window [0.5, 1.5] s"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace holmes::obs

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
+
+#include "util/json.h"
 
 namespace holmes::sim {
 namespace {
@@ -148,6 +151,116 @@ TEST(Trace, CountersCanBeDisabled) {
   write_chrome_trace(os, g, result, options);
   EXPECT_EQ(os.str().find("\"ph\":\"C\""), std::string::npos);
   EXPECT_TRUE(json_balanced(os.str()));
+}
+
+JsonValue parsed_trace(const TaskGraph& g, const SimResult& result,
+                       const TraceOptions& options = {}) {
+  std::ostringstream os;
+  write_chrome_trace(os, g, result, options);
+  return json_parse(os.str());
+}
+
+TEST(Trace, OutputIsValidJsonAndEventsReferenceRealTasks) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  const JsonValue trace = parsed_trace(g, result);
+  ASSERT_TRUE(trace.is_array());
+  for (const JsonValue& event : trace.as_array()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph != "X" && ph != "s" && ph != "f") continue;
+    // Every slice and flow endpoint names the task it came from.
+    const double task = event.at("args").at("task").as_number();
+    EXPECT_GE(task, 0.0);
+    EXPECT_LT(task, static_cast<double>(g.task_count()));
+  }
+}
+
+TEST(Trace, FlowArrowsPairUpAcrossRows) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);  // one cross-row dep: x -> c
+  const JsonValue trace = parsed_trace(g, result);
+  std::map<double, const JsonValue*> starts;
+  std::map<double, const JsonValue*> finishes;
+  for (const JsonValue& event : trace.as_array()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "s") starts[event.at("id").as_number()] = &event;
+    if (ph == "f") finishes[event.at("id").as_number()] = &event;
+  }
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(finishes.size(), 1u);
+  for (const auto& [id, start] : starts) {
+    ASSERT_TRUE(finishes.count(id));
+    const JsonValue& finish = *finishes[id];
+    EXPECT_EQ(start->at("cat").as_string(), "flow");
+    EXPECT_EQ(finish.at("bp").as_string(), "e");
+    // Arrow runs producer (compute, task 0) -> consumer (transfer, task 1)
+    // across distinct rows.
+    EXPECT_DOUBLE_EQ(start->at("args").at("task").as_number(), 0.0);
+    EXPECT_DOUBLE_EQ(finish.at("args").at("task").as_number(), 1.0);
+    EXPECT_NE(start->at("tid").as_number(), finish.at("tid").as_number());
+    // "s" anchors at the producer's finish, "f" at the consumer's start —
+    // here back-to-back, so the arrow is a point in time.
+    EXPECT_DOUBLE_EQ(start->at("ts").as_number(), finish.at("ts").as_number());
+  }
+}
+
+TEST(Trace, FlowsCanBeDisabled) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  TraceOptions options;
+  options.flows = false;
+  std::ostringstream os;
+  write_chrome_trace(os, g, result, options);
+  EXPECT_EQ(os.str().find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(Trace, FlowArrowsSkipDroppedSlices) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  TraceOptions options;
+  options.min_duration = 1.0;  // drops the transfer slice
+  const JsonValue trace = parsed_trace(g, result, options);
+  for (const JsonValue& event : trace.as_array()) {
+    const std::string& ph = event.at("ph").as_string();
+    EXPECT_NE(ph, "s") << "arrow endpoint without a visible slice";
+    EXPECT_NE(ph, "f");
+  }
+}
+
+TEST(Trace, CriticalLaneDuplicatesChainTasks) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  TraceOptions options;
+  options.critical_tasks = {0, 1};  // the compute and the transfer
+  const JsonValue trace = parsed_trace(g, result, options);
+
+  const double lane = static_cast<double>(g.resource_count());
+  std::size_t critical_slices = 0;
+  bool lane_named = false;
+  for (const JsonValue& event : trace.as_array()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "M" && event.at("name").as_string() == "thread_name" &&
+        event.at("args").at("name").as_string() == "critical path") {
+      lane_named = true;
+      EXPECT_DOUBLE_EQ(event.at("tid").as_number(), lane);
+    }
+    if (ph == "X" && event.at("cat").as_string() == "critical") {
+      ++critical_slices;
+      EXPECT_DOUBLE_EQ(event.at("tid").as_number(), lane);
+    }
+  }
+  EXPECT_TRUE(lane_named);
+  EXPECT_EQ(critical_slices, 2u);
+}
+
+TEST(Trace, NoCriticalLaneWithoutCriticalTasks) {
+  SimResult result({}, {}, 0);
+  const TaskGraph g = small_graph(&result);
+  std::ostringstream os;
+  write_chrome_trace(os, g, result);
+  EXPECT_EQ(os.str().find("critical path"), std::string::npos);
+  EXPECT_EQ(os.str().find("\"cat\":\"critical\""), std::string::npos);
 }
 
 }  // namespace

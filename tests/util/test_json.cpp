@@ -1,0 +1,82 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  // Exactly the escapes json_escape emits must round-trip.
+  const std::string raw = "quote\" back\\ nl\n tab\t cr\r ctrl\x01 end";
+  const std::string doc = "\"" + json_escape(raw) + "\"";
+  EXPECT_EQ(json_parse(doc).as_string(), raw);
+}
+
+TEST(JsonParse, NestedStructure) {
+  const JsonValue v =
+      json_parse(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+  EXPECT_TRUE(a[2].at("b").as_bool());
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), ConfigError);
+}
+
+TEST(JsonParse, ObjectKeepsDocumentOrder) {
+  const JsonValue v = json_parse(R"({"z":1,"a":2,"m":3})");
+  const auto& members = v.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(json_parse("[]").as_array().empty());
+  EXPECT_TRUE(json_parse("{}").as_object().empty());
+  EXPECT_TRUE(json_parse(" [ ] ").as_array().empty());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), ConfigError);
+  EXPECT_THROW(json_parse("{"), ConfigError);
+  EXPECT_THROW(json_parse("[1,]"), ConfigError);
+  EXPECT_THROW(json_parse("{\"a\" 1}"), ConfigError);
+  EXPECT_THROW(json_parse("\"unterminated"), ConfigError);
+  EXPECT_THROW(json_parse("nul"), ConfigError);
+  EXPECT_THROW(json_parse("1 2"), ConfigError);  // trailing garbage
+}
+
+TEST(JsonParse, AccessorKindMismatchThrows) {
+  const JsonValue v = json_parse("[1]");
+  EXPECT_THROW(v.as_object(), ConfigError);
+  EXPECT_THROW(v.as_number(), ConfigError);
+  EXPECT_EQ(v.find("x"), nullptr);  // not an object: lookup is just absent
+}
+
+TEST(JsonParse, RoundTripsEmitterNumbers) {
+  // json_number's %.12g output must re-parse to a close value.
+  for (double d : {0.0, 1.5, -2.75e-9, 3.14159265358979, 1e12}) {
+    const JsonValue v = json_parse(json_number(d));
+    EXPECT_NEAR(v.as_number(), d, std::abs(d) * 1e-11 + 1e-300);
+  }
+  // Non-finite values are emitted as 0, which parses fine.
+  EXPECT_DOUBLE_EQ(json_parse(json_number(1.0 / 0.0)).as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace holmes

@@ -1,0 +1,115 @@
+#include "util/json_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes {
+namespace {
+
+JsonDiffResult diff(const std::string& before, const std::string& after) {
+  return diff_json(json_parse(before), json_parse(after));
+}
+
+TEST(JsonDiff, IdenticalDocumentsAreClean) {
+  const JsonDiffResult r =
+      diff(R"({"a":1,"b":[2,3],"c":"x"})", R"({"a":1,"b":[2,3],"c":"x"})");
+  EXPECT_EQ(r.compared, 3u);
+  EXPECT_TRUE(r.added.empty());
+  EXPECT_TRUE(r.removed.empty());
+  EXPECT_TRUE(r.changed.empty());
+  EXPECT_DOUBLE_EQ(r.max_rel_change(), 0.0);
+  EXPECT_FALSE(r.over_threshold(0.0));
+}
+
+TEST(JsonDiff, NumericChangeIsRelative) {
+  const JsonDiffResult r = diff(R"({"thr":100})", R"({"thr":90})");
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].path, "thr");
+  EXPECT_DOUBLE_EQ(r.deltas[0].abs_change(), -10.0);
+  EXPECT_NEAR(r.deltas[0].rel_change(), -0.1, 1e-12);
+  EXPECT_TRUE(r.over_threshold(0.05));
+  EXPECT_FALSE(r.over_threshold(0.15));
+}
+
+TEST(JsonDiff, DeltasSortedByRelativeMagnitude) {
+  const JsonDiffResult r =
+      diff(R"({"a":100,"b":10,"c":1})", R"({"a":101,"b":15,"c":1})");
+  ASSERT_GE(r.deltas.size(), 2u);
+  EXPECT_EQ(r.deltas[0].path, "b");  // 50% beats 1%
+  EXPECT_EQ(r.deltas[1].path, "a");
+}
+
+TEST(JsonDiff, AtolGuardsNearZeroNoise) {
+  const JsonDiffResult r = diff(R"({"tiny":0})", R"({"tiny":1e-15})");
+  // 100% relative change, but below the absolute-tolerance floor.
+  EXPECT_DOUBLE_EQ(r.max_rel_change(1e-12), 0.0);
+  EXPECT_FALSE(r.over_threshold(0.01, 1e-12));
+}
+
+TEST(JsonDiff, StructuralDifferencesReported) {
+  const JsonDiffResult r =
+      diff(R"({"a":1,"gone":2,"s":"x"})", R"({"a":1,"fresh":3,"s":"y"})");
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0], "gone");
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_EQ(r.added[0], "fresh");
+  ASSERT_EQ(r.changed.size(), 1u);
+  EXPECT_EQ(r.changed[0], "s (\"x\" -> \"y\")");
+  // Any structural disagreement trips the threshold regardless of deltas.
+  EXPECT_TRUE(r.over_threshold(1e9));
+}
+
+TEST(JsonDiff, KindChangeIsStructural) {
+  const JsonDiffResult r = diff(R"({"v":1})", R"({"v":"one"})");
+  ASSERT_EQ(r.changed.size(), 1u);
+  EXPECT_EQ(r.changed[0], "v (number -> string)");
+  EXPECT_TRUE(r.over_threshold(1e9));
+}
+
+TEST(JsonDiff, ArraysOfObjectsAlignByName) {
+  // Reordered buckets must diff by matching name, not position.
+  const JsonDiffResult r = diff(
+      R"({"buckets":[{"name":"a","seconds":1},{"name":"b","seconds":2}]})",
+      R"({"buckets":[{"name":"b","seconds":2},{"name":"a","seconds":1.5}]})");
+  EXPECT_TRUE(r.added.empty());
+  EXPECT_TRUE(r.removed.empty());
+  double a_change = 0;
+  for (const JsonDelta& d : r.deltas) {
+    if (d.path == "buckets[a].seconds") a_change = d.abs_change();
+  }
+  EXPECT_DOUBLE_EQ(a_change, 0.5);
+}
+
+TEST(JsonDiff, IdAlignmentReportsAddedAndRemovedElements) {
+  const JsonDiffResult r = diff(
+      R"([{"name":"keep","v":1},{"name":"old","v":2}])",
+      R"([{"name":"keep","v":1},{"name":"new","v":3}])");
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0], "[old]");
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_EQ(r.added[0], "[new]");
+}
+
+TEST(JsonDiff, DuplicateIdsFallBackToIndexAlignment) {
+  const JsonDiffResult r = diff(
+      R"([{"name":"x","v":1},{"name":"x","v":2}])",
+      R"([{"name":"x","v":10},{"name":"x","v":2}])");
+  // Index-aligned: element 0's v changed 1 -> 10.
+  bool saw = false;
+  for (const JsonDelta& d : r.deltas) {
+    if (d.path == "[0].v") {
+      saw = true;
+      EXPECT_DOUBLE_EQ(d.after, 10.0);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(JsonDiff, LengthMismatchOnPlainArrays) {
+  const JsonDiffResult r = diff(R"([1,2,3])", R"([1,2])");
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0], "[2]");
+  EXPECT_TRUE(r.over_threshold(1e9));
+}
+
+}  // namespace
+}  // namespace holmes

@@ -28,8 +28,32 @@
 ///       exposed-vs-overlapped grad-sync split (docs/observability.md).
 ///       --framework F    as for simulate          (default holmes)
 ///       --iterations N   simulated iterations     (default 3)
-///       --json FILE      also write the stable JSON run summary
+///       --json[=FILE]    stable JSON run summary (see JSON output below)
 ///       --straggler R:F  slow rank R down by factor F (repeatable)
+///
+///   holmes_cli explain <topology> <group> [options]
+///       Simulate one scenario, extract the critical path, and print the
+///       makespan attribution: per-stage compute, per-NIC-class and
+///       per-communicator serialization, propagation latency, queue wait —
+///       plus first-order what-if sensitivities (docs/observability.md).
+///       Segment durations sum to the makespan exactly.
+///       --framework F    as for simulate          (default holmes)
+///       --iterations N   simulated iterations     (default 3)
+///       --json[=FILE]    stable JSON critical-path summary
+///       --top N          longest segments / what-ifs shown (default 16)
+///       --window A:B     clip the attribution to [A, B] seconds
+///       --trace FILE     Chrome trace with flow arrows + critical lane
+///       --straggler R:F  slow rank R down by factor F (repeatable)
+///
+///   holmes_cli diff <before.json> <after.json> [options]
+///       Compare two JSON documents emitted by this tool (run summaries,
+///       critical-path summaries, bench results): numeric leaves are
+///       paired structurally — arrays of named objects align by name — and
+///       the largest relative changes are reported.
+///       --fail-over P    exit 2 when any |relative change| exceeds P
+///                        (percent; "5" or "5%"), or on structure changes
+///       --top N          rows shown                (default 16)
+///       --json[=FILE]    machine-readable delta report
 ///
 ///   holmes_cli lint <topology> <group> [options]
 ///       Static verifier: plan-family (HV1xx) lints over the resolved plan,
@@ -38,7 +62,7 @@
 ///       (docs/static-analysis.md).
 ///       --framework F    as for simulate          (default holmes)
 ///       --iterations N   simulated iterations     (default 3)
-///       --json FILE      also write the stable JSON lint report
+///       --json[=FILE]    stable JSON lint report
 ///       --strict         promote warnings to errors
 ///       --no-graph       plan lints only (skip the simulation)
 ///       --rules          print the rule catalog and exit
@@ -49,6 +73,10 @@
 /// Global options:
 ///   --log-level L    debug | info | warning | error  (default warning)
 ///
+/// JSON output: every subcommand that emits JSON takes `--json[=FILE]`.
+/// A bare `--json` or `--json=-` writes the JSON to stdout *instead of*
+/// the text report; `--json=FILE` writes the file alongside the report.
+///
 /// <topology> is either a named environment (ib, roce, eth, hybrid —
 /// 4 nodes by default, or e.g. hybrid:8 for 8 nodes) or a spec like
 /// "2x8:ib+2x8:roce" (see net/topology_parse.h).
@@ -56,6 +84,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -68,8 +97,12 @@
 #include "core/run_stats.h"
 #include "model/memory.h"
 #include "net/topology_parse.h"
+#include "obs/critical_path.h"
 #include "obs/summary.h"
+#include "sim/trace.h"
 #include "util/error.h"
+#include "util/json.h"
+#include "util/json_diff.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -94,10 +127,22 @@ Args parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
-      const std::string key = token.substr(2);
+      std::string key = token.substr(2);
+      // --key=value form; "--json" stays valueless (= stdout).
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        const std::string value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        if (key == "straggler") {
+          args.stragglers.push_back(value);
+        } else {
+          args.options[key] = value;
+        }
+        continue;
+      }
       const bool is_flag = key == "markdown" || key == "csv" ||
                            key == "strict" || key == "no-graph" ||
-                           key == "rules";
+                           key == "rules" || key == "json";
       if (!is_flag) {
         if (i + 1 >= argc) throw ConfigError("missing value for --" + key);
         const std::string value = argv[++i];
@@ -182,6 +227,41 @@ Perturbations resolve_perturbations(const Args& args) {
         std::stod(spec.substr(colon + 1));
   }
   return perturb;
+}
+
+/// `--json[=FILE]` convention: absent -> no JSON; "" or "-" -> stdout
+/// replacing the text report; otherwise a file alongside it.
+enum class JsonDest { kNone, kStdout, kFile };
+
+JsonDest json_dest(const Args& args) {
+  const auto it = args.options.find("json");
+  if (it == args.options.end()) return JsonDest::kNone;
+  return it->second.empty() || it->second == "-" ? JsonDest::kStdout
+                                                 : JsonDest::kFile;
+}
+
+/// Writes one JSON document per the --json convention; `write` must not
+/// emit the trailing newline. `what` names the artifact in the
+/// confirmation line printed for the file case.
+template <typename WriteFn>
+void emit_json(const Args& args, const char* what, WriteFn&& write) {
+  switch (json_dest(args)) {
+    case JsonDest::kNone:
+      return;
+    case JsonDest::kStdout:
+      write(std::cout);
+      std::cout << "\n";
+      return;
+    case JsonDest::kFile: {
+      const std::string& file = args.options.at("json");
+      std::ofstream out(file);
+      if (!out) throw ConfigError("cannot open " + file);
+      write(out);
+      out << "\n";
+      std::cout << "\n" << what << " written to " << file << "\n";
+      return;
+    }
+  }
 }
 
 int cmd_simulate(const Args& args) {
@@ -369,6 +449,12 @@ int cmd_stats(const Args& args) {
   const obs::RunSummary summary =
       build_run_summary(topo, plan, m, artifacts);
 
+  if (json_dest(args) == JsonDest::kStdout) {
+    obs::write_json(std::cout, summary);
+    std::cout << "\n";
+    return 0;
+  }
+
   std::cout << summary.framework << " / " << summary.workload << " on "
             << summary.topology << " (" << plan.degrees.to_string() << ")\n"
             << "  iteration   " << format_time(m.iteration_time)
@@ -436,13 +522,175 @@ int cmd_stats(const Args& args) {
             << "  exposed " << format_time(summary.param_allgather.exposed_s)
             << "\n";
 
-  const auto json = args.options.find("json");
-  if (json != args.options.end()) {
-    std::ofstream out(json->second);
-    if (!out) throw ConfigError("cannot open " + json->second);
-    obs::write_json(out, summary);
-    out << "\n";
-    std::cout << "\nJSON summary written to " << json->second << "\n";
+  emit_json(args, "JSON summary",
+            [&](std::ostream& out) { obs::write_json(out, summary); });
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError(
+        "usage: holmes_cli explain <topology> <group> [--framework F] "
+        "[--json[=FILE]] [--top N] [--window A:B] [--trace FILE]");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const FrameworkConfig framework = resolve_framework(args);
+  const int iterations = option_int(args, "iterations", 3);
+  const Perturbations perturb = resolve_perturbations(args);
+
+  CriticalPathOptions options;
+  const int top = option_int(args, "top", 16);
+  if (top <= 0) throw ConfigError("--top expects a positive count");
+  options.top_segments = static_cast<std::size_t>(top);
+  const auto window = args.options.find("window");
+  if (window != args.options.end()) {
+    const std::size_t colon = window->second.find(':');
+    if (colon == std::string::npos) {
+      throw ConfigError("--window expects BEGIN:END seconds, got '" +
+                        window->second + "'");
+    }
+    try {
+      options.window_begin = std::stod(window->second.substr(0, colon));
+      const std::string end = window->second.substr(colon + 1);
+      options.window_end = end.empty() ? -1 : std::stod(end);
+    } catch (const std::exception&) {
+      throw ConfigError("--window expects BEGIN:END seconds, got '" +
+                        window->second + "'");
+    }
+    if (options.window_end >= 0 && options.window_begin >= options.window_end) {
+      throw ConfigError("--window is empty: got '" + window->second +
+                        "' (need BEGIN < END)");
+    }
+  }
+
+  const TrainingPlan plan =
+      Planner(framework).plan(topo, model::parameter_group(group));
+  SimArtifacts artifacts;
+  const IterationMetrics m =
+      TrainingSimulator{}.run(topo, plan, iterations, perturb,
+                              /*chrome_trace=*/nullptr, &artifacts);
+  obs::CriticalPath path;
+  const obs::CriticalPathSummary summary =
+      build_critical_path_summary(topo, plan, m, artifacts, options, &path);
+
+  const auto trace = args.options.find("trace");
+  if (trace != args.options.end()) {
+    std::ofstream out(trace->second);
+    if (!out) throw ConfigError("cannot open " + trace->second);
+    sim::TraceOptions trace_options;
+    trace_options.critical_tasks = path.tasks;
+    sim::write_chrome_trace(out, artifacts.graph, *artifacts.result,
+                            trace_options);
+  }
+
+  if (json_dest(args) == JsonDest::kStdout) {
+    obs::write_json(std::cout, summary);
+    std::cout << "\n";
+    return 0;
+  }
+  obs::print_text(std::cout, summary, options.top_segments);
+  if (trace != args.options.end()) {
+    std::cout << "\ntrace written to " << trace->second << "\n";
+  }
+  emit_json(args, "JSON summary",
+            [&](std::ostream& out) { obs::write_json(out, summary); });
+  return 0;
+}
+
+int cmd_diff(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError(
+        "usage: holmes_cli diff <before.json> <after.json> "
+        "[--fail-over P] [--top N] [--json[=FILE]]");
+  }
+  auto load = [](const std::string& file) {
+    std::ifstream in(file);
+    if (!in) throw ConfigError("cannot open " + file);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      return json_parse(text);
+    } catch (const Error& e) {
+      throw ConfigError(file + ": " + e.what());
+    }
+  };
+  const JsonValue before = load(args.positional[0]);
+  const JsonValue after = load(args.positional[1]);
+  const JsonDiffResult diff = diff_json(before, after);
+
+  double threshold = -1;  // < 0: report only, no gating
+  const auto fail_over = args.options.find("fail-over");
+  if (fail_over != args.options.end()) {
+    std::string spec = fail_over->second;
+    if (!spec.empty() && spec.back() == '%') spec.pop_back();
+    try {
+      threshold = std::stod(spec) / 100.0;
+    } catch (const std::exception&) {
+      throw ConfigError("--fail-over expects a percentage, got '" +
+                        fail_over->second + "'");
+    }
+    if (threshold < 0) throw ConfigError("--fail-over expects a percentage");
+  }
+
+  const auto top = static_cast<std::size_t>(option_int(args, "top", 16));
+  std::vector<JsonDelta> changed;
+  for (const JsonDelta& delta : diff.deltas) {
+    if (delta.before != delta.after) changed.push_back(delta);
+  }
+
+  if (json_dest(args) != JsonDest::kStdout) {
+    std::cout << args.positional[0] << " -> " << args.positional[1] << ": "
+              << diff.compared << " numeric leaves compared, "
+              << changed.size() << " changed, max relative change "
+              << TextTable::num(diff.max_rel_change() * 100, 3) << "%\n";
+    for (const std::string& path : diff.removed) {
+      std::cout << "  removed: " << path << "\n";
+    }
+    for (const std::string& path : diff.added) {
+      std::cout << "  added:   " << path << "\n";
+    }
+    for (const std::string& path : diff.changed) {
+      std::cout << "  changed: " << path << "\n";
+    }
+    if (!changed.empty()) {
+      TextTable table({"Path", "Before", "After", "Change %"});
+      for (std::size_t i = 0; i < std::min(top, changed.size()); ++i) {
+        const JsonDelta& delta = changed[i];
+        table.add_row({delta.path, TextTable::num(delta.before, 6),
+                       TextTable::num(delta.after, 6),
+                       TextTable::num(delta.rel_change() * 100, 3)});
+      }
+      std::cout << "largest relative changes (" << std::min(top, changed.size())
+                << " of " << changed.size() << ")\n"
+                << table.to_string();
+    }
+  }
+
+  emit_json(args, "JSON delta report", [&](std::ostream& out) {
+    out << "{\"schema\":\"holmes.json_diff.v1\",\"compared\":" << diff.compared
+        << ",\"max_rel_change\":" << json_number(diff.max_rel_change())
+        << ",\"added\":" << diff.added.size()
+        << ",\"removed\":" << diff.removed.size()
+        << ",\"changed_non_numeric\":" << diff.changed.size()
+        << ",\"deltas\":[";
+    for (std::size_t i = 0; i < std::min(top, changed.size()); ++i) {
+      const JsonDelta& delta = changed[i];
+      if (i > 0) out << ",";
+      out << "{\"path\":\"" << json_escape(delta.path)
+          << "\",\"before\":" << json_number(delta.before)
+          << ",\"after\":" << json_number(delta.after)
+          << ",\"rel_change\":" << json_number(delta.rel_change()) << "}";
+    }
+    out << "]}";
+  });
+
+  if (threshold >= 0 && diff.over_threshold(threshold)) {
+    std::cerr << "diff exceeds --fail-over threshold ("
+              << TextTable::num(diff.max_rel_change() * 100, 3) << "% > "
+              << TextTable::num(threshold * 100, 3) << "% or structure "
+              << "changed)\n";
+    return 2;
   }
   return 0;
 }
@@ -485,19 +733,19 @@ int cmd_lint(const Args& args) {
   }
   if (args.options.count("strict")) report.promote_warnings();
 
+  if (json_dest(args) == JsonDest::kStdout) {
+    verify::write_json(std::cout, report);
+    std::cout << "\n";
+    return report.ok() ? 0 : 1;
+  }
+
   std::cout << framework.name << " / group " << group << " on "
             << net::format_topology(topo) << " (" << plan.degrees.to_string()
             << ")\n";
   verify::print_text(std::cout, report);
 
-  const auto json = args.options.find("json");
-  if (json != args.options.end()) {
-    std::ofstream out(json->second);
-    if (!out) throw ConfigError("cannot open " + json->second);
-    verify::write_json(out, report);
-    out << "\n";
-    std::cout << "JSON report written to " << json->second << "\n";
-  }
+  emit_json(args, "JSON report",
+            [&](std::ostream& out) { verify::write_json(out, report); });
   return report.ok() ? 0 : 1;
 }
 
@@ -530,10 +778,13 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "analytic") return cmd_analytic(args);
     if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "explain") return cmd_explain(args);
+    if (args.command == "diff") return cmd_diff(args);
     if (args.command == "lint") return cmd_lint(args);
     if (args.command == "envs") return cmd_envs();
-    throw ConfigError("unknown command '" + args.command +
-                      "' (simulate|plan|tune|sweep|analytic|stats|lint|envs)");
+    throw ConfigError(
+        "unknown command '" + args.command +
+        "' (simulate|plan|tune|sweep|analytic|stats|explain|diff|lint|envs)");
   } catch (const Error& e) {
     std::cerr << e.what() << "\n";
     return 1;
