@@ -46,63 +46,65 @@ net::Topology hybrid_with_eth_gbps(double gbps) {
 
 int main(int argc, char** argv) {
   bench::BenchReport report("crossover", argc, argv);
-  std::cout << "Crossover sweep 1: degrade the clusters' RDMA NICs (group 1, "
-               "4 nodes)\n\n";
-  const double ethernet_baseline =
-      run_experiment(FrameworkConfig::holmes(), NicEnv::kEthernet, 4, 1)
-          .throughput;
-  report.set("rdma_sweep/ethernet_baseline_throughput", ethernet_baseline);
+  report.run_timed([&] {
+    std::cout << "Crossover sweep 1: degrade the clusters' RDMA NICs (group 1, "
+                 "4 nodes)\n\n";
+    const double ethernet_baseline =
+        run_experiment(FrameworkConfig::holmes(), NicEnv::kEthernet, 4, 1)
+            .throughput;
+    report.set("rdma_sweep/ethernet_baseline_throughput", ethernet_baseline);
 
-  const std::vector<double> rdma_speeds = {200, 100, 50, 25};
-  std::vector<double> hybrid_thr(rdma_speeds.size());
-  ThreadPool pool;
-  pool.parallel_for(rdma_speeds.size(), [&](std::size_t i) {
-    hybrid_thr[i] = run_experiment(FrameworkConfig::holmes(),
-                                   hybrid_with_rdma_gbps(rdma_speeds[i]), 1)
-                        .throughput;
+    const std::vector<double> rdma_speeds = {200, 100, 50, 25};
+    std::vector<double> hybrid_thr(rdma_speeds.size());
+    ThreadPool pool;
+    pool.parallel_for(rdma_speeds.size(), [&](std::size_t i) {
+      hybrid_thr[i] = run_experiment(FrameworkConfig::holmes(),
+                                     hybrid_with_rdma_gbps(rdma_speeds[i]), 1)
+                          .throughput;
+    });
+
+    TextTable sweep1({"RDMA Gbps", "Holmes hybrid thr", "vs pure Ethernet"});
+    for (std::size_t i = 0; i < rdma_speeds.size(); ++i) {
+      sweep1.add_row({TextTable::num(rdma_speeds[i], 0),
+                      TextTable::num(hybrid_thr[i], 2),
+                      TextTable::num(hybrid_thr[i] / ethernet_baseline, 2) + "x"});
+      report.set("rdma_sweep/" + TextTable::num(rdma_speeds[i], 0) +
+                     "gbps/holmes_throughput",
+                 hybrid_thr[i]);
+    }
+    sweep1.print();
+
+    std::cout << "\nCrossover sweep 2: upgrade Ethernet under the fallback "
+                 "baseline (group 1, 4 nodes)\n\n";
+    const std::vector<double> eth_speeds = {25, 50, 100, 200, 400};
+    std::vector<double> lm_thr(eth_speeds.size());
+    std::vector<double> holmes_thr(eth_speeds.size());
+    pool.parallel_for(eth_speeds.size(), [&](std::size_t i) {
+      const net::Topology topo = hybrid_with_eth_gbps(eth_speeds[i]);
+      lm_thr[i] =
+          run_experiment(FrameworkConfig::megatron_lm(), topo, 1).throughput;
+      holmes_thr[i] =
+          run_experiment(FrameworkConfig::holmes(), topo, 1).throughput;
+    });
+
+    TextTable sweep2({"Ethernet Gbps", "Megatron-LM thr", "Holmes thr",
+                      "Holmes advantage"});
+    for (std::size_t i = 0; i < eth_speeds.size(); ++i) {
+      sweep2.add_row({TextTable::num(eth_speeds[i], 0),
+                      TextTable::num(lm_thr[i], 2),
+                      TextTable::num(holmes_thr[i], 2),
+                      TextTable::num(holmes_thr[i] / lm_thr[i], 2) + "x"});
+      const std::string prefix =
+          "eth_sweep/" + TextTable::num(eth_speeds[i], 0) + "gbps";
+      report.set(prefix + "/megatron_lm_throughput", lm_thr[i]);
+      report.set(prefix + "/holmes_throughput", holmes_thr[i]);
+    }
+    sweep2.print();
+
+    std::cout << "\nNIC-aware scheduling is worth roughly a 4-8x Ethernet "
+                 "upgrade on this workload — the fallback\nbaseline needs "
+                 "hundreds of Gbps of commodity bandwidth to match Holmes on "
+                 "stock 25 GbE.\n";
   });
-
-  TextTable sweep1({"RDMA Gbps", "Holmes hybrid thr", "vs pure Ethernet"});
-  for (std::size_t i = 0; i < rdma_speeds.size(); ++i) {
-    sweep1.add_row({TextTable::num(rdma_speeds[i], 0),
-                    TextTable::num(hybrid_thr[i], 2),
-                    TextTable::num(hybrid_thr[i] / ethernet_baseline, 2) + "x"});
-    report.set("rdma_sweep/" + TextTable::num(rdma_speeds[i], 0) +
-                   "gbps/holmes_throughput",
-               hybrid_thr[i]);
-  }
-  sweep1.print();
-
-  std::cout << "\nCrossover sweep 2: upgrade Ethernet under the fallback "
-               "baseline (group 1, 4 nodes)\n\n";
-  const std::vector<double> eth_speeds = {25, 50, 100, 200, 400};
-  std::vector<double> lm_thr(eth_speeds.size());
-  std::vector<double> holmes_thr(eth_speeds.size());
-  pool.parallel_for(eth_speeds.size(), [&](std::size_t i) {
-    const net::Topology topo = hybrid_with_eth_gbps(eth_speeds[i]);
-    lm_thr[i] =
-        run_experiment(FrameworkConfig::megatron_lm(), topo, 1).throughput;
-    holmes_thr[i] =
-        run_experiment(FrameworkConfig::holmes(), topo, 1).throughput;
-  });
-
-  TextTable sweep2({"Ethernet Gbps", "Megatron-LM thr", "Holmes thr",
-                    "Holmes advantage"});
-  for (std::size_t i = 0; i < eth_speeds.size(); ++i) {
-    sweep2.add_row({TextTable::num(eth_speeds[i], 0),
-                    TextTable::num(lm_thr[i], 2),
-                    TextTable::num(holmes_thr[i], 2),
-                    TextTable::num(holmes_thr[i] / lm_thr[i], 2) + "x"});
-    const std::string prefix =
-        "eth_sweep/" + TextTable::num(eth_speeds[i], 0) + "gbps";
-    report.set(prefix + "/megatron_lm_throughput", lm_thr[i]);
-    report.set(prefix + "/holmes_throughput", holmes_thr[i]);
-  }
-  sweep2.print();
-
-  std::cout << "\nNIC-aware scheduling is worth roughly a 4-8x Ethernet "
-               "upgrade on this workload — the fallback\nbaseline needs "
-               "hundreds of Gbps of commodity bandwidth to match Holmes on "
-               "stock 25 GbE.\n";
   return report.write();
 }

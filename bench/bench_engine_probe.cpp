@@ -1,0 +1,70 @@
+/// Engine probe: one fixed, fully deterministic simulator run whose
+/// self-profile counters become bench metrics.
+///
+/// Unlike the experiment benches (whose metrics are simulated seconds) and
+/// the micro benches (whose metrics are noisy wall times), the probe's
+/// counter metrics — tasks created, ready-queue pops, cost-model calls —
+/// are exact integers that change only when the engine's structure changes.
+/// That makes it the anchor of the `holmes_cli bench` trajectory: a diff on
+/// these metrics is a real behavioral change, never noise, so the CI gate
+/// can hold them to zero drift while the wall-time metrics get a noise
+/// floor. The scenario is the paper's hybrid IB+RoCE environment (2 nodes,
+/// parameter group 1, 3 iterations) planned by the Holmes framework.
+
+#include <iostream>
+
+#include "bench_json.h"
+#include "core/experiment.h"
+#include "core/framework.h"
+#include "model/gpt_zoo.h"
+#include "obs/self_profile.h"
+#include "util/units.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+int main(int argc, char** argv) {
+  bench::BenchReport report("engine_probe", argc, argv);
+  report.run_timed([&] {
+    const net::Topology topo = make_environment(NicEnv::kHybrid, 2);
+    const Planner planner(FrameworkConfig::holmes());
+    const TrainingPlan plan = planner.plan(topo, model::parameter_group(1));
+
+    obs::SelfProfiler profiler;
+    SimArtifacts artifacts;
+    const IterationMetrics metrics =
+        TrainingSimulator{}.run(topo, plan, 3, {}, nullptr, &artifacts);
+
+    const obs::SelfProfile& profile = *artifacts.self_profile;
+    const obs::SelfProfileCounters& c = profile.counters;
+    report.set("counters/tasks_created", static_cast<double>(c.tasks_created));
+    report.set("counters/compute_tasks", static_cast<double>(c.compute_tasks));
+    report.set("counters/transfer_tasks",
+               static_cast<double>(c.transfer_tasks));
+    report.set("counters/noop_tasks", static_cast<double>(c.noop_tasks));
+    report.set("counters/deps_added", static_cast<double>(c.deps_added));
+    report.set("counters/resources_created",
+               static_cast<double>(c.resources_created));
+    report.set("counters/channels_created",
+               static_cast<double>(c.channels_created));
+    report.set("counters/executor_runs", static_cast<double>(c.executor_runs));
+    report.set("counters/ready_pushes", static_cast<double>(c.ready_pushes));
+    report.set("counters/ready_pops", static_cast<double>(c.ready_pops));
+    report.set("counters/max_ready_queue",
+               static_cast<double>(c.max_ready_queue));
+    report.set("counters/events_scheduled",
+               static_cast<double>(c.events_scheduled));
+    report.set("counters/events_fired", static_cast<double>(c.events_fired));
+    report.set("counters/cost_model_evals",
+               static_cast<double>(c.cost_model_evals));
+    report.set("iteration_time_s", metrics.iteration_time);
+    report.set("task_count", static_cast<double>(metrics.task_count));
+
+    std::cout << "engine probe: hybrid:2 group 1, " << c.tasks_created
+              << " tasks, " << c.ready_pops << " pops, "
+              << c.cost_model_evals << " cost-model evals, iteration "
+              << format_time(metrics.iteration_time) << "\n";
+    obs::print_text(std::cout, profile);
+  });
+  return report.write();
+}

@@ -17,40 +17,42 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("fig3_reduce_scatter", argc, argv);
-  std::cout << "Figure 3: grads-reduce-scatter time per iteration (seconds), "
-               "4 nodes\n\n";
+  report.run_timed([&] {
+    std::cout << "Figure 3: grads-reduce-scatter time per iteration (seconds), "
+                 "4 nodes\n\n";
 
-  const std::vector<int> groups = {1, 2, 3, 4};
-  const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
-                                    NicEnv::kEthernet, NicEnv::kHybrid};
-  // The distributed (reduce-scatter based) optimizer without overlap makes
-  // the operation's span directly comparable across environments.
-  const FrameworkConfig framework = FrameworkConfig::holmes()
-                                        .without_self_adapting()
-                                        .without_overlapped_optimizer();
+    const std::vector<int> groups = {1, 2, 3, 4};
+    const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
+                                      NicEnv::kEthernet, NicEnv::kHybrid};
+    // The distributed (reduce-scatter based) optimizer without overlap makes
+    // the operation's span directly comparable across environments.
+    const FrameworkConfig framework = FrameworkConfig::holmes()
+                                          .without_self_adapting()
+                                          .without_overlapped_optimizer();
 
-  std::vector<double> spans(groups.size() * envs.size());
-  ThreadPool pool;
-  pool.parallel_for(spans.size(), [&](std::size_t i) {
-    const std::size_t gi = i / envs.size();
-    const std::size_t ei = i % envs.size();
-    spans[i] = run_experiment(framework, envs[ei], 4, groups[gi])
-                   .grad_sync_span;
-  });
+    std::vector<double> spans(groups.size() * envs.size());
+    ThreadPool pool;
+    pool.parallel_for(spans.size(), [&](std::size_t i) {
+      const std::size_t gi = i / envs.size();
+      const std::size_t ei = i % envs.size();
+      spans[i] = run_experiment(framework, envs[ei], 4, groups[gi])
+                     .grad_sync_span;
+    });
 
-  const std::vector<std::string> env_names = {"ib", "roce", "eth", "hybrid"};
-  TextTable table({"Group", "InfiniBand", "RoCE", "Ethernet", "Hybrid"});
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    std::vector<std::string> row = {
-        TextTable::num(static_cast<std::int64_t>(groups[gi]))};
-    for (std::size_t ei = 0; ei < envs.size(); ++ei) {
-      row.push_back(TextTable::num(spans[gi * envs.size() + ei], 3));
-      report.set("grad_sync_s/group" + std::to_string(groups[gi]) + "/" +
-                     env_names[ei],
-                 spans[gi * envs.size() + ei]);
+    const std::vector<std::string> env_names = {"ib", "roce", "eth", "hybrid"};
+    TextTable table({"Group", "InfiniBand", "RoCE", "Ethernet", "Hybrid"});
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      std::vector<std::string> row = {
+          TextTable::num(static_cast<std::int64_t>(groups[gi]))};
+      for (std::size_t ei = 0; ei < envs.size(); ++ei) {
+        row.push_back(TextTable::num(spans[gi * envs.size() + ei], 3));
+        report.set("grad_sync_s/group" + std::to_string(groups[gi]) + "/" +
+                       env_names[ei],
+                   spans[gi * envs.size() + ei]);
+      }
+      table.add_row(std::move(row));
     }
-    table.add_row(std::move(row));
-  }
-  table.print();
+    table.print();
+  });
   return report.write();
 }

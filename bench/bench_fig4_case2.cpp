@@ -17,38 +17,40 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("fig4_case2", argc, argv);
-  std::cout << "Figure 4: throughput (samples/s) on 4 nodes, case-2 split "
-               "clusters vs homogeneous bounds\n\n";
+  report.run_timed([&] {
+    std::cout << "Figure 4: throughput (samples/s) on 4 nodes, case-2 split "
+                 "clusters vs homogeneous bounds\n\n";
 
-  const std::vector<int> groups = {1, 2, 3, 4};
-  const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
-                                    NicEnv::kEthernet,   NicEnv::kHybrid,
-                                    NicEnv::kSplitIB,    NicEnv::kSplitRoCE};
-  const FrameworkConfig framework =
-      FrameworkConfig::holmes().without_self_adapting();
+    const std::vector<int> groups = {1, 2, 3, 4};
+    const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
+                                      NicEnv::kEthernet,   NicEnv::kHybrid,
+                                      NicEnv::kSplitIB,    NicEnv::kSplitRoCE};
+    const FrameworkConfig framework =
+        FrameworkConfig::holmes().without_self_adapting();
 
-  std::vector<double> thr(groups.size() * envs.size());
-  ThreadPool pool;
-  pool.parallel_for(thr.size(), [&](std::size_t i) {
-    const std::size_t gi = i / envs.size();
-    const std::size_t ei = i % envs.size();
-    thr[i] = run_experiment(framework, envs[ei], 4, groups[gi]).throughput;
-  });
+    std::vector<double> thr(groups.size() * envs.size());
+    ThreadPool pool;
+    pool.parallel_for(thr.size(), [&](std::size_t i) {
+      const std::size_t gi = i / envs.size();
+      const std::size_t ei = i % envs.size();
+      thr[i] = run_experiment(framework, envs[ei], 4, groups[gi]).throughput;
+    });
 
-  std::vector<std::string> headers = {"Group"};
-  for (NicEnv env : envs) headers.push_back(to_string(env));
-  TextTable table(std::move(headers));
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    std::vector<std::string> row = {
-        TextTable::num(static_cast<std::int64_t>(groups[gi]))};
-    for (std::size_t ei = 0; ei < envs.size(); ++ei) {
-      row.push_back(TextTable::num(thr[gi * envs.size() + ei], 2));
-      report.set("throughput/group" + std::to_string(groups[gi]) + "/" +
-                     to_string(envs[ei]),
-                 thr[gi * envs.size() + ei]);
+    std::vector<std::string> headers = {"Group"};
+    for (NicEnv env : envs) headers.push_back(to_string(env));
+    TextTable table(std::move(headers));
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      std::vector<std::string> row = {
+          TextTable::num(static_cast<std::int64_t>(groups[gi]))};
+      for (std::size_t ei = 0; ei < envs.size(); ++ei) {
+        row.push_back(TextTable::num(thr[gi * envs.size() + ei], 2));
+        report.set("throughput/group" + std::to_string(groups[gi]) + "/" +
+                       to_string(envs[ei]),
+                   thr[gi * envs.size() + ei]);
+      }
+      table.add_row(std::move(row));
     }
-    table.add_row(std::move(row));
-  }
-  table.print();
+    table.print();
+  });
   return report.write();
 }

@@ -15,60 +15,62 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("fig5_partition", argc, argv);
-  std::cout << "Figure 5: pipeline partition strategies on the Hybrid "
-               "environment, 4 nodes (alpha = 1.05)\n\n";
+  report.run_timed([&] {
+    std::cout << "Figure 5: pipeline partition strategies on the Hybrid "
+                 "environment, 4 nodes (alpha = 1.05)\n\n";
 
-  const std::vector<int> groups = {1, 2, 3, 4};
-  const FrameworkConfig self_adapting = FrameworkConfig::holmes();
-  const FrameworkConfig uniform = self_adapting.without_self_adapting();
+    const std::vector<int> groups = {1, 2, 3, 4};
+    const FrameworkConfig self_adapting = FrameworkConfig::holmes();
+    const FrameworkConfig uniform = self_adapting.without_self_adapting();
 
-  struct Cell {
-    double uni_tflops, uni_thr, sa_tflops, sa_thr;
-  };
-  std::vector<Cell> cells(groups.size());
-  ThreadPool pool;
-  pool.parallel_for(cells.size(), [&](std::size_t i) {
-    const IterationMetrics u =
-        run_experiment(uniform, NicEnv::kHybrid, 4, groups[i]);
-    const IterationMetrics s =
-        run_experiment(self_adapting, NicEnv::kHybrid, 4, groups[i]);
-    cells[i] = {u.tflops_per_gpu, u.throughput, s.tflops_per_gpu,
-                s.throughput};
+    struct Cell {
+      double uni_tflops, uni_thr, sa_tflops, sa_thr;
+    };
+    std::vector<Cell> cells(groups.size());
+    ThreadPool pool;
+    pool.parallel_for(cells.size(), [&](std::size_t i) {
+      const IterationMetrics u =
+          run_experiment(uniform, NicEnv::kHybrid, 4, groups[i]);
+      const IterationMetrics s =
+          run_experiment(self_adapting, NicEnv::kHybrid, 4, groups[i]);
+      cells[i] = {u.tflops_per_gpu, u.throughput, s.tflops_per_gpu,
+                  s.throughput};
+    });
+
+    TextTable table({"Group", "Uniform TFLOPS", "Uniform Thr",
+                     "Self-Adapting TFLOPS", "Self-Adapting Thr", "Gain %"});
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const Cell& c = cells[i];
+      table.add_row({TextTable::num(static_cast<std::int64_t>(groups[i])),
+                     TextTable::num(c.uni_tflops, 0), TextTable::num(c.uni_thr, 2),
+                     TextTable::num(c.sa_tflops, 0), TextTable::num(c.sa_thr, 2),
+                     TextTable::num((c.sa_thr / c.uni_thr - 1.0) * 100.0, 1)});
+      const std::string prefix = "group" + std::to_string(groups[i]);
+      report.set(prefix + "/uniform_throughput", c.uni_thr);
+      report.set(prefix + "/self_adapting_throughput", c.sa_thr);
+    }
+    table.print();
+
+    // Extension: alpha sensitivity for group 1 (ablation of Eq. 2's
+    // hyper-parameter; the paper fixes alpha = 1.05 without showing a sweep).
+    std::cout << "\nAlpha sweep (group 1, Hybrid, 4 nodes):\n\n";
+    TextTable sweep({"alpha", "TFLOPS", "Throughput", "Layers (IB/RoCE)"});
+    for (double alpha : {0.9, 1.0, 1.05, 1.1, 1.2, 1.4}) {
+      FrameworkConfig fw = FrameworkConfig::holmes();
+      fw.alpha = alpha;
+      const net::Topology topo = make_environment(NicEnv::kHybrid, 4);
+      const TrainingPlan plan =
+          Planner(fw).plan(topo, model::parameter_group(1));
+      const IterationMetrics m = TrainingSimulator{}.run(topo, plan);
+      sweep.add_row({TextTable::num(alpha, 2), TextTable::num(m.tflops_per_gpu, 0),
+                     TextTable::num(m.throughput, 2),
+                     std::to_string(plan.partition[0]) + "/" +
+                         std::to_string(plan.partition[1])});
+      report.set("alpha_sweep/group1/alpha" + TextTable::num(alpha, 2) +
+                     "/throughput",
+                 m.throughput);
+    }
+    sweep.print();
   });
-
-  TextTable table({"Group", "Uniform TFLOPS", "Uniform Thr",
-                   "Self-Adapting TFLOPS", "Self-Adapting Thr", "Gain %"});
-  for (std::size_t i = 0; i < groups.size(); ++i) {
-    const Cell& c = cells[i];
-    table.add_row({TextTable::num(static_cast<std::int64_t>(groups[i])),
-                   TextTable::num(c.uni_tflops, 0), TextTable::num(c.uni_thr, 2),
-                   TextTable::num(c.sa_tflops, 0), TextTable::num(c.sa_thr, 2),
-                   TextTable::num((c.sa_thr / c.uni_thr - 1.0) * 100.0, 1)});
-    const std::string prefix = "group" + std::to_string(groups[i]);
-    report.set(prefix + "/uniform_throughput", c.uni_thr);
-    report.set(prefix + "/self_adapting_throughput", c.sa_thr);
-  }
-  table.print();
-
-  // Extension: alpha sensitivity for group 1 (ablation of Eq. 2's
-  // hyper-parameter; the paper fixes alpha = 1.05 without showing a sweep).
-  std::cout << "\nAlpha sweep (group 1, Hybrid, 4 nodes):\n\n";
-  TextTable sweep({"alpha", "TFLOPS", "Throughput", "Layers (IB/RoCE)"});
-  for (double alpha : {0.9, 1.0, 1.05, 1.1, 1.2, 1.4}) {
-    FrameworkConfig fw = FrameworkConfig::holmes();
-    fw.alpha = alpha;
-    const net::Topology topo = make_environment(NicEnv::kHybrid, 4);
-    const TrainingPlan plan =
-        Planner(fw).plan(topo, model::parameter_group(1));
-    const IterationMetrics m = TrainingSimulator{}.run(topo, plan);
-    sweep.add_row({TextTable::num(alpha, 2), TextTable::num(m.tflops_per_gpu, 0),
-                   TextTable::num(m.throughput, 2),
-                   std::to_string(plan.partition[0]) + "/" +
-                       std::to_string(plan.partition[1])});
-    report.set("alpha_sweep/group1/alpha" + TextTable::num(alpha, 2) +
-                   "/throughput",
-               m.throughput);
-  }
-  sweep.print();
   return report.write();
 }

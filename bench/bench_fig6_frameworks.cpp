@@ -15,27 +15,29 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("fig6_frameworks", argc, argv);
-  std::cout << "Figure 6: frameworks on group 3, 8 nodes (4 RoCE + 4 IB)\n"
-            << "(paper: LM ~132, DeepSpeed ~133, LLaMA ~150, Holmes ~183)\n\n";
+  report.run_timed([&] {
+    std::cout << "Figure 6: frameworks on group 3, 8 nodes (4 RoCE + 4 IB)\n"
+              << "(paper: LM ~132, DeepSpeed ~133, LLaMA ~150, Holmes ~183)\n\n";
 
-  const std::vector<FrameworkConfig> frameworks = {
-      FrameworkConfig::megatron_lm(),
-      FrameworkConfig::megatron_deepspeed(),
-      FrameworkConfig::megatron_llama(),
-      FrameworkConfig::holmes(),
-  };
+    const std::vector<FrameworkConfig> frameworks = {
+        FrameworkConfig::megatron_lm(),
+        FrameworkConfig::megatron_deepspeed(),
+        FrameworkConfig::megatron_llama(),
+        FrameworkConfig::holmes(),
+    };
 
-  TextTable table({"Framework", "TFLOPS", "Throughput", "vs Megatron-LM"});
-  double lm_throughput = 0;
-  for (const FrameworkConfig& fw : frameworks) {
-    const IterationMetrics m = run_experiment(fw, NicEnv::kHybrid, 8, 3);
-    if (lm_throughput == 0) lm_throughput = m.throughput;
-    table.add_row({fw.name, TextTable::num(m.tflops_per_gpu, 0),
-                   TextTable::num(m.throughput, 2),
-                   TextTable::num(m.throughput / lm_throughput, 2) + "x"});
-    report.set(fw.name + "/tflops", m.tflops_per_gpu);
-    report.set(fw.name + "/throughput", m.throughput);
-  }
-  table.print();
+    TextTable table({"Framework", "TFLOPS", "Throughput", "vs Megatron-LM"});
+    double lm_throughput = 0;
+    for (const FrameworkConfig& fw : frameworks) {
+      const IterationMetrics m = run_experiment(fw, NicEnv::kHybrid, 8, 3);
+      if (lm_throughput == 0) lm_throughput = m.throughput;
+      table.add_row({fw.name, TextTable::num(m.tflops_per_gpu, 0),
+                     TextTable::num(m.throughput, 2),
+                     TextTable::num(m.throughput / lm_throughput, 2) + "x"});
+      report.set(fw.name + "/tflops", m.tflops_per_gpu);
+      report.set(fw.name + "/throughput", m.throughput);
+    }
+    table.print();
+  });
   return report.write();
 }

@@ -21,69 +21,71 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("fig7_speedup", argc, argv);
-  std::cout << "Figure 7: Holmes speedup over mainstream frameworks, groups "
-               "7-8 on Hybrid clusters\n\n";
+  report.run_timed([&] {
+    std::cout << "Figure 7: Holmes speedup over mainstream frameworks, groups "
+                 "7-8 on Hybrid clusters\n\n";
 
-  const std::vector<FrameworkConfig> baselines = {
-      FrameworkConfig::megatron_lm(),
-      FrameworkConfig::megatron_deepspeed(),
-      FrameworkConfig::megatron_llama(),
-  };
-  auto three_clusters = [](int nodes_each) {
-    return net::Topology({
-        net::ClusterSpec{"roce-a", nodes_each, 8, net::NicType::kRoCE},
-        net::ClusterSpec{"roce-b", nodes_each, 8, net::NicType::kRoCE},
-        net::ClusterSpec{"ib", nodes_each, 8, net::NicType::kInfiniBand},
+    const std::vector<FrameworkConfig> baselines = {
+        FrameworkConfig::megatron_lm(),
+        FrameworkConfig::megatron_deepspeed(),
+        FrameworkConfig::megatron_llama(),
+    };
+    auto three_clusters = [](int nodes_each) {
+      return net::Topology({
+          net::ClusterSpec{"roce-a", nodes_each, 8, net::NicType::kRoCE},
+          net::ClusterSpec{"roce-b", nodes_each, 8, net::NicType::kRoCE},
+          net::ClusterSpec{"ib", nodes_each, 8, net::NicType::kInfiniBand},
+      });
+    };
+    struct Scenario {
+      int group;
+      int nodes;
+      net::Topology topo;
+    };
+    std::vector<Scenario> scenarios;
+    for (int nodes : {4, 6, 8}) {
+      scenarios.push_back({7, nodes, make_environment(NicEnv::kHybrid, nodes)});
+    }
+    for (int nodes : {6, 12}) {
+      scenarios.push_back({8, nodes, three_clusters(nodes / 3)});
+    }
+
+    struct Cell {
+      double holmes_thr = 0;
+      std::vector<double> baseline_thr;
+    };
+    std::vector<Cell> cells(scenarios.size());
+    ThreadPool pool;
+    pool.parallel_for(cells.size(), [&](std::size_t i) {
+      const Scenario& s = scenarios[i];
+      cells[i].holmes_thr =
+          run_experiment(FrameworkConfig::holmes(), s.topo, s.group).throughput;
+      for (const FrameworkConfig& fw : baselines) {
+        cells[i].baseline_thr.push_back(
+            run_experiment(fw, s.topo, s.group).throughput);
+      }
     });
-  };
-  struct Scenario {
-    int group;
-    int nodes;
-    net::Topology topo;
-  };
-  std::vector<Scenario> scenarios;
-  for (int nodes : {4, 6, 8}) {
-    scenarios.push_back({7, nodes, make_environment(NicEnv::kHybrid, nodes)});
-  }
-  for (int nodes : {6, 12}) {
-    scenarios.push_back({8, nodes, three_clusters(nodes / 3)});
-  }
 
-  struct Cell {
-    double holmes_thr = 0;
-    std::vector<double> baseline_thr;
-  };
-  std::vector<Cell> cells(scenarios.size());
-  ThreadPool pool;
-  pool.parallel_for(cells.size(), [&](std::size_t i) {
-    const Scenario& s = scenarios[i];
-    cells[i].holmes_thr =
-        run_experiment(FrameworkConfig::holmes(), s.topo, s.group).throughput;
-    for (const FrameworkConfig& fw : baselines) {
-      cells[i].baseline_thr.push_back(
-          run_experiment(fw, s.topo, s.group).throughput);
+    TextTable table({"Group", "Nodes", "Holmes thr", "vs Megatron-LM",
+                     "vs Megatron-DeepSpeed", "vs Megatron-LLaMA"});
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const Cell& c = cells[i];
+      std::vector<std::string> row = {
+          TextTable::num(static_cast<std::int64_t>(scenarios[i].group)),
+          TextTable::num(static_cast<std::int64_t>(scenarios[i].nodes)),
+          TextTable::num(c.holmes_thr, 2)};
+      const std::string prefix = "group" +
+                                 std::to_string(scenarios[i].group) + "/" +
+                                 std::to_string(scenarios[i].nodes) + "n";
+      report.set(prefix + "/holmes_throughput", c.holmes_thr);
+      for (std::size_t b = 0; b < c.baseline_thr.size(); ++b) {
+        row.push_back(TextTable::num(c.holmes_thr / c.baseline_thr[b], 2) + "x");
+        report.set(prefix + "/speedup_vs_" + baselines[b].name,
+                   c.holmes_thr / c.baseline_thr[b]);
+      }
+      table.add_row(std::move(row));
     }
+    table.print();
   });
-
-  TextTable table({"Group", "Nodes", "Holmes thr", "vs Megatron-LM",
-                   "vs Megatron-DeepSpeed", "vs Megatron-LLaMA"});
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const Cell& c = cells[i];
-    std::vector<std::string> row = {
-        TextTable::num(static_cast<std::int64_t>(scenarios[i].group)),
-        TextTable::num(static_cast<std::int64_t>(scenarios[i].nodes)),
-        TextTable::num(c.holmes_thr, 2)};
-    const std::string prefix = "group" +
-                               std::to_string(scenarios[i].group) + "/" +
-                               std::to_string(scenarios[i].nodes) + "n";
-    report.set(prefix + "/holmes_throughput", c.holmes_thr);
-    for (std::size_t b = 0; b < c.baseline_thr.size(); ++b) {
-      row.push_back(TextTable::num(c.holmes_thr / c.baseline_thr[b], 2) + "x");
-      report.set(prefix + "/speedup_vs_" + baselines[b].name,
-                 c.holmes_thr / c.baseline_thr[b]);
-    }
-    table.add_row(std::move(row));
-  }
-  table.print();
   return report.write();
 }

@@ -38,26 +38,28 @@ SimTime simulate(const net::Topology& topo, Bytes bytes, bool hierarchical) {
 
 int main(int argc, char** argv) {
   bench::BenchReport report("hierarchical", argc, argv);
-  std::cout << "All-reduce algorithm comparison: 4 nodes x 8 GPUs, 4 GiB "
-               "gradient buffer\n\n";
+  report.run_timed([&] {
+    std::cout << "All-reduce algorithm comparison: 4 nodes x 8 GPUs, 4 GiB "
+                 "gradient buffer\n\n";
 
-  const Bytes bytes = 4LL * 1024 * 1024 * 1024;
-  TextTable table({"Fabric", "Flat ring (s)", "Hierarchical (s)", "Speedup"});
-  for (net::NicType nic : {net::NicType::kInfiniBand, net::NicType::kRoCE,
-                           net::NicType::kEthernet}) {
-    const net::Topology topo = net::Topology::homogeneous(4, nic);
-    const SimTime flat = simulate(topo, bytes, false);
-    const SimTime hier = simulate(topo, bytes, true);
-    table.add_row({net::to_string(nic), TextTable::num(flat, 3),
-                   TextTable::num(hier, 3), TextTable::num(flat / hier, 2) + "x"});
-    report.set(net::to_string(nic) + "/flat_ring_s", flat);
-    report.set(net::to_string(nic) + "/hierarchical_s", hier);
-  }
-  table.print();
+    const Bytes bytes = 4LL * 1024 * 1024 * 1024;
+    TextTable table({"Fabric", "Flat ring (s)", "Hierarchical (s)", "Speedup"});
+    for (net::NicType nic : {net::NicType::kInfiniBand, net::NicType::kRoCE,
+                             net::NicType::kEthernet}) {
+      const net::Topology topo = net::Topology::homogeneous(4, nic);
+      const SimTime flat = simulate(topo, bytes, false);
+      const SimTime hier = simulate(topo, bytes, true);
+      table.add_row({net::to_string(nic), TextTable::num(flat, 3),
+                     TextTable::num(hier, 3), TextTable::num(flat / hier, 2) + "x"});
+      report.set(net::to_string(nic) + "/flat_ring_s", flat);
+      report.set(net::to_string(nic) + "/hierarchical_s", hier);
+    }
+    table.print();
 
-  std::cout << "\nRDMA fabrics gain ~L x from driving all per-GPU NICs; "
-               "Ethernet gains less per ring because its NICs\nare "
-               "node-shared (net::PortMap) — the 8 shard rings contend for "
-               "4 port pairs per node.\n";
+    std::cout << "\nRDMA fabrics gain ~L x from driving all per-GPU NICs; "
+                 "Ethernet gains less per ring because its NICs\nare "
+                 "node-shared (net::PortMap) — the 8 shard rings contend for "
+                 "4 port pairs per node.\n";
+  });
   return report.write();
 }

@@ -5,38 +5,70 @@
 ///
 /// Every bench_* binary prints a human table; CI and regression tooling
 /// want the same numbers as stable JSON. Each bench constructs a
-/// BenchReport, records every table cell under a stable metric name
-/// ("grad_sync_s/group1/ib"), and ends main with `return report.write();`.
-/// Without `--json` the report is a no-op; with it the bench additionally
-/// emits one holmes.bench.v1 document:
+/// BenchReport, wraps its body in `report.run_timed([&] {...});`, records
+/// every table cell under a stable metric name ("grad_sync_s/group1/ib"),
+/// and ends main with `return report.write();`. Without `--json` the report
+/// is a no-op (the body runs exactly once, untimed); with it the bench
+/// additionally emits one holmes.bench.v1 document:
 ///
 ///   --json         write BENCH_<name>.json in the working directory
 ///   --json=FILE    write FILE ("-" for stdout)
+///   --repeat N     timed passes of the body (default 1)
+///   --warmup N     discarded passes before the timed ones (default 0)
+///
+/// Repetition exists because a single wall-clock sample is noise: the
+/// report keeps min/median/max/spread over the `--repeat N` samples
+/// (metrics come from the last pass, which re-records them each time).
+/// `holmes_cli bench` drives these flags and folds the per-bench documents
+/// into a holmes.bench_suite.v1 trajectory.
 ///
 /// The schema is a flat metric list so `holmes_cli diff` aligns two bench
 /// runs by metric name regardless of ordering:
 ///
-///   {"schema":"holmes.bench.v1","bench":"<name>",
+///   {"schema":"holmes.bench.v1","bench":"<name>","repeat":N,"warmup":M,
+///    "wall_s":{"min":...,"median":...,"max":...,"spread":...},
 ///    "metrics":[{"name":"...","value":...},...]}
+///
+/// For CI gate rehearsals, HOLMES_BENCH_DELIBERATE_DELAY_MS=<ms> in the
+/// environment sleeps inside every timed pass — a real, measured slowdown
+/// that a perf gate must catch.
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/error.h"
 #include "util/json.h"
+#include "util/sample_stats.h"
 
 namespace holmes::bench {
 
 class BenchReport {
  public:
   /// `name` is the bench's stable identifier (binary name without the
-  /// bench_ prefix). Scans argv for --json[=FILE]; unrelated arguments are
-  /// ignored so benches stay no-argument tools.
+  /// bench_ prefix). Scans argv for --json[=FILE], --repeat N and
+  /// --warmup N; unrelated arguments are ignored so benches stay
+  /// no-argument tools.
   BenchReport(std::string name, int argc, char** argv)
-      : name_(std::move(name)) {
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    auto int_option = [&](int& i, const std::string& arg, const char* flag,
+                          int& out) {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg == flag && i + 1 < argc) {
+        out = std::atoi(argv[++i]);
+        return true;
+      }
+      if (arg.rfind(prefix, 0) == 0) {
+        out = std::atoi(arg.c_str() + prefix.size());
+        return true;
+      }
+      return false;
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--json") {
@@ -44,11 +76,45 @@ class BenchReport {
       } else if (arg.rfind("--json=", 0) == 0) {
         file_ = arg.substr(7);
         if (file_.empty()) file_ = "BENCH_" + name_ + ".json";
+      } else if (int_option(i, arg, "--repeat", repeat_) ||
+                 int_option(i, arg, "--warmup", warmup_)) {
+        // parsed into repeat_/warmup_
       }
     }
+    if (repeat_ < 1) repeat_ = 1;
+    if (warmup_ < 0) warmup_ = 0;
   }
 
   bool enabled() const { return !file_.empty(); }
+  int repeat() const { return repeat_; }
+  int warmup() const { return warmup_; }
+
+  /// Runs the bench body: `--warmup` discarded passes, then `--repeat`
+  /// timed passes whose wall seconds become the report's samples. Metrics
+  /// are cleared before every pass so the report carries one copy (from
+  /// the last pass). Without --json the body runs exactly once, untimed.
+  template <typename Fn>
+  void run_timed(Fn&& body) {
+    if (!enabled()) {
+      body();
+      return;
+    }
+    for (int i = 0; i < warmup_; ++i) {
+      metrics_.clear();
+      body();
+    }
+    samples_.clear();
+    samples_.reserve(static_cast<std::size_t>(repeat_));
+    for (int i = 0; i < repeat_; ++i) {
+      metrics_.clear();
+      const auto t0 = std::chrono::steady_clock::now();
+      body();
+      apply_deliberate_delay();
+      samples_.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }
 
   /// Records one scalar under a stable name (insertion order preserved).
   void set(const std::string& metric, double value) {
@@ -73,9 +139,31 @@ class BenchReport {
   }
 
  private:
+  /// CI gate rehearsal hook: a measured slowdown inside the timed region.
+  void apply_deliberate_delay() const {
+    const char* ms = std::getenv("HOLMES_BENCH_DELIBERATE_DELAY_MS");
+    if (ms == nullptr || *ms == '\0') return;
+    const int delay = std::atoi(ms);
+    if (delay > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+
   void emit(std::ostream& out) const {
+    // A bench that never called run_timed still gets one wall sample:
+    // construction to write().
+    std::vector<double> samples = samples_;
+    if (samples.empty()) {
+      samples.push_back(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+    }
+    const SampleStats wall = summarize_samples(std::move(samples));
     out << "{\"schema\":\"holmes.bench.v1\",\"bench\":\"" << json_escape(name_)
-        << "\",\"metrics\":[";
+        << "\",\"repeat\":" << repeat_ << ",\"warmup\":" << warmup_
+        << ",\"wall_s\":{\"min\":" << json_number(wall.min)
+        << ",\"median\":" << json_number(wall.median)
+        << ",\"max\":" << json_number(wall.max)
+        << ",\"spread\":" << json_number(wall.spread())
+        << "},\"metrics\":[";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       if (i > 0) out << ",";
       out << "{\"name\":\"" << json_escape(metrics_[i].first)
@@ -86,6 +174,10 @@ class BenchReport {
 
   std::string name_;
   std::string file_;  ///< empty: disabled
+  int repeat_ = 1;
+  int warmup_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<double> samples_;  ///< wall seconds per timed pass
   std::vector<std::pair<std::string, double>> metrics_;
 };
 

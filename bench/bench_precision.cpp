@@ -18,42 +18,44 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("precision", argc, argv);
-  std::cout << "Gradient-precision ablation: group 1, 4 nodes, Holmes "
-               "(TFLOPS)\n\n";
+  report.run_timed([&] {
+    std::cout << "Gradient-precision ablation: group 1, 4 nodes, Holmes "
+                 "(TFLOPS)\n\n";
 
-  const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
-                                    NicEnv::kEthernet, NicEnv::kHybrid};
-  struct Variant {
-    const char* label;
-    int grad_bytes;
-  };
-  const std::vector<Variant> variants = {{"fp32 gradients (default)", 4},
-                                         {"bf16 gradients", 2}};
+    const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
+                                      NicEnv::kEthernet, NicEnv::kHybrid};
+    struct Variant {
+      const char* label;
+      int grad_bytes;
+    };
+    const std::vector<Variant> variants = {{"fp32 gradients (default)", 4},
+                                           {"bf16 gradients", 2}};
 
-  std::vector<double> tflops(envs.size() * variants.size());
-  ThreadPool pool;
-  pool.parallel_for(tflops.size(), [&](std::size_t i) {
-    const std::size_t ei = i / variants.size();
-    const std::size_t vi = i % variants.size();
-    CostModel cost;
-    cost.grad_bytes_per_param = variants[vi].grad_bytes;
-    tflops[i] = run_experiment(FrameworkConfig::holmes(), envs[ei], 4, 1, cost)
-                    .tflops_per_gpu;
+    std::vector<double> tflops(envs.size() * variants.size());
+    ThreadPool pool;
+    pool.parallel_for(tflops.size(), [&](std::size_t i) {
+      const std::size_t ei = i / variants.size();
+      const std::size_t vi = i % variants.size();
+      CostModel cost;
+      cost.grad_bytes_per_param = variants[vi].grad_bytes;
+      tflops[i] = run_experiment(FrameworkConfig::holmes(), envs[ei], 4, 1, cost)
+                      .tflops_per_gpu;
+    });
+
+    TextTable table({"NIC Env", "fp32 grads", "bf16 grads", "Gain %"});
+    for (std::size_t ei = 0; ei < envs.size(); ++ei) {
+      const double fp32 = tflops[ei * variants.size()];
+      const double bf16 = tflops[ei * variants.size() + 1];
+      table.add_row({to_string(envs[ei]), TextTable::num(fp32, 0),
+                     TextTable::num(bf16, 0),
+                     TextTable::num((bf16 / fp32 - 1.0) * 100.0, 1)});
+      report.set(to_string(envs[ei]) + "/fp32_tflops", fp32);
+      report.set(to_string(envs[ei]) + "/bf16_tflops", bf16);
+    }
+    table.print();
+    std::cout << "\nHalving gradient bytes helps slow fabrics most, but even "
+                 "bf16 Ethernet stays far below RDMA —\nprecision cannot "
+                 "substitute for NIC-aware scheduling.\n";
   });
-
-  TextTable table({"NIC Env", "fp32 grads", "bf16 grads", "Gain %"});
-  for (std::size_t ei = 0; ei < envs.size(); ++ei) {
-    const double fp32 = tflops[ei * variants.size()];
-    const double bf16 = tflops[ei * variants.size() + 1];
-    table.add_row({to_string(envs[ei]), TextTable::num(fp32, 0),
-                   TextTable::num(bf16, 0),
-                   TextTable::num((bf16 / fp32 - 1.0) * 100.0, 1)});
-    report.set(to_string(envs[ei]) + "/fp32_tflops", fp32);
-    report.set(to_string(envs[ei]) + "/bf16_tflops", bf16);
-  }
-  table.print();
-  std::cout << "\nHalving gradient bytes helps slow fabrics most, but even "
-               "bf16 Ethernet stays far below RDMA —\nprecision cannot "
-               "substitute for NIC-aware scheduling.\n";
   return report.write();
 }

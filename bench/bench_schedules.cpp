@@ -18,48 +18,50 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("schedules", argc, argv);
-  std::cout << "Schedule ablation: group 1, 4 nodes (TFLOPS). Interleaved-k "
-               "= k model chunks per device.\n\n";
+  report.run_timed([&] {
+    std::cout << "Schedule ablation: group 1, 4 nodes (TFLOPS). Interleaved-k "
+                 "= k model chunks per device.\n\n";
 
-  const FrameworkConfig base = FrameworkConfig::holmes();
-  struct Variant {
-    std::string label;
-    FrameworkConfig framework;
-  };
-  const std::vector<Variant> variants = {
-      {"GPipe", base.with_schedule(SchedulePolicy::kGPipe)},
-      {"1F1B (PipeDream-Flush)", base},
-      {"Interleaved-2", base.with_schedule(SchedulePolicy::kInterleaved, 2)},
-      {"Interleaved-3", base.with_schedule(SchedulePolicy::kInterleaved, 3)},
-  };
-  const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
-                                    NicEnv::kHybrid};
+    const FrameworkConfig base = FrameworkConfig::holmes();
+    struct Variant {
+      std::string label;
+      FrameworkConfig framework;
+    };
+    const std::vector<Variant> variants = {
+        {"GPipe", base.with_schedule(SchedulePolicy::kGPipe)},
+        {"1F1B (PipeDream-Flush)", base},
+        {"Interleaved-2", base.with_schedule(SchedulePolicy::kInterleaved, 2)},
+        {"Interleaved-3", base.with_schedule(SchedulePolicy::kInterleaved, 3)},
+    };
+    const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
+                                      NicEnv::kHybrid};
 
-  std::vector<double> tflops(variants.size() * envs.size());
-  ThreadPool pool;
-  pool.parallel_for(tflops.size(), [&](std::size_t i) {
-    const std::size_t vi = i / envs.size();
-    const std::size_t ei = i % envs.size();
-    tflops[i] = run_experiment(variants[vi].framework, envs[ei], 4, 1)
-                    .tflops_per_gpu;
-  });
+    std::vector<double> tflops(variants.size() * envs.size());
+    ThreadPool pool;
+    pool.parallel_for(tflops.size(), [&](std::size_t i) {
+      const std::size_t vi = i / envs.size();
+      const std::size_t ei = i % envs.size();
+      tflops[i] = run_experiment(variants[vi].framework, envs[ei], 4, 1)
+                      .tflops_per_gpu;
+    });
 
-  TextTable table({"Schedule", "InfiniBand", "RoCE", "Hybrid"});
-  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
-    std::vector<std::string> row = {variants[vi].label};
-    for (std::size_t ei = 0; ei < envs.size(); ++ei) {
-      row.push_back(TextTable::num(tflops[vi * envs.size() + ei], 0));
-      report.set(variants[vi].label + "/" + to_string(envs[ei]) + "/tflops",
-                 tflops[vi * envs.size() + ei]);
+    TextTable table({"Schedule", "InfiniBand", "RoCE", "Hybrid"});
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      std::vector<std::string> row = {variants[vi].label};
+      for (std::size_t ei = 0; ei < envs.size(); ++ei) {
+        row.push_back(TextTable::num(tflops[vi * envs.size() + ei], 0));
+        report.set(variants[vi].label + "/" + to_string(envs[ei]) + "/tflops",
+                   tflops[vi * envs.size() + ei]);
+      }
+      table.add_row(std::move(row));
     }
-    table.add_row(std::move(row));
-  }
-  table.print();
+    table.print();
 
-  std::cout << "\nNote: interleaving shrinks the pipeline bubble on "
-               "homogeneous RDMA clusters but multiplies cross-cluster\n"
-               "activation traffic on the hybrid environment — chunk counts "
-               "beyond 2 lose more to the Ethernet link than the\n"
-               "smaller bubble saves.\n";
+    std::cout << "\nNote: interleaving shrinks the pipeline bubble on "
+                 "homogeneous RDMA clusters but multiplies cross-cluster\n"
+                 "activation traffic on the hybrid environment — chunk counts "
+                 "beyond 2 lose more to the Ethernet link than the\n"
+                 "smaller bubble saves.\n";
+  });
   return report.write();
 }

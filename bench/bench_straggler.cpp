@@ -16,53 +16,55 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("straggler", argc, argv);
-  std::cout << "Straggler study: group 1 on the Hybrid environment (4 "
-               "nodes); one RoCE-cluster node throttled\n\n";
+  report.run_timed([&] {
+    std::cout << "Straggler study: group 1 on the Hybrid environment (4 "
+                 "nodes); one RoCE-cluster node throttled\n\n";
 
-  const net::Topology topo = make_environment(NicEnv::kHybrid, 4);
-  const model::ParameterGroup& workload = model::parameter_group(1);
+    const net::Topology topo = make_environment(NicEnv::kHybrid, 4);
+    const model::ParameterGroup& workload = model::parameter_group(1);
 
-  TextTable table({"Slowdown", "Holmes thr", "Megatron-LM thr",
-                   "Holmes + measured re-partition"});
-  for (double slowdown : {1.0, 1.2, 1.5, 2.0}) {
-    Perturbations perturb;
-    // Node 2 (first RoCE node, ranks 16-23) is throttled.
-    for (int r = 16; r < 24; ++r) perturb.device_slowdown[r] = slowdown;
+    TextTable table({"Slowdown", "Holmes thr", "Megatron-LM thr",
+                     "Holmes + measured re-partition"});
+    for (double slowdown : {1.0, 1.2, 1.5, 2.0}) {
+      Perturbations perturb;
+      // Node 2 (first RoCE node, ranks 16-23) is throttled.
+      for (int r = 16; r < 24; ++r) perturb.device_slowdown[r] = slowdown;
 
-    const TrainingPlan holmes_plan = Planner(FrameworkConfig::holmes())
-                                         .plan(topo, workload);
-    const double holmes =
-        TrainingSimulator{}.run(topo, holmes_plan, 3, perturb).throughput;
+      const TrainingPlan holmes_plan = Planner(FrameworkConfig::holmes())
+                                           .plan(topo, workload);
+      const double holmes =
+          TrainingSimulator{}.run(topo, holmes_plan, 3, perturb).throughput;
 
-    const TrainingPlan lm_plan = Planner(FrameworkConfig::megatron_lm())
-                                     .plan(topo, workload);
-    const double lm =
-        TrainingSimulator{}.run(topo, lm_plan, 3, perturb).throughput;
+      const TrainingPlan lm_plan = Planner(FrameworkConfig::megatron_lm())
+                                       .plan(topo, workload);
+      const double lm =
+          TrainingSimulator{}.run(topo, lm_plan, 3, perturb).throughput;
 
-    // Speed-aware re-partition: stage 1 hosts the throttled node, so its
-    // measured speed shrinks by the straggler factor (half its devices run
-    // slow; the stage paces at the slowest device).
-    TrainingPlan tuned = holmes_plan;
-    const pipeline::StageSpeeds nic_speeds;
-    std::vector<double> measured = {
-        nic_speeds.of(holmes_plan.stage_nics[0]),
-        nic_speeds.of(holmes_plan.stage_nics[1]) / slowdown};
-    tuned.partition = pipeline::proportional_partition(
-        workload.config.layers, measured, 1.0);
-    const double repartitioned =
-        TrainingSimulator{}.run(topo, tuned, 3, perturb).throughput;
+      // Speed-aware re-partition: stage 1 hosts the throttled node, so its
+      // measured speed shrinks by the straggler factor (half its devices run
+      // slow; the stage paces at the slowest device).
+      TrainingPlan tuned = holmes_plan;
+      const pipeline::StageSpeeds nic_speeds;
+      std::vector<double> measured = {
+          nic_speeds.of(holmes_plan.stage_nics[0]),
+          nic_speeds.of(holmes_plan.stage_nics[1]) / slowdown};
+      tuned.partition = pipeline::proportional_partition(
+          workload.config.layers, measured, 1.0);
+      const double repartitioned =
+          TrainingSimulator{}.run(topo, tuned, 3, perturb).throughput;
 
-    table.add_row({TextTable::num(slowdown, 1) + "x",
-                   TextTable::num(holmes, 2), TextTable::num(lm, 2),
-                   TextTable::num(repartitioned, 2)});
-    const std::string prefix = "slowdown" + TextTable::num(slowdown, 1);
-    report.set(prefix + "/holmes_throughput", holmes);
-    report.set(prefix + "/megatron_lm_throughput", lm);
-    report.set(prefix + "/repartitioned_throughput", repartitioned);
-  }
-  table.print();
-  std::cout << "\nA measured-speed re-partition moves layers off the "
-               "throttled stage, recovering much of the loss —\nthe "
-               "self-adapting mechanism generalizes beyond NIC classes.\n";
+      table.add_row({TextTable::num(slowdown, 1) + "x",
+                     TextTable::num(holmes, 2), TextTable::num(lm, 2),
+                     TextTable::num(repartitioned, 2)});
+      const std::string prefix = "slowdown" + TextTable::num(slowdown, 1);
+      report.set(prefix + "/holmes_throughput", holmes);
+      report.set(prefix + "/megatron_lm_throughput", lm);
+      report.set(prefix + "/repartitioned_throughput", repartitioned);
+    }
+    table.print();
+    std::cout << "\nA measured-speed re-partition moves layers off the "
+                 "throttled stage, recovering much of the loss —\nthe "
+                 "self-adapting mechanism generalizes beyond NIC classes.\n";
+  });
   return report.write();
 }

@@ -16,27 +16,29 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("table1", argc, argv);
-  std::cout << "Table 1: GPT-3.6B (group 1) on 4 nodes x 8 A100s, per NIC "
-               "environment\n"
-            << "(paper: IB 197/99.23, RoCE 160/80.54, Ethernet 122/61.32)\n\n";
+  report.run_timed([&] {
+    std::cout << "Table 1: GPT-3.6B (group 1) on 4 nodes x 8 A100s, per NIC "
+                 "environment\n"
+              << "(paper: IB 197/99.23, RoCE 160/80.54, Ethernet 122/61.32)\n\n";
 
-  // Tables 1 and 3 predate the self-adapting partition (paper §4.1), so the
-  // uniform-partition Holmes configuration is what their rows measure.
-  const FrameworkConfig framework =
-      FrameworkConfig::holmes().without_self_adapting();
+    // Tables 1 and 3 predate the self-adapting partition (paper §4.1), so the
+    // uniform-partition Holmes configuration is what their rows measure.
+    const FrameworkConfig framework =
+        FrameworkConfig::holmes().without_self_adapting();
 
-  TextTable table({"NIC Env", "TFLOPS", "Throughput", "Bandwidth (Gbps)"});
-  for (NicEnv env :
-       {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kEthernet}) {
-    const net::Topology topo = make_environment(env, 4);
-    const IterationMetrics m = run_experiment(framework, topo, 1);
-    const net::FabricKind fabric = topo.fabric_between(0, 8);
-    table.add_row({to_string(env), TextTable::num(m.tflops_per_gpu, 0),
-                   TextTable::num(m.throughput, 2),
-                   TextTable::num(topo.catalog().spec(fabric).bandwidth_gbps, 0)});
-    report.set("tflops/" + to_string(env), m.tflops_per_gpu);
-    report.set("throughput/" + to_string(env), m.throughput);
-  }
-  table.print();
+    TextTable table({"NIC Env", "TFLOPS", "Throughput", "Bandwidth (Gbps)"});
+    for (NicEnv env :
+         {NicEnv::kInfiniBand, NicEnv::kRoCE, NicEnv::kEthernet}) {
+      const net::Topology topo = make_environment(env, 4);
+      const IterationMetrics m = run_experiment(framework, topo, 1);
+      const net::FabricKind fabric = topo.fabric_between(0, 8);
+      table.add_row({to_string(env), TextTable::num(m.tflops_per_gpu, 0),
+                     TextTable::num(m.throughput, 2),
+                     TextTable::num(topo.catalog().spec(fabric).bandwidth_gbps, 0)});
+      report.set("tflops/" + to_string(env), m.tflops_per_gpu);
+      report.set("throughput/" + to_string(env), m.throughput);
+    }
+    table.print();
+  });
   return report.write();
 }

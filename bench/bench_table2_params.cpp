@@ -14,30 +14,32 @@ using namespace holmes::model;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("table2_params", argc, argv);
-  std::cout << "Table 2: parameter groups (vocab 51,200; sequence length "
-               "2,048)\n"
-            << "P from Eq. (5), F from Eq. (6) at the group's batch size\n\n";
+  report.run_timed([&] {
+    std::cout << "Table 2: parameter groups (vocab 51,200; sequence length "
+                 "2,048)\n"
+              << "P from Eq. (5), F from Eq. (6) at the group's batch size\n\n";
 
-  TextTable table({"Group", "Params (B)", "Eq.5 P (B)", "Heads", "Hidden",
-                   "Layers", "TP", "PP", "Micro", "Batch", "Eq.6 F (PFLOP)"});
-  for (const ParameterGroup& g : table2_groups()) {
-    table.add_row({TextTable::num(static_cast<std::int64_t>(g.id)),
-                   TextTable::num(g.nominal_billions, 1),
-                   TextTable::num(g.config.parameter_count() / 1e9, 2),
-                   TextTable::num(static_cast<std::int64_t>(g.config.heads)),
-                   TextTable::num(static_cast<std::int64_t>(g.config.hidden)),
-                   TextTable::num(static_cast<std::int64_t>(g.config.layers)),
-                   TextTable::num(static_cast<std::int64_t>(g.tensor_parallel)),
-                   TextTable::num(static_cast<std::int64_t>(g.pipeline_parallel)),
-                   TextTable::num(static_cast<std::int64_t>(g.micro_batch_size)),
-                   TextTable::num(g.batch_size),
-                   TextTable::num(
-                       g.config.flops_per_iteration(g.batch_size) / 1e15, 1)});
-    const std::string prefix = "group" + std::to_string(g.id);
-    report.set(prefix + "/params_b", g.config.parameter_count() / 1e9);
-    report.set(prefix + "/pflops_per_iteration",
-               g.config.flops_per_iteration(g.batch_size) / 1e15);
-  }
-  table.print();
+    TextTable table({"Group", "Params (B)", "Eq.5 P (B)", "Heads", "Hidden",
+                     "Layers", "TP", "PP", "Micro", "Batch", "Eq.6 F (PFLOP)"});
+    for (const ParameterGroup& g : table2_groups()) {
+      table.add_row({TextTable::num(static_cast<std::int64_t>(g.id)),
+                     TextTable::num(g.nominal_billions, 1),
+                     TextTable::num(g.config.parameter_count() / 1e9, 2),
+                     TextTable::num(static_cast<std::int64_t>(g.config.heads)),
+                     TextTable::num(static_cast<std::int64_t>(g.config.hidden)),
+                     TextTable::num(static_cast<std::int64_t>(g.config.layers)),
+                     TextTable::num(static_cast<std::int64_t>(g.tensor_parallel)),
+                     TextTable::num(static_cast<std::int64_t>(g.pipeline_parallel)),
+                     TextTable::num(static_cast<std::int64_t>(g.micro_batch_size)),
+                     TextTable::num(g.batch_size),
+                     TextTable::num(
+                         g.config.flops_per_iteration(g.batch_size) / 1e15, 1)});
+      const std::string prefix = "group" + std::to_string(g.id);
+      report.set(prefix + "/params_b", g.config.parameter_count() / 1e9);
+      report.set(prefix + "/pflops_per_iteration",
+                 g.config.flops_per_iteration(g.batch_size) / 1e15);
+    }
+    table.print();
+  });
   return report.write();
 }

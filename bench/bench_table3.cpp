@@ -15,53 +15,55 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("table3", argc, argv);
-  std::cout << "Table 3: groups 1-4 x {InfiniBand, RoCE, Ethernet, Hybrid} x "
-               "{4, 6, 8} nodes (TFLOPS / throughput)\n\n";
+  report.run_timed([&] {
+    std::cout << "Table 3: groups 1-4 x {InfiniBand, RoCE, Ethernet, Hybrid} x "
+                 "{4, 6, 8} nodes (TFLOPS / throughput)\n\n";
 
-  const std::vector<int> groups = {1, 2, 3, 4};
-  const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
-                                    NicEnv::kEthernet, NicEnv::kHybrid};
-  const std::vector<int> node_counts = {4, 6, 8};
-  // Table 3 rows predate the self-adapting partition (paper §4.1).
-  const FrameworkConfig framework =
-      FrameworkConfig::holmes().without_self_adapting();
+    const std::vector<int> groups = {1, 2, 3, 4};
+    const std::vector<NicEnv> envs = {NicEnv::kInfiniBand, NicEnv::kRoCE,
+                                      NicEnv::kEthernet, NicEnv::kHybrid};
+    const std::vector<int> node_counts = {4, 6, 8};
+    // Table 3 rows predate the self-adapting partition (paper §4.1).
+    const FrameworkConfig framework =
+        FrameworkConfig::holmes().without_self_adapting();
 
-  struct Cell {
-    double tflops = 0;
-    double throughput = 0;
-  };
-  std::vector<Cell> cells(groups.size() * envs.size() * node_counts.size());
-  ThreadPool pool;
-  pool.parallel_for(cells.size(), [&](std::size_t i) {
-    const std::size_t gi = i / (envs.size() * node_counts.size());
-    const std::size_t ei = i / node_counts.size() % envs.size();
-    const std::size_t ni = i % node_counts.size();
-    const IterationMetrics m = run_experiment(framework, envs[ei],
-                                              node_counts[ni], groups[gi]);
-    cells[i] = {m.tflops_per_gpu, m.throughput};
-  });
+    struct Cell {
+      double tflops = 0;
+      double throughput = 0;
+    };
+    std::vector<Cell> cells(groups.size() * envs.size() * node_counts.size());
+    ThreadPool pool;
+    pool.parallel_for(cells.size(), [&](std::size_t i) {
+      const std::size_t gi = i / (envs.size() * node_counts.size());
+      const std::size_t ei = i / node_counts.size() % envs.size();
+      const std::size_t ni = i % node_counts.size();
+      const IterationMetrics m = run_experiment(framework, envs[ei],
+                                                node_counts[ni], groups[gi]);
+      cells[i] = {m.tflops_per_gpu, m.throughput};
+    });
 
-  TextTable table({"Group", "NIC Env", "4N TFLOPS", "4N Thr", "6N TFLOPS",
-                   "6N Thr", "8N TFLOPS", "8N Thr"});
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    for (std::size_t ei = 0; ei < envs.size(); ++ei) {
-      std::vector<std::string> row = {
-          TextTable::num(static_cast<std::int64_t>(groups[gi])),
-          to_string(envs[ei])};
-      for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
-        const Cell& c =
-            cells[(gi * envs.size() + ei) * node_counts.size() + ni];
-        row.push_back(TextTable::num(c.tflops, 0));
-        row.push_back(TextTable::num(c.throughput, 2));
-        const std::string prefix = "group" + std::to_string(groups[gi]) + "/" +
-                                   to_string(envs[ei]) + "/" +
-                                   std::to_string(node_counts[ni]) + "n";
-        report.set(prefix + "/tflops", c.tflops);
-        report.set(prefix + "/throughput", c.throughput);
+    TextTable table({"Group", "NIC Env", "4N TFLOPS", "4N Thr", "6N TFLOPS",
+                     "6N Thr", "8N TFLOPS", "8N Thr"});
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      for (std::size_t ei = 0; ei < envs.size(); ++ei) {
+        std::vector<std::string> row = {
+            TextTable::num(static_cast<std::int64_t>(groups[gi])),
+            to_string(envs[ei])};
+        for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+          const Cell& c =
+              cells[(gi * envs.size() + ei) * node_counts.size() + ni];
+          row.push_back(TextTable::num(c.tflops, 0));
+          row.push_back(TextTable::num(c.throughput, 2));
+          const std::string prefix = "group" + std::to_string(groups[gi]) + "/" +
+                                     to_string(envs[ei]) + "/" +
+                                     std::to_string(node_counts[ni]) + "n";
+          report.set(prefix + "/tflops", c.tflops);
+          report.set(prefix + "/throughput", c.throughput);
+        }
+        table.add_row(std::move(row));
       }
-      table.add_row(std::move(row));
     }
-  }
-  table.print();
+    table.print();
+  });
   return report.write();
 }

@@ -33,72 +33,74 @@ net::Topology three_clusters(int nodes_each, net::NicType a, net::NicType b,
 
 int main(int argc, char** argv) {
   bench::BenchReport report("table4", argc, argv);
-  std::cout << "Table 4: three-cluster environments, pipeline degree 3 "
-               "(TFLOPS / throughput)\n"
-            << "Rows use the 7.5B model at p=3: batch 1536 (group 5) and "
-               "2688 (group 6)\n\n";
+  report.run_timed([&] {
+    std::cout << "Table 4: three-cluster environments, pipeline degree 3 "
+                 "(TFLOPS / throughput)\n"
+              << "Rows use the 7.5B model at p=3: batch 1536 (group 5) and "
+                 "2688 (group 6)\n\n";
 
-  using net::NicType;
-  struct Scenario {
-    std::string label;
-    net::Topology hybrid;
-    int total_nodes;
-  };
-  std::vector<Scenario> scenarios;
-  scenarios.push_back({"6N 2RoCE&2RoCE&2IB",
-                       three_clusters(2, NicType::kRoCE, NicType::kRoCE,
-                                      NicType::kInfiniBand),
-                       6});
-  scenarios.push_back({"6N 2RoCE&2IB&2IB",
-                       three_clusters(2, NicType::kRoCE, NicType::kInfiniBand,
-                                      NicType::kInfiniBand),
-                       6});
-  scenarios.push_back({"12N 4RoCE&4IB&4IB",
-                       three_clusters(4, NicType::kRoCE, NicType::kInfiniBand,
-                                      NicType::kInfiniBand),
-                       12});
+    using net::NicType;
+    struct Scenario {
+      std::string label;
+      net::Topology hybrid;
+      int total_nodes;
+    };
+    std::vector<Scenario> scenarios;
+    scenarios.push_back({"6N 2RoCE&2RoCE&2IB",
+                         three_clusters(2, NicType::kRoCE, NicType::kRoCE,
+                                        NicType::kInfiniBand),
+                         6});
+    scenarios.push_back({"6N 2RoCE&2IB&2IB",
+                         three_clusters(2, NicType::kRoCE, NicType::kInfiniBand,
+                                        NicType::kInfiniBand),
+                         6});
+    scenarios.push_back({"12N 4RoCE&4IB&4IB",
+                         three_clusters(4, NicType::kRoCE, NicType::kInfiniBand,
+                                        NicType::kInfiniBand),
+                         12});
 
-  const std::vector<int> groups = {5, 6};
-  const FrameworkConfig holmes = FrameworkConfig::holmes();
-  const FrameworkConfig ethernet_baseline =
-      FrameworkConfig::holmes().without_self_adapting();
+    const std::vector<int> groups = {5, 6};
+    const FrameworkConfig holmes = FrameworkConfig::holmes();
+    const FrameworkConfig ethernet_baseline =
+        FrameworkConfig::holmes().without_self_adapting();
 
-  struct Cell {
-    double eth_tflops, eth_thr, hyb_tflops, hyb_thr;
-  };
-  std::vector<Cell> cells(groups.size() * scenarios.size());
-  ThreadPool pool;
-  pool.parallel_for(cells.size(), [&](std::size_t i) {
-    const std::size_t gi = i / scenarios.size();
-    const std::size_t si = i % scenarios.size();
-    const IterationMetrics eth =
-        run_experiment(ethernet_baseline, NicEnv::kEthernet,
-                       scenarios[si].total_nodes, groups[gi]);
-    const IterationMetrics hyb =
-        run_experiment(holmes, scenarios[si].hybrid, groups[gi]);
-    cells[i] = {eth.tflops_per_gpu, eth.throughput, hyb.tflops_per_gpu,
-                hyb.throughput};
-  });
+    struct Cell {
+      double eth_tflops, eth_thr, hyb_tflops, hyb_thr;
+    };
+    std::vector<Cell> cells(groups.size() * scenarios.size());
+    ThreadPool pool;
+    pool.parallel_for(cells.size(), [&](std::size_t i) {
+      const std::size_t gi = i / scenarios.size();
+      const std::size_t si = i % scenarios.size();
+      const IterationMetrics eth =
+          run_experiment(ethernet_baseline, NicEnv::kEthernet,
+                         scenarios[si].total_nodes, groups[gi]);
+      const IterationMetrics hyb =
+          run_experiment(holmes, scenarios[si].hybrid, groups[gi]);
+      cells[i] = {eth.tflops_per_gpu, eth.throughput, hyb.tflops_per_gpu,
+                  hyb.throughput};
+    });
 
-  TextTable table({"Group", "Scenario", "Ethernet TFLOPS/Thr",
-                   "Hybrid TFLOPS/Thr"});
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    for (std::size_t si = 0; si < scenarios.size(); ++si) {
-      const Cell& c = cells[gi * scenarios.size() + si];
-      table.add_row({TextTable::num(static_cast<std::int64_t>(groups[gi])),
-                     scenarios[si].label,
-                     TextTable::num(c.eth_tflops, 0) + " / " +
-                         TextTable::num(c.eth_thr, 2),
-                     TextTable::num(c.hyb_tflops, 0) + " / " +
-                         TextTable::num(c.hyb_thr, 2)});
-      const std::string prefix = "group" + std::to_string(groups[gi]) + "/" +
-                                 scenarios[si].label;
-      report.set(prefix + "/ethernet_tflops", c.eth_tflops);
-      report.set(prefix + "/ethernet_throughput", c.eth_thr);
-      report.set(prefix + "/hybrid_tflops", c.hyb_tflops);
-      report.set(prefix + "/hybrid_throughput", c.hyb_thr);
+    TextTable table({"Group", "Scenario", "Ethernet TFLOPS/Thr",
+                     "Hybrid TFLOPS/Thr"});
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        const Cell& c = cells[gi * scenarios.size() + si];
+        table.add_row({TextTable::num(static_cast<std::int64_t>(groups[gi])),
+                       scenarios[si].label,
+                       TextTable::num(c.eth_tflops, 0) + " / " +
+                           TextTable::num(c.eth_thr, 2),
+                       TextTable::num(c.hyb_tflops, 0) + " / " +
+                           TextTable::num(c.hyb_thr, 2)});
+        const std::string prefix = "group" + std::to_string(groups[gi]) + "/" +
+                                   scenarios[si].label;
+        report.set(prefix + "/ethernet_tflops", c.eth_tflops);
+        report.set(prefix + "/ethernet_throughput", c.eth_thr);
+        report.set(prefix + "/hybrid_tflops", c.hyb_tflops);
+        report.set(prefix + "/hybrid_throughput", c.hyb_thr);
+      }
     }
-  }
-  table.print();
+    table.print();
+  });
   return report.write();
 }

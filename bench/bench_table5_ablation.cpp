@@ -17,45 +17,47 @@ using namespace holmes::core;
 
 int main(int argc, char** argv) {
   bench::BenchReport report("table5_ablation", argc, argv);
-  std::cout << "Table 5: ablation on group 3, 8 nodes (4 RoCE + 4 IB)\n"
-            << "(paper: LM 132, Holmes 183, w/o SA 179, w/o Overlap 170, "
-               "w/o both 168)\n\n";
+  report.run_timed([&] {
+    std::cout << "Table 5: ablation on group 3, 8 nodes (4 RoCE + 4 IB)\n"
+              << "(paper: LM 132, Holmes 183, w/o SA 179, w/o Overlap 170, "
+                 "w/o both 168)\n\n";
 
-  const FrameworkConfig holmes = FrameworkConfig::holmes();
-  struct Row {
-    std::string label;
-    FrameworkConfig framework;
-  };
-  const std::vector<Row> rows = {
-      {"Megatron-LM", FrameworkConfig::megatron_lm()},
-      {"Holmes", holmes},
-      {"w/o Self-Adapting-Partition", holmes.without_self_adapting()},
-      {"w/o Overlapped Optimizer", holmes.without_overlapped_optimizer()},
-      {"w/o Above Two",
-       holmes.without_self_adapting().without_overlapped_optimizer()},
-  };
+    const FrameworkConfig holmes = FrameworkConfig::holmes();
+    struct Row {
+      std::string label;
+      FrameworkConfig framework;
+    };
+    const std::vector<Row> rows = {
+        {"Megatron-LM", FrameworkConfig::megatron_lm()},
+        {"Holmes", holmes},
+        {"w/o Self-Adapting-Partition", holmes.without_self_adapting()},
+        {"w/o Overlapped Optimizer", holmes.without_overlapped_optimizer()},
+        {"w/o Above Two",
+         holmes.without_self_adapting().without_overlapped_optimizer()},
+    };
 
-  double full_tflops = 0;
-  double full_thr = 0;
-  TextTable table({"Training Framework", "TFLOPS", "Throughput", "Delta"});
-  for (const Row& row : rows) {
-    const IterationMetrics m =
-        run_experiment(row.framework, NicEnv::kHybrid, 8, 3);
-    if (row.label == "Holmes") {
-      full_tflops = m.tflops_per_gpu;
-      full_thr = m.throughput;
+    double full_tflops = 0;
+    double full_thr = 0;
+    TextTable table({"Training Framework", "TFLOPS", "Throughput", "Delta"});
+    for (const Row& row : rows) {
+      const IterationMetrics m =
+          run_experiment(row.framework, NicEnv::kHybrid, 8, 3);
+      if (row.label == "Holmes") {
+        full_tflops = m.tflops_per_gpu;
+        full_thr = m.throughput;
+      }
+      std::string delta = "-";
+      if (full_tflops > 0 && row.label != "Holmes" &&
+          row.label != "Megatron-LM") {
+        delta = "(" + TextTable::num(m.tflops_per_gpu - full_tflops, 0) + " / " +
+                TextTable::num(m.throughput - full_thr, 2) + ")";
+      }
+      table.add_row({row.label, TextTable::num(m.tflops_per_gpu, 0),
+                     TextTable::num(m.throughput, 2), delta});
+      report.set(row.label + "/tflops", m.tflops_per_gpu);
+      report.set(row.label + "/throughput", m.throughput);
     }
-    std::string delta = "-";
-    if (full_tflops > 0 && row.label != "Holmes" &&
-        row.label != "Megatron-LM") {
-      delta = "(" + TextTable::num(m.tflops_per_gpu - full_tflops, 0) + " / " +
-              TextTable::num(m.throughput - full_thr, 2) + ")";
-    }
-    table.add_row({row.label, TextTable::num(m.tflops_per_gpu, 0),
-                   TextTable::num(m.throughput, 2), delta});
-    report.set(row.label + "/tflops", m.tflops_per_gpu);
-    report.set(row.label + "/throughput", m.throughput);
-  }
-  table.print();
+    table.print();
+  });
   return report.write();
 }

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file micro_bench_json.h
+/// holmes.bench.v1 bridge for the google-benchmark micro benches.
+///
+/// The micro_* binaries replace BENCHMARK_MAIN() with
+///
+///   int main(int argc, char** argv) {
+///     return holmes::bench::micro_bench_main("micro_foo", argc, argv);
+///   }
+///
+/// Without `--json` this is exactly BENCHMARK_MAIN(): the console reporter,
+/// all google-benchmark flags intact. With `--json[=FILE]` (plus the
+/// BenchReport `--repeat N` / `--warmup M` flags) the whole registered
+/// suite runs once per pass behind a silent reporter, warmup passes are
+/// discarded, and each benchmark's per-iteration wall seconds across the
+/// timed passes land in the report as
+///
+///   time_s/<benchmark name>/min
+///   time_s/<benchmark name>/median
+///
+/// alongside the suite-level wall_s block — one holmes.bench.v1 document
+/// per binary, the same shape the experiment benches emit, so
+/// `holmes_cli bench` can fold both kinds into a trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "util/sample_stats.h"
+
+namespace holmes::bench {
+
+namespace detail {
+
+/// Collects per-iteration real seconds per benchmark, printing nothing.
+class CaptureReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit CaptureReporter(std::map<std::string, std::vector<double>>& sink)
+      : sink_(sink) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      sink_[run.benchmark_name()].push_back(run.real_accumulated_time / iters);
+    }
+  }
+
+ private:
+  std::map<std::string, std::vector<double>>& sink_;
+};
+
+/// True for the BenchReport-owned flags that google-benchmark would reject.
+inline bool is_report_flag(const std::string& arg, bool& eats_value) {
+  eats_value = arg == "--repeat" || arg == "--warmup";
+  return eats_value || arg == "--json" || arg.rfind("--json=", 0) == 0 ||
+         arg.rfind("--repeat=", 0) == 0 || arg.rfind("--warmup=", 0) == 0;
+}
+
+}  // namespace detail
+
+inline int micro_bench_main(const std::string& name, int argc, char** argv) {
+  BenchReport report(name, argc, argv);
+
+  // google-benchmark aborts on flags it does not know; strip ours first.
+  std::vector<char*> bm_argv;
+  bm_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    bool eats_value = false;
+    if (detail::is_report_flag(argv[i], eats_value)) {
+      if (eats_value && i + 1 < argc) ++i;
+      continue;
+    }
+    bm_argv.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  bm_argv.push_back(nullptr);
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+
+  if (!report.enabled()) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  // Every pass runs the full registered suite in registration order, so
+  // each benchmark collects exactly warmup+repeat samples; drop the first
+  // `warmup` of each below.
+  std::map<std::string, std::vector<double>> samples;
+  detail::CaptureReporter reporter(samples);
+  report.run_timed([&] { benchmark::RunSpecifiedBenchmarks(&reporter); });
+
+  for (const auto& [bench_name, all] : samples) {
+    std::vector<double> timed(
+        all.begin() + std::min<std::size_t>(
+                          static_cast<std::size_t>(report.warmup()), all.size()),
+        all.end());
+    const SampleStats stats = summarize_samples(std::move(timed));
+    report.set("time_s/" + bench_name + "/min", stats.min);
+    report.set("time_s/" + bench_name + "/median", stats.median);
+  }
+  const int rc = report.write();
+  benchmark::Shutdown();
+  return rc;
+}
+
+}  // namespace holmes::bench

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_bench_json.h"
+
 #include <vector>
 
 #include "comm/communicator.h"
@@ -51,4 +53,6 @@ static void BM_LowerAndSimulateAllReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_LowerAndSimulateAllReduce)->Arg(8)->Arg(16)->Arg(32);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return holmes::bench::micro_bench_main("micro_collectives", argc, argv);
+}

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_bench_json.h"
+
 #include "core/run_stats.h"
 #include "core/training_sim.h"
 #include "model/gpt_zoo.h"
@@ -135,4 +137,6 @@ static void BM_BuildRunSummary(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildRunSummary);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return holmes::bench::micro_bench_main("micro_obs", argc, argv);
+}

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_bench_json.h"
+
 #include "core/experiment.h"
 #include "parallel/group_builder.h"
 #include "pipeline/partition.h"
@@ -46,4 +48,6 @@ static void BM_FullScenarioSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FullScenarioSimulation)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return holmes::bench::micro_bench_main("micro_planning", argc, argv);
+}

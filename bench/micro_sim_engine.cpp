@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_bench_json.h"
+
 #include "sim/executor.h"
 #include "sim/simulator.h"
 
@@ -57,4 +59,6 @@ static void BM_TaskGraphWide(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskGraphWide)->Arg(1 << 10)->Arg(1 << 14);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return holmes::bench::micro_bench_main("micro_sim_engine", argc, argv);
+}

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_bench_json.h"
+
 #include <string>
 #include <vector>
 
@@ -119,4 +121,6 @@ static void BM_PreflightFullRunAndAudit(benchmark::State& state) {
 }
 BENCHMARK(BM_PreflightFullRunAndAudit);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return holmes::bench::micro_bench_main("micro_verify", argc, argv);
+}

@@ -1,5 +1,6 @@
 #include "core/cost_model.h"
 
+#include "obs/self_profile.h"
 #include "util/error.h"
 
 namespace holmes::core {
@@ -7,6 +8,7 @@ namespace holmes::core {
 SimTime CostModel::compute_seconds(double flops, int tensor_parallel) const {
   HOLMES_CHECK_MSG(flops >= 0, "negative FLOP count");
   HOLMES_CHECK_MSG(tensor_parallel >= 1, "tensor parallel degree must be >= 1");
+  obs::self_profile::count(&obs::SelfProfileCounters::cost_model_evals);
   double rate = peak_tflops * 1e12 * mfu;
   if (tensor_parallel > 1) rate *= tp_efficiency;
   return flops / rate;
@@ -14,6 +16,7 @@ SimTime CostModel::compute_seconds(double flops, int tensor_parallel) const {
 
 SimTime CostModel::optimizer_seconds(double elems) const {
   HOLMES_CHECK_MSG(elems >= 0, "negative element count");
+  obs::self_profile::count(&obs::SelfProfileCounters::cost_model_evals);
   return elems / optimizer_elems_per_sec;
 }
 

@@ -1,6 +1,7 @@
 #include "core/training_sim.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "comm/communicator.h"
@@ -104,9 +105,21 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
   if (iterations < 2) {
     throw ConfigError("need at least 2 iterations (1 warm-up + 1 measured)");
   }
+  // Engine self-profile: snapshot the active collector (if any) so the
+  // artifacts carry exactly this run's delta, even when the caller profiles
+  // several runs under one SelfProfiler.
+  namespace prof = obs::self_profile;
+  const bool profiled = prof::enabled();
+  obs::SelfProfile profile_before;
+  std::chrono::steady_clock::time_point run_start{};
+  if (profiled) {
+    profile_before = *prof::tl_active;
+    run_start = std::chrono::steady_clock::now();
+  }
   // Debug-mode static pre-flight: lint the plan before lowering it. No-op
   // unless logging at kDebug or lower (see core/preflight.h).
   preflight_or_throw(topo, plan);
+  prof::PhaseTimer graph_build_timer(&obs::SelfProfilePhases::graph_build_s);
   const int t = plan.degrees.tensor;
   const int p = plan.degrees.pipeline;
   const int d = plan.degrees.data;
@@ -424,11 +437,14 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
     iteration_markers.push_back(marker);
   }
 
+  graph_build_timer.stop();
+  // The executor accounts its own dispatch loop as event_loop_s.
   sim::SimResult result = sim::TaskGraphExecutor{}.run(graph, observer);
   if (chrome_trace != nullptr) {
     sim::write_chrome_trace(*chrome_trace, graph, result);
   }
 
+  prof::PhaseTimer accounting_timer(&obs::SelfProfilePhases::accounting_s);
   const int last = iterations - 1;
   const SimTime iter_end =
       result.timing(iteration_markers[static_cast<std::size_t>(last)]).finish;
@@ -471,8 +487,22 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
       obs::tag_in({last_tag(tags::kForward), last_tag(tags::kBackward)}));
   metrics.grad_sync_overlapped = grad_overlap.overlapped;
   metrics.grad_sync_exposed = grad_overlap.exposed;
+  accounting_timer.stop();
 
+  if (profiled) {
+    prof::add_phase(&obs::SelfProfilePhases::total_s,
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - run_start)
+                        .count());
+  }
   if (artifacts != nullptr) {
+    if (profiled) {
+      obs::SelfProfile profile_after = *prof::tl_active;
+      profile_after.peak_rss_bytes = obs::current_peak_rss_bytes();
+      artifacts->self_profile = obs::delta(profile_before, profile_after);
+    } else {
+      artifacts->self_profile.reset();
+    }
     artifacts->compute_resource.clear();
     artifacts->compute_resource.reserve(static_cast<std::size_t>(n));
     for (int rank = 0; rank < n; ++rank) {

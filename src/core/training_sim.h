@@ -16,6 +16,7 @@
 #include "core/cost_model.h"
 #include "core/perturbation.h"
 #include "core/plan.h"
+#include "obs/self_profile.h"
 #include "sim/executor.h"
 #include "sim/task_graph.h"
 #include "util/units.h"
@@ -60,6 +61,10 @@ struct SimArtifacts {
   /// Global rank -> compute resource id in `graph`.
   std::vector<sim::ResourceId> compute_resource;
   int iterations = 0;
+
+  /// Engine self-profile of this run (holmes.self_profile.v1), populated
+  /// only when an obs::SelfProfiler was active on the calling thread.
+  std::optional<obs::SelfProfile> self_profile;
 
   /// Steady-state observation window [first marker finish, last marker
   /// finish) — the warm-up iteration is excluded.

@@ -1,11 +1,13 @@
 #include "sim/event_queue.h"
 
+#include "obs/self_profile.h"
 #include "util/error.h"
 
 namespace holmes::sim {
 
 void EventQueue::schedule(SimTime when, EventFn fn) {
   HOLMES_CHECK_MSG(when >= 0, "event time must be non-negative");
+  obs::self_profile::count(&obs::SelfProfileCounters::events_scheduled);
   heap_.push(Entry{when, next_seq_++, std::move(fn)});
 }
 
@@ -21,6 +23,7 @@ EventFn EventQueue::pop() {
   // entry is discarded immediately afterwards.
   EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
   heap_.pop();
+  obs::self_profile::count(&obs::SelfProfileCounters::events_fired);
   return fn;
 }
 

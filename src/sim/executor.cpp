@@ -1,10 +1,12 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <queue>
 #include <sstream>
 
+#include "obs/self_profile.h"
 #include "util/error.h"
 
 namespace holmes::sim {
@@ -69,6 +71,16 @@ SimTime SimResult::tag_span(const TaskGraph& graph, TaskTag tag) const {
 
 SimResult TaskGraphExecutor::run(const TaskGraph& graph,
                                  ExecutionObserver* observer) {
+  // Self-profiling: counts are batched into locals and flushed once after the
+  // loop so the unprofiled inner loop stays untouched and the profiled one
+  // pays no thread-local access per task.
+  namespace prof = obs::self_profile;
+  const bool profiled = prof::enabled();
+  prof::PhaseTimer event_loop_timer(&obs::SelfProfilePhases::event_loop_s);
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t peak_ready = 0;
+
   const auto& tasks = graph.tasks();
   const std::size_t n = tasks.size();
 
@@ -89,14 +101,19 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
 
   std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyLater> ready;
   for (std::size_t i = 0; i < n; ++i) {
-    if (indegree[i] == 0) ready.push({0, static_cast<TaskId>(i)});
+    if (indegree[i] == 0) {
+      ready.push({0, static_cast<TaskId>(i)});
+      ++pushes;
+    }
   }
+  if (profiled) peak_ready = ready.size();
 
   std::size_t completed = 0;
   SimTime makespan = 0;
   while (!ready.empty()) {
     const auto [ready_at, id] = ready.top();
     ready.pop();
+    ++pops;
     const Task& task = tasks[static_cast<std::size_t>(id)];
 
     SimTime start = ready_at;
@@ -145,8 +162,17 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
       rt = std::max(rt, finish);
       if (--indegree[static_cast<std::size_t>(next)] == 0) {
         ready.push({rt, next});
+        ++pushes;
       }
     }
+    if (profiled && ready.size() > peak_ready) peak_ready = ready.size();
+  }
+
+  if (profiled) {
+    prof::count(&obs::SelfProfileCounters::executor_runs);
+    prof::count(&obs::SelfProfileCounters::ready_pushes, pushes);
+    prof::count(&obs::SelfProfileCounters::ready_pops, pops);
+    prof::raise(&obs::SelfProfileCounters::max_ready_queue, peak_ready);
   }
 
   if (completed != n) {

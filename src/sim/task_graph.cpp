@@ -2,13 +2,22 @@
 
 #include <limits>
 
+// Header-only hooks: no-ops unless an obs::SelfProfiler is active on this
+// thread, and no link dependency on holmes_obs.
+#include "obs/self_profile.h"
 #include "util/error.h"
 
 namespace holmes::sim {
 
+namespace {
+using obs::SelfProfileCounters;
+namespace prof = obs::self_profile;
+}  // namespace
+
 ResourceId TaskGraph::add_resource(std::string name) {
   HOLMES_CHECK(resource_names_.size() <
                static_cast<std::size_t>(std::numeric_limits<ResourceId>::max()));
+  prof::count(&SelfProfileCounters::resources_created);
   resource_names_.push_back(std::move(name));
   return static_cast<ResourceId>(resource_names_.size() - 1);
 }
@@ -16,6 +25,20 @@ ResourceId TaskGraph::add_resource(std::string name) {
 TaskId TaskGraph::push(Task task) {
   HOLMES_CHECK(tasks_.size() <
                static_cast<std::size_t>(std::numeric_limits<TaskId>::max()));
+  if (prof::enabled()) {
+    prof::count(&SelfProfileCounters::tasks_created);
+    switch (task.kind) {
+      case TaskKind::kCompute:
+        prof::count(&SelfProfileCounters::compute_tasks);
+        break;
+      case TaskKind::kTransfer:
+        prof::count(&SelfProfileCounters::transfer_tasks);
+        break;
+      case TaskKind::kNoop:
+        prof::count(&SelfProfileCounters::noop_tasks);
+        break;
+    }
+  }
   tasks_.push_back(std::move(task));
   return static_cast<TaskId>(tasks_.size() - 1);
 }
@@ -80,6 +103,7 @@ void TaskGraph::add_dep(TaskId task, TaskId dep) {
   HOLMES_CHECK_MSG(dep >= 0 && static_cast<std::size_t>(dep) < tasks_.size(),
                    "unknown dependency");
   HOLMES_CHECK_MSG(dep != task, "task cannot depend on itself");
+  prof::count(&SelfProfileCounters::deps_added);
   tasks_[static_cast<std::size_t>(task)].deps.push_back(dep);
 }
 
@@ -105,6 +129,7 @@ ChannelId TaskGraph::channel(const std::string& name) {
   }
   HOLMES_CHECK(channel_names_.size() <
                static_cast<std::size_t>(std::numeric_limits<ChannelId>::max()));
+  prof::count(&SelfProfileCounters::channels_created);
   channel_names_.push_back(name);
   return static_cast<ChannelId>(channel_names_.size() - 1);
 }

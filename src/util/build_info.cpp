@@ -1,0 +1,49 @@
+#include "util/build_info.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/build_info_gen.h"
+#include "util/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+namespace holmes {
+
+BuildInfo current_build_info() {
+  BuildInfo info;
+  info.commit = HOLMES_BUILD_GIT_COMMIT;
+  info.compiler = HOLMES_BUILD_COMPILER;
+  info.flags = HOLMES_BUILD_FLAGS;
+  info.build_type = HOLMES_BUILD_TYPE;
+#if defined(__unix__) || defined(__APPLE__)
+  utsname un{};
+  if (uname(&un) == 0) {
+    info.host = un.nodename;
+    info.os = std::string(un.sysname) + " " + un.release;
+  }
+#endif
+  return info;
+}
+
+std::string fingerprint_line(const BuildInfo& info) {
+  std::ostringstream out;
+  out << "commit " << info.commit << " · " << info.compiler << " · "
+      << info.build_type;
+  if (!info.flags.empty()) out << " [" << info.flags << "]";
+  if (!info.host.empty()) out << " · " << info.host;
+  return out.str();
+}
+
+void write_build_info_json(std::ostream& out, const BuildInfo& info) {
+  out << "{\"commit\":\"" << json_escape(info.commit) << "\",\"compiler\":\""
+      << json_escape(info.compiler) << "\",\"flags\":\""
+      << json_escape(info.flags) << "\",\"build_type\":\""
+      << json_escape(info.build_type) << "\",\"host\":\""
+      << json_escape(info.host) << "\",\"os\":\"" << json_escape(info.os)
+      << "\"}";
+}
+
+}  // namespace holmes

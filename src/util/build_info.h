@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file build_info.h
+/// The environment fingerprint stamped into perf trajectories.
+///
+/// A bench number is meaningless without knowing what produced it: the
+/// `holmes.bench_suite.v1` document (and `holmes_cli --version`) records the
+/// git commit, compiler, flags and build type captured at configure time plus
+/// the host captured at run time, so a baseline diffed against a run from a
+/// different machine or build flavor is visibly apples-to-oranges.
+
+#include <iosfwd>
+#include <string>
+
+namespace holmes {
+
+struct BuildInfo {
+  std::string commit;      ///< short git commit at configure time ("unknown" outside git)
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string flags;       ///< CMAKE_CXX_FLAGS + per-config flags
+  std::string build_type;  ///< e.g. "RelWithDebInfo"
+  std::string host;        ///< uname nodename (empty where unsupported)
+  std::string os;          ///< uname sysname + release
+};
+
+/// The fingerprint of this binary (configure-time macros + runtime uname).
+BuildInfo current_build_info();
+
+/// One-line human rendering for `holmes_cli --version`.
+std::string fingerprint_line(const BuildInfo& info);
+
+/// Writes the fingerprint JSON object (fixed key order, no trailing
+/// newline): {"commit":…,"compiler":…,"flags":…,"build_type":…,"host":…,"os":…}
+void write_build_info_json(std::ostream& out, const BuildInfo& info);
+
+}  // namespace holmes

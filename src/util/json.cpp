@@ -306,4 +306,56 @@ JsonValue json_parse(const std::string& text) {
   return JsonParser(text).parse_document();
 }
 
+namespace {
+
+void serialize_to(std::string& out, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      out += json_number(value.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += json_escape(value.as_string());
+      out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      const auto& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        serialize_to(out, items[i]);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      const auto& members = value.as_object();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += json_escape(members[i].first);
+        out += "\":";
+        serialize_to(out, members[i].second);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_serialize(const JsonValue& value) {
+  std::string out;
+  serialize_to(out, value);
+  return out;
+}
+
 }  // namespace holmes

@@ -74,4 +74,10 @@ class JsonValue {
 /// trailing garbage).
 JsonValue json_parse(const std::string& text);
 
+/// Serializes a value back to compact JSON: object keys in document order,
+/// numbers via json_number, strings via json_escape — so parse + serialize
+/// of our own stable schemas is itself stable. Used by `holmes_cli bench`
+/// to fold per-bench documents into the trajectory.
+std::string json_serialize(const JsonValue& value);
+
 }  // namespace holmes

@@ -1,0 +1,24 @@
+#include "util/sample_stats.h"
+
+#include <algorithm>
+
+namespace holmes {
+
+SampleStats summarize_samples(std::vector<double> samples) {
+  SampleStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.count = samples.size();
+  stats.min = samples.front();
+  stats.max = samples.back();
+  const std::size_t mid = samples.size() / 2;
+  stats.median = samples.size() % 2 == 1
+                     ? samples[mid]
+                     : (samples[mid - 1] + samples[mid]) / 2.0;
+  double sum = 0;
+  for (double s : samples) sum += s;
+  stats.mean = sum / static_cast<double>(samples.size());
+  return stats;
+}
+
+}  // namespace holmes

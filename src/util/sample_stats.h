@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file sample_stats.h
+/// Order statistics over a small set of repeated measurements.
+///
+/// The bench harness reports min/median/spread over `--repeat N` wall-time
+/// samples instead of a single unstable reading; this is the shared math
+/// (bench/bench_json.h, the micro-bench bridge, `holmes_cli bench`).
+
+#include <cstddef>
+#include <vector>
+
+namespace holmes {
+
+struct SampleStats {
+  std::size_t count = 0;
+  double min = 0;
+  double median = 0;  ///< even counts average the two middle samples
+  double max = 0;
+  double mean = 0;
+
+  /// max - min: the sample noise band the trajectory stores alongside the
+  /// central estimates (a wide spread flags an untrustworthy median).
+  double spread() const { return max - min; }
+};
+
+/// Summarizes `samples` (order irrelevant). All-zero stats when empty.
+SampleStats summarize_samples(std::vector<double> samples);
+
+}  // namespace holmes

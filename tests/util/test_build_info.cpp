@@ -1,0 +1,55 @@
+#include "util/build_info.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace holmes {
+namespace {
+
+TEST(BuildInfo, ConfigureTimeFieldsArePopulated) {
+  const BuildInfo info = current_build_info();
+  // The commit may legitimately be "unknown" (tarball build) but is never
+  // empty; compiler and build type come straight from CMake.
+  EXPECT_FALSE(info.commit.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+}
+
+TEST(BuildInfo, FingerprintLineMentionsCommitAndCompiler) {
+  const BuildInfo info = current_build_info();
+  const std::string line = fingerprint_line(info);
+  EXPECT_NE(line.find(info.commit), std::string::npos);
+  EXPECT_NE(line.find(info.build_type), std::string::npos);
+}
+
+TEST(BuildInfo, JsonRoundTripsWithFixedKeys) {
+  const BuildInfo info = current_build_info();
+  std::ostringstream out;
+  write_build_info_json(out, info);
+  const JsonValue doc = json_parse(out.str());
+  EXPECT_EQ(doc.at("commit").as_string(), info.commit);
+  EXPECT_EQ(doc.at("compiler").as_string(), info.compiler);
+  EXPECT_EQ(doc.at("flags").as_string(), info.flags);
+  EXPECT_EQ(doc.at("build_type").as_string(), info.build_type);
+  EXPECT_EQ(doc.at("host").as_string(), info.host);
+  EXPECT_EQ(doc.at("os").as_string(), info.os);
+  // Key order is part of the stable schema.
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 6u);
+  EXPECT_EQ(members[0].first, "commit");
+  EXPECT_EQ(members[5].first, "os");
+}
+
+TEST(BuildInfo, EmissionIsByteStable) {
+  std::ostringstream a;
+  std::ostringstream b;
+  write_build_info_json(a, current_build_info());
+  write_build_info_json(b, current_build_info());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace holmes

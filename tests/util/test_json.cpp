@@ -68,6 +68,30 @@ TEST(JsonParse, AccessorKindMismatchThrows) {
   EXPECT_EQ(v.find("x"), nullptr);  // not an object: lookup is just absent
 }
 
+TEST(JsonSerialize, RoundTripsNestedDocument) {
+  const std::string doc =
+      R"({"schema":"x.v1","a":[1,2.5,{"b":true}],"c":{"d":null},"e":"q\"q"})";
+  const JsonValue parsed = json_parse(doc);
+  const std::string emitted = json_serialize(parsed);
+  // Serialization keeps document order, so parse→serialize is idempotent.
+  EXPECT_EQ(emitted, json_serialize(json_parse(emitted)));
+  const JsonValue again = json_parse(emitted);
+  EXPECT_EQ(again.at("schema").as_string(), "x.v1");
+  EXPECT_DOUBLE_EQ(again.at("a").as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(again.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_TRUE(again.at("c").at("d").is_null());
+  EXPECT_EQ(again.at("e").as_string(), "q\"q");
+}
+
+TEST(JsonSerialize, PreservesObjectOrderAndEscapes) {
+  const JsonValue obj = JsonValue::object({
+      {"z", JsonValue::number(1)},
+      {"a", JsonValue::string("tab\there")},
+      {"m", JsonValue::array({})},
+  });
+  EXPECT_EQ(json_serialize(obj), "{\"z\":1,\"a\":\"tab\\there\",\"m\":[]}");
+}
+
 TEST(JsonParse, RoundTripsEmitterNumbers) {
   // json_number's %.12g output must re-parse to a close value.
   for (double d : {0.0, 1.5, -2.75e-9, 3.14159265358979, 1e12}) {

@@ -1,0 +1,56 @@
+#include "util/sample_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace holmes {
+namespace {
+
+TEST(SampleStats, EmptyIsAllZero) {
+  const SampleStats s = summarize_samples({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.spread(), 0.0);
+}
+
+TEST(SampleStats, SingleSample) {
+  const SampleStats s = summarize_samples({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.spread(), 0.0);
+}
+
+TEST(SampleStats, OddCountMedianIsMiddle) {
+  // Order must not matter.
+  const SampleStats s = summarize_samples({9.0, 1.0, 5.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.spread(), 8.0);
+}
+
+TEST(SampleStats, EvenCountMedianAveragesMiddlePair) {
+  const SampleStats s = summarize_samples({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+}
+
+TEST(SampleStats, NegativeValues) {
+  const SampleStats s = summarize_samples({-2.0, -8.0, -4.0});
+  EXPECT_DOUBLE_EQ(s.min, -8.0);
+  EXPECT_DOUBLE_EQ(s.median, -4.0);
+  EXPECT_DOUBLE_EQ(s.max, -2.0);
+  EXPECT_DOUBLE_EQ(s.spread(), 6.0);
+}
+
+}  // namespace
+}  // namespace holmes

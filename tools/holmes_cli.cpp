@@ -30,6 +30,8 @@
 ///       --iterations N   simulated iterations     (default 3)
 ///       --json[=FILE]    stable JSON run summary (see JSON output below)
 ///       --straggler R:F  slow rank R down by factor F (repeatable)
+///       --self-profile[=FILE]  engine self-profile of the run: bare, an
+///                        extra text section; =FILE, holmes.self_profile.v1
 ///
 ///   holmes_cli explain <topology> <group> [options]
 ///       Simulate one scenario, extract the critical path, and print the
@@ -44,6 +46,7 @@
 ///       --window A:B     clip the attribution to [A, B] seconds
 ///       --trace FILE     Chrome trace with flow arrows + critical lane
 ///       --straggler R:F  slow rank R down by factor F (repeatable)
+///       --self-profile[=FILE]  as for stats
 ///
 ///   holmes_cli diff <before.json> <after.json> [options]
 ///       Compare two JSON documents emitted by this tool (run summaries,
@@ -67,10 +70,36 @@
 ///       --no-graph       plan lints only (skip the simulation)
 ///       --rules          print the rule catalog and exit
 ///
+///   holmes_cli bench [binaries...] [options]
+///       Perf-trajectory harness (docs/observability.md): runs bench
+///       binaries (explicit paths and/or --bin-dir discovery of
+///       bench_*/micro_* executables) `--repeat` times after `--warmup`
+///       discarded passes, folds the per-bench holmes.bench.v1 documents
+///       plus an in-process deterministic engine probe into one
+///       holmes.bench_suite.v1 trajectory stamped with the build
+///       fingerprint, and optionally gates against a stored baseline.
+///       --bin-dir DIR    discover bench_*/micro_* binaries in DIR
+///       --filter S       keep only binaries whose name contains S
+///       --repeat N       timed passes per bench        (default 3)
+///       --warmup N       discarded passes per bench    (default 1)
+///       --no-probe       skip the in-process engine probe
+///       --json[=FILE]    write the trajectory document
+///       --baseline FILE  diff the fresh trajectory against FILE
+///       --fail-over P    with --baseline: exit 2 when a metric regresses
+///                        by more than P percent. Timing leaves (wall_s,
+///                        time_s/*, phases) must also move more than the
+///                        noise floor; counters and simulated seconds gate
+///                        exactly. Fingerprint drift never gates.
+///       --noise-floor S  absolute seconds below which timing deltas are
+///                        noise                         (default 0.05)
+///       HOLMES_BENCH_DELIBERATE_DELAY_MS=<ms> in the environment slows
+///       every timed pass — the CI gate rehearsal.
+///
 ///   holmes_cli envs
 ///       List the named environments and their topology specs.
 ///
 /// Global options:
+///   --version        print the build fingerprint and exit
 ///   --log-level L    debug | info | warning | error  (default warning)
 ///
 /// JSON output: every subcommand that emits JSON takes `--json[=FILE]`.
@@ -82,11 +111,19 @@
 /// "2x8:ib+2x8:roce" (see net/topology_parse.h).
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analytic.h"
@@ -98,12 +135,15 @@
 #include "model/memory.h"
 #include "net/topology_parse.h"
 #include "obs/critical_path.h"
+#include "obs/self_profile.h"
 #include "obs/summary.h"
 #include "sim/trace.h"
+#include "util/build_info.h"
 #include "util/error.h"
 #include "util/json.h"
 #include "util/json_diff.h"
 #include "util/logging.h"
+#include "util/sample_stats.h"
 #include "util/table.h"
 #include "util/units.h"
 #include "verify/rules.h"
@@ -120,9 +160,31 @@ struct Args {
   std::vector<std::string> stragglers;
 };
 
+std::string usage_text() {
+  return
+      "usage: holmes_cli <command> [args]\n"
+      "\n"
+      "  simulate <topology> <group>    plan + simulate one scenario\n"
+      "  plan     <topology> <group>    print the resolved plan\n"
+      "  tune     <topology> <group>    auto-tune the (tensor, pipeline) "
+      "layout\n"
+      "  sweep    <topology> <group..>  all frameworks x groups grid\n"
+      "  analytic <topology> <group>    closed-form iteration breakdown\n"
+      "  stats    <topology> <group>    observability breakdown of one run\n"
+      "  explain  <topology> <group>    critical-path makespan attribution\n"
+      "  diff     <before> <after>      compare two emitted JSON documents\n"
+      "  lint     <topology> <group>    static verifier (or lint --rules)\n"
+      "  bench    [binaries...]         perf-trajectory harness over the "
+      "bench binaries\n"
+      "  envs                           list named environments\n"
+      "\n"
+      "global options: --version, --log-level debug|info|warning|error\n"
+      "see the holmes_cli source header for per-command options";
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
-  if (argc < 2) throw ConfigError("usage: holmes_cli <command> ... (try envs)");
+  if (argc < 2) throw ConfigError(usage_text());
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string token = argv[i];
@@ -142,7 +204,8 @@ Args parse_args(int argc, char** argv) {
       }
       const bool is_flag = key == "markdown" || key == "csv" ||
                            key == "strict" || key == "no-graph" ||
-                           key == "rules" || key == "json";
+                           key == "rules" || key == "json" ||
+                           key == "self-profile" || key == "no-probe";
       if (!is_flag) {
         if (i + 1 >= argc) throw ConfigError("missing value for --" + key);
         const std::string value = argv[++i];
@@ -261,6 +324,28 @@ void emit_json(const Args& args, const char* what, WriteFn&& write) {
       std::cout << "\n" << what << " written to " << file << "\n";
       return;
     }
+  }
+}
+
+/// `--self-profile[=FILE]`: bare appends a text section to the report
+/// (suppressed when --json owns stdout); =FILE writes the stable
+/// holmes.self_profile.v1 document alongside it.
+void emit_self_profile(const Args& args, const SimArtifacts& artifacts) {
+  if (!args.options.count("self-profile")) return;
+  if (!artifacts.self_profile.has_value()) return;
+  const std::string& file = args.options.at("self-profile");
+  if (file.empty() || file == "-") {
+    if (json_dest(args) == JsonDest::kStdout) return;
+    std::cout << "\n";
+    obs::print_text(std::cout, *artifacts.self_profile);
+    return;
+  }
+  std::ofstream out(file);
+  if (!out) throw ConfigError("cannot open " + file);
+  obs::write_json(out, *artifacts.self_profile);
+  out << "\n";
+  if (json_dest(args) != JsonDest::kStdout) {
+    std::cout << "\nself-profile written to " << file << "\n";
   }
 }
 
@@ -442,6 +527,9 @@ int cmd_stats(const Args& args) {
 
   const TrainingPlan plan =
       Planner(framework).plan(topo, model::parameter_group(group));
+  // SelfProfiler is in-place only (the thread-local points at its member).
+  std::optional<obs::SelfProfiler> profiler;
+  if (args.options.count("self-profile")) profiler.emplace();
   SimArtifacts artifacts;
   const IterationMetrics m =
       TrainingSimulator{}.run(topo, plan, iterations, perturb,
@@ -452,6 +540,7 @@ int cmd_stats(const Args& args) {
   if (json_dest(args) == JsonDest::kStdout) {
     obs::write_json(std::cout, summary);
     std::cout << "\n";
+    emit_self_profile(args, artifacts);
     return 0;
   }
 
@@ -522,6 +611,7 @@ int cmd_stats(const Args& args) {
             << "  exposed " << format_time(summary.param_allgather.exposed_s)
             << "\n";
 
+  emit_self_profile(args, artifacts);
   emit_json(args, "JSON summary",
             [&](std::ostream& out) { obs::write_json(out, summary); });
   return 0;
@@ -566,6 +656,8 @@ int cmd_explain(const Args& args) {
 
   const TrainingPlan plan =
       Planner(framework).plan(topo, model::parameter_group(group));
+  std::optional<obs::SelfProfiler> profiler;
+  if (args.options.count("self-profile")) profiler.emplace();
   SimArtifacts artifacts;
   const IterationMetrics m =
       TrainingSimulator{}.run(topo, plan, iterations, perturb,
@@ -587,12 +679,14 @@ int cmd_explain(const Args& args) {
   if (json_dest(args) == JsonDest::kStdout) {
     obs::write_json(std::cout, summary);
     std::cout << "\n";
+    emit_self_profile(args, artifacts);
     return 0;
   }
   obs::print_text(std::cout, summary, options.top_segments);
   if (trace != args.options.end()) {
     std::cout << "\ntrace written to " << trace->second << "\n";
   }
+  emit_self_profile(args, artifacts);
   emit_json(args, "JSON summary",
             [&](std::ostream& out) { obs::write_json(out, summary); });
   return 0;
@@ -749,6 +843,332 @@ int cmd_lint(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+/// Timing leaves get the noise floor; everything else (self-profile
+/// counters, simulated seconds) is deterministic and gates exactly.
+bool bench_timing_leaf(const std::string& path) {
+  return path.find("wall_s") != std::string::npos ||
+         path.find("time_s/") != std::string::npos ||
+         path.find("phases") != std::string::npos;
+}
+
+/// Fingerprint drift (new commit, other host) is reported but never gates:
+/// the trajectory exists to catch perf changes, not metadata changes.
+bool bench_fingerprint_leaf(const std::string& path) {
+  return path.rfind("fingerprint", 0) == 0;
+}
+
+/// Spread and max are noise statistics — over a handful of repeats their
+/// relative change carries no signal (a lucky min makes spread swing by
+/// orders of magnitude). They stay in the report but never gate; the gate
+/// watches the robust statistics (min, median) instead.
+bool bench_noise_only_leaf(const std::string& path) {
+  const auto ends_with = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".spread") || ends_with(".max");
+}
+
+int cmd_bench(const Args& args) {
+  namespace fs = std::filesystem;
+  const int repeat = option_int(args, "repeat", 3);
+  const int warmup = option_int(args, "warmup", 1);
+  if (repeat < 1) throw ConfigError("--repeat expects a positive count");
+  if (warmup < 0) throw ConfigError("--warmup expects a non-negative count");
+
+  double noise_floor = 0.05;
+  const auto noise = args.options.find("noise-floor");
+  if (noise != args.options.end()) {
+    try {
+      noise_floor = std::stod(noise->second);
+    } catch (const std::exception&) {
+      throw ConfigError("--noise-floor expects seconds, got '" +
+                        noise->second + "'");
+    }
+    if (noise_floor < 0) {
+      throw ConfigError("--noise-floor expects non-negative seconds");
+    }
+  }
+
+  double threshold = -1;  // < 0: report only, no gating
+  const auto fail_over = args.options.find("fail-over");
+  if (fail_over != args.options.end()) {
+    std::string spec = fail_over->second;
+    if (!spec.empty() && spec.back() == '%') spec.pop_back();
+    try {
+      threshold = std::stod(spec) / 100.0;
+    } catch (const std::exception&) {
+      throw ConfigError("--fail-over expects a percentage, got '" +
+                        fail_over->second + "'");
+    }
+    if (threshold < 0) throw ConfigError("--fail-over expects a percentage");
+    if (!args.options.count("baseline")) {
+      throw ConfigError("--fail-over needs --baseline to compare against");
+    }
+  }
+
+  // Binary list: explicit paths plus --bin-dir discovery, optionally
+  // narrowed by --filter.
+  std::vector<std::string> bins = args.positional;
+  const auto dir = args.options.find("bin-dir");
+  if (dir != args.options.end()) {
+    if (!fs::is_directory(dir->second)) {
+      throw ConfigError("--bin-dir is not a directory: " + dir->second);
+    }
+    std::vector<std::string> found;
+    for (const auto& entry : fs::directory_iterator(dir->second)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.find('.') != std::string::npos) continue;  // JSON leftovers
+      if (name.rfind("bench_", 0) == 0 || name.rfind("micro_", 0) == 0) {
+        found.push_back(entry.path().string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    bins.insert(bins.end(), found.begin(), found.end());
+  }
+  const auto filter = args.options.find("filter");
+  if (filter != args.options.end()) {
+    bins.erase(std::remove_if(bins.begin(), bins.end(),
+                              [&](const std::string& bin) {
+                                return fs::path(bin).filename().string().find(
+                                           filter->second) ==
+                                       std::string::npos;
+                              }),
+               bins.end());
+  }
+  const bool run_probe = !args.options.count("no-probe");
+  if (bins.empty() && !run_probe) {
+    throw ConfigError("nothing to run: no bench binaries and --no-probe");
+  }
+
+  // Each binary runs as a subprocess with the shared BenchReport flags and
+  // writes one holmes.bench.v1 document to a temp file; "bench" becomes
+  // "name" so json_diff aligns trajectory entries by it.
+  std::vector<JsonValue> benches;
+  for (const std::string& bin : bins) {
+    const std::string base = fs::path(bin).filename().string();
+    const std::string tmp = base + ".bench_tmp.json";
+    std::ostringstream cmd;
+    cmd << "\"" << bin << "\" --json=\"" << tmp << "\" --repeat " << repeat
+        << " --warmup " << warmup << " >/dev/null 2>&1";
+    std::cerr << "bench: " << base << " (repeat " << repeat << ", warmup "
+              << warmup << ")\n";
+    const int rc = std::system(cmd.str().c_str());
+    if (rc != 0) {
+      std::remove(tmp.c_str());
+      throw ConfigError("bench binary failed: " + bin);
+    }
+    std::ifstream in(tmp);
+    if (!in) throw ConfigError(bin + " produced no JSON (expected " + tmp + ")");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::remove(tmp.c_str());
+    JsonValue doc;
+    try {
+      doc = json_parse(text);
+    } catch (const Error& e) {
+      throw ConfigError(bin + ": " + e.what());
+    }
+    std::vector<std::pair<std::string, JsonValue>> members;
+    members.emplace_back("name", JsonValue::string(doc.at("bench").as_string()));
+    for (const auto& [key, value] : doc.as_object()) {
+      if (key == "schema" || key == "bench") continue;
+      members.emplace_back(key, value);
+    }
+    benches.push_back(JsonValue::object(std::move(members)));
+  }
+
+  // In-process deterministic probe: a fixed hybrid:2 group-1 simulation
+  // under a SelfProfiler. Its counters anchor the trajectory (zero noise)
+  // and fill the suite-level self_profile section.
+  std::optional<obs::SelfProfile> suite_profile;
+  if (run_probe) {
+    std::cerr << "bench: engine probe (hybrid:2, group 1, repeat " << repeat
+              << ")\n";
+    const net::Topology topo = make_environment(NicEnv::kHybrid, 2);
+    const TrainingPlan plan =
+        Planner(FrameworkConfig::holmes()).plan(topo, model::parameter_group(1));
+    obs::SelfProfiler profiler;
+    std::vector<double> wall;
+    IterationMetrics last_metrics;
+    for (int i = 0; i < warmup + repeat; ++i) {
+      SimArtifacts artifacts;
+      const auto t0 = std::chrono::steady_clock::now();
+      last_metrics = TrainingSimulator{}.run(topo, plan, 3, {},
+                                             /*chrome_trace=*/nullptr,
+                                             &artifacts);
+      // Same CI gate rehearsal hook the BenchReport harness honors.
+      const char* delay = std::getenv("HOLMES_BENCH_DELIBERATE_DELAY_MS");
+      if (delay != nullptr && std::atoi(delay) > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(std::atoi(delay)));
+      }
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      if (i >= warmup) wall.push_back(seconds);
+      suite_profile = artifacts.self_profile;
+    }
+    const SampleStats stats = summarize_samples(std::move(wall));
+    std::vector<JsonValue> metrics;
+    const auto metric = [&metrics](const std::string& name, double value) {
+      metrics.push_back(
+          JsonValue::object({{"name", JsonValue::string(name)},
+                             {"value", JsonValue::number(value)}}));
+    };
+    const obs::SelfProfileCounters& c = suite_profile->counters;
+    metric("counters/tasks_created", static_cast<double>(c.tasks_created));
+    metric("counters/compute_tasks", static_cast<double>(c.compute_tasks));
+    metric("counters/transfer_tasks", static_cast<double>(c.transfer_tasks));
+    metric("counters/noop_tasks", static_cast<double>(c.noop_tasks));
+    metric("counters/deps_added", static_cast<double>(c.deps_added));
+    metric("counters/resources_created",
+           static_cast<double>(c.resources_created));
+    metric("counters/channels_created",
+           static_cast<double>(c.channels_created));
+    metric("counters/executor_runs", static_cast<double>(c.executor_runs));
+    metric("counters/ready_pushes", static_cast<double>(c.ready_pushes));
+    metric("counters/ready_pops", static_cast<double>(c.ready_pops));
+    metric("counters/max_ready_queue", static_cast<double>(c.max_ready_queue));
+    metric("counters/events_scheduled",
+           static_cast<double>(c.events_scheduled));
+    metric("counters/events_fired", static_cast<double>(c.events_fired));
+    metric("counters/cost_model_evals",
+           static_cast<double>(c.cost_model_evals));
+    metric("iteration_time_s", last_metrics.iteration_time);
+    metric("task_count", static_cast<double>(last_metrics.task_count));
+    benches.insert(
+        benches.begin(),
+        JsonValue::object(
+            {{"name", JsonValue::string("cli_probe")},
+             {"repeat", JsonValue::number(repeat)},
+             {"warmup", JsonValue::number(warmup)},
+             {"wall_s",
+              JsonValue::object({{"min", JsonValue::number(stats.min)},
+                                 {"median", JsonValue::number(stats.median)},
+                                 {"max", JsonValue::number(stats.max)},
+                                 {"spread", JsonValue::number(stats.spread())}})},
+             {"metrics", JsonValue::array(std::move(metrics))}}));
+  }
+
+  // One holmes.bench_suite.v1 document: fingerprint, suite self-profile
+  // (counters + phases; peak RSS deliberately excluded — it is neither a
+  // perf metric nor stable enough to gate), then the bench entries.
+  std::ostringstream doc;
+  doc << "{\"schema\":\"holmes.bench_suite.v1\",\"fingerprint\":";
+  write_build_info_json(doc, current_build_info());
+  doc << ",\"repeat\":" << repeat << ",\"warmup\":" << warmup;
+  if (suite_profile.has_value()) {
+    const obs::SelfProfilePhases& p = suite_profile->phases;
+    doc << ",\"self_profile\":{\"counters\":"
+        << obs::counters_json(suite_profile->counters)
+        << ",\"phases\":{\"graph_build_s\":" << json_number(p.graph_build_s)
+        << ",\"event_loop_s\":" << json_number(p.event_loop_s)
+        << ",\"accounting_s\":" << json_number(p.accounting_s)
+        << ",\"total_s\":" << json_number(p.total_s) << "}}";
+  }
+  doc << ",\"benches\":[";
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    if (i > 0) doc << ",";
+    doc << json_serialize(benches[i]);
+  }
+  doc << "]}";
+  const std::string trajectory = doc.str();
+
+  if (json_dest(args) != JsonDest::kStdout) {
+    std::cout << "bench suite: " << benches.size() << " benches, repeat "
+              << repeat << ", warmup " << warmup << "\n"
+              << "fingerprint: " << fingerprint_line(current_build_info())
+              << "\n";
+    TextTable table({"Bench", "Wall median", "Spread", "Metrics"});
+    for (const JsonValue& bench : benches) {
+      const JsonValue* wall_s = bench.find("wall_s");
+      table.add_row(
+          {bench.at("name").as_string(),
+           wall_s != nullptr ? format_time(wall_s->at("median").as_number())
+                             : "-",
+           wall_s != nullptr ? format_time(wall_s->at("spread").as_number())
+                             : "-",
+           TextTable::num(static_cast<std::int64_t>(
+               bench.at("metrics").as_array().size()))});
+    }
+    table.print();
+  }
+  emit_json(args, "trajectory",
+            [&](std::ostream& out) { out << trajectory; });
+
+  const auto baseline = args.options.find("baseline");
+  if (baseline == args.options.end()) return 0;
+
+  std::ifstream in(baseline->second);
+  if (!in) throw ConfigError("cannot open " + baseline->second);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  JsonValue before;
+  try {
+    before = json_parse(text);
+  } catch (const Error& e) {
+    throw ConfigError(baseline->second + ": " + e.what());
+  }
+  const JsonDiffResult diff = diff_json(before, json_parse(trajectory));
+
+  std::vector<std::string> structural;
+  for (const std::string& path : diff.removed) {
+    if (!bench_fingerprint_leaf(path)) structural.push_back("removed: " + path);
+  }
+  for (const std::string& path : diff.added) {
+    if (!bench_fingerprint_leaf(path)) structural.push_back("added: " + path);
+  }
+  for (const std::string& path : diff.changed) {
+    if (!bench_fingerprint_leaf(path)) structural.push_back("changed: " + path);
+  }
+  std::vector<JsonDelta> moved;  // descending |rel_change|, like diff.deltas
+  for (const JsonDelta& delta : diff.deltas) {
+    if (!bench_fingerprint_leaf(delta.path) && delta.before != delta.after) {
+      moved.push_back(delta);
+    }
+  }
+
+  if (json_dest(args) != JsonDest::kStdout) {
+    std::cout << "\nbaseline " << baseline->second << ": " << diff.compared
+              << " numeric leaves compared, " << moved.size() << " moved\n";
+    for (const std::string& line : structural) {
+      std::cout << "  " << line << "\n";
+    }
+    if (!moved.empty()) {
+      TextTable table({"Path", "Before", "After", "Change %"});
+      for (std::size_t i = 0; i < std::min<std::size_t>(moved.size(), 10);
+           ++i) {
+        table.add_row({moved[i].path, TextTable::num(moved[i].before, 6),
+                       TextTable::num(moved[i].after, 6),
+                       TextTable::num(moved[i].rel_change() * 100, 3)});
+      }
+      table.print();
+    }
+  }
+
+  if (threshold < 0) return 0;
+  std::vector<std::string> trips = structural;
+  for (const JsonDelta& delta : moved) {
+    if (bench_noise_only_leaf(delta.path)) continue;
+    const bool timing = bench_timing_leaf(delta.path);
+    const double floor = timing ? noise_floor : 1e-12;
+    if (std::fabs(delta.rel_change()) > threshold &&
+        std::fabs(delta.abs_change()) > floor) {
+      trips.push_back((timing ? "timing: " : "metric: ") + delta.path + " " +
+                      TextTable::num(delta.rel_change() * 100, 1) + "%");
+    }
+  }
+  if (trips.empty()) return 0;
+  std::cerr << "bench gate tripped (--fail-over "
+            << TextTable::num(threshold * 100, 1) << "%, noise floor "
+            << TextTable::num(noise_floor, 3) << "s):\n";
+  for (const std::string& line : trips) std::cerr << "  " << line << "\n";
+  return 2;
+}
+
 int cmd_envs() {
   TextTable table({"Name", "Spec (4 nodes)", "Description"});
   table.add_row({"ib", "4x8:ib", "one InfiniBand cluster"});
@@ -770,6 +1190,11 @@ int cmd_envs() {
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::string(argv[1]) == "--version") {
+      std::cout << "holmes_cli " << fingerprint_line(current_build_info())
+                << "\n";
+      return 0;
+    }
     const Args args = parse_args(argc, argv);
     apply_log_level(args);
     if (args.command == "simulate") return cmd_simulate(args);
@@ -781,10 +1206,10 @@ int main(int argc, char** argv) {
     if (args.command == "explain") return cmd_explain(args);
     if (args.command == "diff") return cmd_diff(args);
     if (args.command == "lint") return cmd_lint(args);
+    if (args.command == "bench") return cmd_bench(args);
     if (args.command == "envs") return cmd_envs();
-    throw ConfigError(
-        "unknown command '" + args.command +
-        "' (simulate|plan|tune|sweep|analytic|stats|explain|diff|lint|envs)");
+    throw ConfigError("unknown command '" + args.command + "'\n" +
+                      usage_text());
   } catch (const Error& e) {
     std::cerr << e.what() << "\n";
     return 1;

@@ -1,0 +1,45 @@
+# CTest script rehearsing the full `holmes_cli bench` baseline gate:
+#   1. record a baseline trajectory (in-process probe only, no bench bins),
+#   2. an identical re-run diffed against it must pass --fail-over 25,
+#   3. a deliberately slowed re-run (HOLMES_BENCH_DELIBERATE_DELAY_MS) must
+#      trip the same gate with a non-zero exit.
+# Run as: cmake -DCLI=<path-to-holmes_cli> -P test_bench_gate.cmake
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to holmes_cli>")
+endif()
+
+set(BASELINE "${CMAKE_CURRENT_BINARY_DIR}/bench_gate_baseline.json")
+
+execute_process(
+  COMMAND "${CLI}" bench --repeat 3 --warmup 1 --json=${BASELINE}
+  RESULT_VARIABLE record_rc
+)
+if(NOT record_rc EQUAL 0)
+  message(FATAL_ERROR "baseline recording failed (rc=${record_rc})")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" bench --repeat 3 --warmup 1
+          --baseline ${BASELINE} --fail-over 25
+  RESULT_VARIABLE clean_rc
+)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR
+          "identical re-run tripped the gate (rc=${clean_rc}); the noise "
+          "floor or counters are unstable")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env HOLMES_BENCH_DELIBERATE_DELAY_MS=400
+          "${CLI}" bench --repeat 3 --warmup 1
+          --baseline ${BASELINE} --fail-over 25
+  RESULT_VARIABLE slow_rc
+)
+if(slow_rc EQUAL 0)
+  message(FATAL_ERROR
+          "deliberately slowed run passed the gate; --fail-over is not "
+          "catching timing regressions")
+endif()
+
+message(STATUS "bench gate rehearsal OK: clean pass, slowdown tripped")
