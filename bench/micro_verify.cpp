@@ -17,6 +17,7 @@
 #include "net/topology.h"
 #include "sim/executor.h"
 #include "sim/task_graph.h"
+#include "verify/flow_lints.h"
 #include "verify/graph_lints.h"
 #include "verify/plan_lints.h"
 
@@ -120,6 +121,47 @@ static void BM_PreflightFullRunAndAudit(benchmark::State& state) {
       static_cast<std::int64_t>(artifacts.graph.task_count()));
 }
 BENCHMARK(BM_PreflightFullRunAndAudit);
+
+static void BM_FlowAnalysis(benchmark::State& state) {
+  // The simulation-free HV4xx bounds: longest chain, resource loads, and
+  // the in-flight watermark sweep — the pruning pass a strategy search
+  // would run per candidate, so it must stay near-linear in tasks.
+  const TaskGraph g = make_grid_graph(static_cast<int>(state.range(0)), 64);
+  for (auto _ : state) {
+    const verify::FlowAnalysis flow = verify::analyze_flow(g);
+    benchmark::DoNotOptimize(flow.makespan_bound_s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.task_count()));
+}
+BENCHMARK(BM_FlowAnalysis)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_LintFlow(benchmark::State& state) {
+  const TaskGraph g = make_grid_graph(static_cast<int>(state.range(0)), 64);
+  const SimResult result = TaskGraphExecutor{}.run(g);
+  for (auto _ : state) {
+    const verify::LintReport report = verify::lint_flow(g, result);
+    benchmark::DoNotOptimize(report.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.task_count()));
+}
+BENCHMARK(BM_LintFlow)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_DeterminismCheck(benchmark::State& state) {
+  // One disjoint tie-permutation re-run + bitwise compare per iteration —
+  // what each of `holmes_cli check`'s N permutations costs at graph level.
+  const TaskGraph g = make_grid_graph(static_cast<int>(state.range(0)), 64);
+  verify::DeterminismCheckOptions options;
+  options.permutations = 1;
+  for (auto _ : state) {
+    const verify::LintReport report = verify::check_determinism(g, options);
+    benchmark::DoNotOptimize(report.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.task_count()));
+}
+BENCHMARK(BM_DeterminismCheck)->Arg(4)->Arg(16);
 
 int main(int argc, char** argv) {
   return holmes::bench::micro_bench_main("micro_verify", argc, argv);

@@ -10,8 +10,13 @@
 ///                       plan must outlive the view)
 ///  - lint_training_plan — run the HV1xx plan rules against a resolved plan
 ///  - lint_artifacts   — run the HV2xx graph rules (and, when timings are
-///                       present, the HV3xx execution rules) against the
-///                       artifacts a TrainingSimulator::run left behind
+///                       present, the HV3xx execution and HV4xx flow rules)
+///                       against the artifacts a TrainingSimulator::run left
+///                       behind
+///  - make_flow_options — derive the HV4xx options from a topology: the
+///                       resource -> cluster map (parsed from the canonical
+///                       "gpu<rank>.*" / "node<n>.*" resource names) that
+///                       the channel-cut-balance rule needs
 ///  - preflight_or_throw — the debug-mode hook TrainingSimulator::run calls
 ///                       before lowering: logs every diagnostic and throws
 ///                       ConfigError when any rule fires at error severity.
@@ -21,6 +26,7 @@
 
 #include "core/training_sim.h"
 #include "net/topology.h"
+#include "verify/flow_lints.h"
 #include "verify/graph_lints.h"
 #include "verify/plan_lints.h"
 
@@ -38,8 +44,18 @@ verify::LintReport lint_training_plan(const net::Topology& topo,
 /// Runs the graph-family (HV2xx) rules against `artifacts.graph`, using the
 /// rank -> compute-resource map as the serial programs for the deadlock
 /// rule, and — when `artifacts.result` is populated — the execution-family
-/// (HV3xx) rules against the timings.
-verify::LintReport lint_artifacts(const SimArtifacts& artifacts);
+/// (HV3xx) and flow-family (HV4xx) rules against the timings. `topo`, when
+/// non-null, enables the cluster-aware flow rules (HV404) via
+/// make_flow_options.
+verify::LintReport lint_artifacts(const SimArtifacts& artifacts,
+                                  const net::Topology* topo = nullptr);
+
+/// Builds the HV4xx flow-lint options for `artifacts.graph` on `topo`:
+/// resolves every resource to its owning cluster by parsing the canonical
+/// resource names ("gpu<rank>.*" via the rank's device, "node<n>.*" via the
+/// global node index); unparseable names stay -1 (excluded from HV404).
+verify::FlowLintOptions make_flow_options(const SimArtifacts& artifacts,
+                                          const net::Topology& topo);
 
 /// Debug-mode pre-flight: when logging at kDebug or lower, lints `plan` and
 /// logs each diagnostic; throws holmes::ConfigError if any error-severity

@@ -1,0 +1,190 @@
+#include "core/schedule_check.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/preflight.h"
+#include "core/run_stats.h"
+#include "obs/critical_path.h"
+#include "obs/summary.h"
+#include "util/json.h"
+#include "verify/rules.h"
+
+namespace holmes::core {
+namespace {
+
+/// One full simulated run plus the two byte-stable documents the check
+/// compares across tie permutations.
+struct RunSnapshot {
+  IterationMetrics metrics;
+  SimArtifacts artifacts;
+  std::string run_summary_json;
+  std::string critical_path_json;
+};
+
+RunSnapshot run_once(const net::Topology& topo, const TrainingPlan& plan,
+                     int iterations, const sim::ExecutorOptions& exec) {
+  RunSnapshot snap;
+  TrainingSimulator simulator;
+  simulator.set_executor_options(exec);
+  snap.metrics = simulator.run(topo, plan, iterations, {},
+                               /*chrome_trace=*/nullptr, &snap.artifacts);
+  {
+    std::ostringstream oss;
+    obs::write_json(oss,
+                    build_run_summary(topo, plan, snap.metrics, snap.artifacts));
+    snap.run_summary_json = oss.str();
+  }
+  {
+    std::ostringstream oss;
+    obs::write_json(oss, build_critical_path_summary(topo, plan, snap.metrics,
+                                                     snap.artifacts));
+    snap.critical_path_json = oss.str();
+  }
+  return snap;
+}
+
+std::string task_subject(const sim::TaskGraph& graph, sim::TaskId id) {
+  std::string subject = "task " + std::to_string(id);
+  const std::string& label = graph.task(id).label;
+  if (!label.empty()) subject += " '" + label + "'";
+  return subject;
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream os;
+  os.precision(12);
+  os << s;
+  return os.str();
+}
+
+/// Names the first task whose timing differs bitwise between the canonical
+/// and a permuted run, or falls back to the coarser signals (busy time,
+/// makespan, serialized accounting) when every timing matched.
+std::pair<std::string, std::string> describe_divergence(
+    const RunSnapshot& canonical, const RunSnapshot& permuted,
+    std::uint64_t seed) {
+  std::ostringstream os;
+  os << "tie permutation (seed " << seed << ") ";
+  const sim::SimResult& base = *canonical.artifacts.result;
+  const sim::SimResult& perm = *permuted.artifacts.result;
+  const std::size_t n = canonical.artifacts.graph.task_count();
+  if (perm.timings().size() == n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const sim::TaskTiming& a = base.timings()[i];
+      const sim::TaskTiming& b = perm.timings()[i];
+      if (a.start != b.start || a.finish != b.finish) {
+        os << "moved it from start " << format_seconds(a.start) << " s to "
+           << format_seconds(b.start) << " s (finish "
+           << format_seconds(a.finish) << " s -> " << format_seconds(b.finish)
+           << " s)";
+        return {task_subject(canonical.artifacts.graph,
+                             static_cast<sim::TaskId>(i)),
+                os.str()};
+      }
+    }
+  }
+  if (base.makespan() != perm.makespan()) {
+    os << "changed the makespan from " << format_seconds(base.makespan())
+       << " s to " << format_seconds(perm.makespan()) << " s";
+    return {"run", os.str()};
+  }
+  os << "changed the serialized "
+     << (canonical.run_summary_json != permuted.run_summary_json
+             ? "run summary"
+             : "critical path")
+     << " without moving any task timing (order-sensitive accounting)";
+  return {"run", os.str()};
+}
+
+}  // namespace
+
+std::string to_string(sim::TieBreak tie_break) {
+  switch (tie_break) {
+    case sim::TieBreak::kCanonical:
+      return "canonical";
+    case sim::TieBreak::kPermuteDisjoint:
+      return "disjoint";
+    case sim::TieBreak::kPermuteAll:
+      return "all";
+  }
+  return "unknown";
+}
+
+ScheduleCheckResult check_schedule_determinism(
+    const net::Topology& topo, const TrainingPlan& plan,
+    const ScheduleCheckOptions& options) {
+  ScheduleCheckResult result;
+  result.tie_break = options.tie_break;
+  result.base_seed = options.base_seed;
+
+  const RunSnapshot canonical =
+      run_once(topo, plan, options.iterations, sim::ExecutorOptions{});
+  result.makespan_s = canonical.artifacts.result->makespan();
+  result.flow = verify::analyze_flow(canonical.artifacts.graph);
+
+  // The flow bounds ride along on the canonical run: static lower bound vs
+  // simulated makespan (HV401/HV402), buffer watermark (HV403), cluster-cut
+  // balance (HV404).
+  result.report.merge(verify::lint_flow(
+      verify::as_ref(canonical.artifacts.graph), &*canonical.artifacts.result,
+      make_flow_options(canonical.artifacts, topo)));
+
+  result.report.mark_checked(verify::kRuleScheduleRace);
+  for (int k = 0; k < options.permutations; ++k) {
+    const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(k);
+    sim::ExecutorOptions exec;
+    exec.tie_break = options.tie_break;
+    exec.tie_seed = seed;
+    const RunSnapshot permuted = run_once(topo, plan, options.iterations, exec);
+    result.permutations += 1;
+    if (permuted.run_summary_json == canonical.run_summary_json &&
+        permuted.critical_path_json == canonical.critical_path_json) {
+      continue;
+    }
+    result.diverged += 1;
+    auto [subject, message] = describe_divergence(canonical, permuted, seed);
+    result.report.add(verify::kRuleScheduleRace, verify::Severity::kError,
+                      std::move(subject), std::move(message));
+  }
+  return result;
+}
+
+void write_check_report_json(std::ostream& out,
+                             const ScheduleCheckResult& result,
+                             const BuildInfo& fingerprint) {
+  out << "{\"schema\":\"" << kCheckReportSchema << "\",\"fingerprint\":";
+  write_build_info_json(out, fingerprint);
+  out << ",\"verdict\":\"" << (result.report.ok() ? "pass" : "fail") << "\""
+      << ",\"policy\":\"" << to_string(result.tie_break) << "\""
+      << ",\"permutations\":" << result.permutations
+      << ",\"diverged\":" << result.diverged
+      << ",\"base_seed\":" << result.base_seed
+      << ",\"makespan_s\":" << json_number(result.makespan_s)
+      << ",\"flow\":{\"chain_bound_s\":" << json_number(result.flow.chain_bound_s)
+      << ",\"resource_bound_s\":" << json_number(result.flow.resource_bound_s)
+      << ",\"makespan_bound_s\":" << json_number(result.flow.makespan_bound_s)
+      << ",\"bound_fraction\":"
+      << json_number(result.makespan_s > 0
+                         ? result.flow.makespan_bound_s / result.makespan_s
+                         : 0.0);
+  Bytes peak = 0;
+  std::string peak_endpoint;
+  for (const verify::FlowAnalysis::EndpointWatermark& w :
+       result.flow.watermarks) {
+    if (w.peak_bytes > peak) {
+      peak = w.peak_bytes;
+      peak_endpoint = w.endpoint;
+    }
+  }
+  out << ",\"peak_inflight_bytes\":" << peak << ",\"peak_inflight_endpoint\":\""
+      << json_escape(peak_endpoint) << "\"}";
+  out << ",\"lint\":";
+  verify::write_json(out, result.report);
+  out << "}";
+}
+
+}  // namespace holmes::core

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file schedule_check.h
+/// End-to-end schedule-race determinism check over a full training run.
+///
+/// verify::check_determinism probes a bare task graph; this module drives
+/// the same probe through the whole pipeline the CLI exercises: plan ->
+/// TrainingSimulator -> run summary + critical path JSON. The canonical run
+/// is serialized once, then every seeded tie permutation re-runs the
+/// simulator and the two documents are byte-compared. Any differing byte is
+/// a schedule race (HV405): either the executor's outcome depends on how
+/// equal-ready-time ties happen to be ordered, or downstream accounting is
+/// order-sensitive. The HV4xx flow cross-checks (static lower bound vs
+/// simulated makespan) ride along on the canonical artifacts, so a single
+/// `holmes_cli check` invocation validates both the bounds and the
+/// determinism story for a configuration.
+///
+/// The result serializes as `holmes.check_report.v1` — fingerprint-stamped,
+/// byte-stable for fixed inputs.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/plan.h"
+#include "core/training_sim.h"
+#include "net/topology.h"
+#include "sim/executor.h"
+#include "util/build_info.h"
+#include "verify/flow_lints.h"
+
+namespace holmes::core {
+
+struct ScheduleCheckOptions {
+  /// Seeded tie-permutation re-runs compared against the canonical run.
+  int permutations = 5;
+  /// Base seed; permutation k runs with tie_seed = base_seed + k.
+  std::uint64_t base_seed = 0x484F4C4D4553ull;  // "HOLMES"
+  /// Permutation policy (see sim::TieBreak). The resource-disjoint default
+  /// must never diverge; `kPermuteAll` additionally flags schedules whose
+  /// outcome depends on tie order among resource-sharing tasks.
+  sim::TieBreak tie_break = sim::TieBreak::kPermuteDisjoint;
+  /// Simulated training iterations per run (TrainingSimulator::run).
+  int iterations = 3;
+};
+
+/// Everything one check run produces: the merged lint report (HV4xx flow
+/// rules on the canonical artifacts plus any HV405 divergences), the flow
+/// analysis itself, and the comparison bookkeeping the report serializes.
+struct ScheduleCheckResult {
+  verify::LintReport report;
+  verify::FlowAnalysis flow;
+  double makespan_s = 0;      ///< canonical run's makespan
+  int permutations = 0;       ///< re-runs actually compared
+  int diverged = 0;           ///< re-runs whose JSON differed
+  sim::TieBreak tie_break = sim::TieBreak::kPermuteDisjoint;
+  std::uint64_t base_seed = 0;
+};
+
+/// Human-readable policy name for CLI flags and reports ("canonical",
+/// "disjoint", "all").
+std::string to_string(sim::TieBreak tie_break);
+
+/// Runs the canonical simulation of `plan` on `topo`, serializes its
+/// `holmes.run_summary.v1` and `holmes.critical_path.v1` documents, then
+/// re-runs under `options.permutations` seeded tie permutations and
+/// byte-compares both documents against the canonical bytes. Divergences
+/// are reported as HV405 errors naming the first task whose timing differs;
+/// the HV4xx flow lints on the canonical artifacts are merged in.
+ScheduleCheckResult check_schedule_determinism(
+    const net::Topology& topo, const TrainingPlan& plan,
+    const ScheduleCheckOptions& options = {});
+
+inline constexpr const char* kCheckReportSchema = "holmes.check_report.v1";
+
+/// Writes the check result as a single stable JSON object (no trailing
+/// newline): schema, build fingerprint, verdict, the permutation setup and
+/// divergence count, the flow bounds next to the simulated makespan, and
+/// the nested (unstamped) lint report.
+void write_check_report_json(std::ostream& out,
+                             const ScheduleCheckResult& result,
+                             const BuildInfo& fingerprint);
+
+}  // namespace holmes::core

@@ -439,7 +439,7 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
 
   graph_build_timer.stop();
   // The executor accounts its own dispatch loop as event_loop_s.
-  sim::SimResult result = sim::TaskGraphExecutor{}.run(graph, observer);
+  sim::SimResult result = sim::TaskGraphExecutor{exec_options_}.run(graph, observer);
   if (chrome_trace != nullptr) {
     sim::write_chrome_trace(*chrome_trace, graph, result);
   }

@@ -76,6 +76,14 @@ class TrainingSimulator {
  public:
   explicit TrainingSimulator(CostModel cost = {}) : cost_(cost) {}
 
+  /// Overrides how the executor breaks equal-ready-time ties. The default
+  /// is the canonical deterministic discipline; the permuting policies are
+  /// the determinism checker's probes (see sim::TieBreak and
+  /// core/schedule_check.h).
+  void set_executor_options(const sim::ExecutorOptions& options) {
+    exec_options_ = options;
+  }
+
   /// Simulates `iterations` chained training iterations of `plan` on
   /// `topo` and reports steady-state metrics from the last one.
   /// `iterations` must be >= 2 (one warm-up minimum). `perturbations`
@@ -95,6 +103,7 @@ class TrainingSimulator {
 
  private:
   CostModel cost_;
+  sim::ExecutorOptions exec_options_;
 };
 
 }  // namespace holmes::core

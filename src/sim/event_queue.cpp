@@ -2,13 +2,23 @@
 
 #include "obs/self_profile.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace holmes::sim {
 
 void EventQueue::schedule(SimTime when, EventFn fn) {
   HOLMES_CHECK_MSG(when >= 0, "event time must be non-negative");
   obs::self_profile::count(&obs::SelfProfileCounters::events_scheduled);
-  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t key = permute_ties_ ? mix64(tie_seed_ ^ seq) : seq;
+  heap_.push(Entry{when, key, seq, std::move(fn)});
+}
+
+void EventQueue::set_tie_permutation(std::uint64_t seed) {
+  HOLMES_CHECK_MSG(heap_.empty(),
+                   "tie permutation must be set while the queue is empty");
+  permute_ties_ = true;
+  tie_seed_ = seed;
 }
 
 SimTime EventQueue::next_time() const {

@@ -5,6 +5,12 @@
 ///
 /// Events at equal timestamps fire in insertion order (a monotone sequence
 /// number breaks ties), which keeps every simulation fully deterministic.
+///
+/// For determinism *verification* the insertion-order discipline can be
+/// deliberately scrambled: set_tie_permutation reorders equal-timestamp
+/// events under a seeded hash of their sequence number. A model whose
+/// observable results change under the permutation depends on tie order —
+/// exactly the race the `holmes_cli check` subcommand hunts for.
 
 #include <cstdint>
 #include <functional>
@@ -32,20 +38,29 @@ class EventQueue {
   /// Removes and returns the next event's callback. Requires !empty().
   EventFn pop();
 
+  /// Scrambles tie order: events scheduled at equal timestamps fire in
+  /// ascending mix64(seed ^ seq) order instead of insertion order. Must be
+  /// called while the queue is empty; affects all subsequent schedules.
+  void set_tie_permutation(std::uint64_t seed);
+
  private:
   struct Entry {
     SimTime when;
+    std::uint64_t key;  ///< tie-break key: seq, or mix64(seed ^ seq)
     std::uint64_t seq;
     EventFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  bool permute_ties_ = false;
+  std::uint64_t tie_seed_ = 0;
 };
 
 }  // namespace holmes::sim

@@ -3,28 +3,54 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <queue>
 #include <sstream>
 
 #include "obs/self_profile.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace holmes::sim {
 
 namespace {
 
-/// (ready time, task id) ordering for the ready queue: earliest ready first,
-/// then lowest id, which makes execution order independent of container
-/// iteration details.
+/// (ready time, tie key, task id) ordering for the ready queue: earliest
+/// ready first, then lowest key. Under the canonical tie-break the key *is*
+/// the task id, which makes execution order independent of container
+/// iteration details; the permuting policies substitute a seeded hash.
 struct ReadyEntry {
   SimTime ready;
+  std::uint64_t key;
   TaskId id;
 };
 struct ReadyLater {
   bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
     if (a.ready != b.ready) return a.ready > b.ready;
+    if (a.key != b.key) return a.key > b.key;
     return a.id > b.id;
   }
+};
+
+/// Union-find over positions of one equal-ready-time pool; used by
+/// TieBreak::kPermuteDisjoint to group tied tasks that (transitively) share
+/// a resource. Tasks in different components commute.
+class PoolComponents {
+ public:
+  explicit PoolComponents(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
 };
 
 }  // namespace
@@ -99,10 +125,19 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
   std::vector<SimTime> resource_avail(graph.resource_count(), 0);
   std::vector<SimTime> resource_busy(graph.resource_count(), 0);
 
+  // Tie keys: canonical and disjoint-permute queue in id order (the latter
+  // reorders whole resource-disjoint components after draining a tie group);
+  // permute-all hashes every id so ties interleave under the seed.
+  const bool hash_keys = options_.tie_break == TieBreak::kPermuteAll;
+  auto tie_key = [&](TaskId id) {
+    return hash_keys ? mix64(options_.tie_seed ^ static_cast<std::uint64_t>(id))
+                     : static_cast<std::uint64_t>(id);
+  };
+
   std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyLater> ready;
   for (std::size_t i = 0; i < n; ++i) {
     if (indegree[i] == 0) {
-      ready.push({0, static_cast<TaskId>(i)});
+      ready.push({0, tie_key(static_cast<TaskId>(i)), static_cast<TaskId>(i)});
       ++pushes;
     }
   }
@@ -110,10 +145,11 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
 
   std::size_t completed = 0;
   SimTime makespan = 0;
-  while (!ready.empty()) {
-    const auto [ready_at, id] = ready.top();
-    ready.pop();
-    ++pops;
+
+  // Places one ready task: claims its resources, fixes start/finish, and
+  // releases dependents into the ready queue. Shared by every tie-break
+  // driver so the placement semantics cannot drift between them.
+  auto place_task = [&](SimTime ready_at, TaskId id) {
     const Task& task = tasks[static_cast<std::size_t>(id)];
 
     SimTime start = ready_at;
@@ -161,11 +197,108 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
       auto& rt = ready_time[static_cast<std::size_t>(next)];
       rt = std::max(rt, finish);
       if (--indegree[static_cast<std::size_t>(next)] == 0) {
-        ready.push({rt, next});
+        ready.push({rt, tie_key(next), next});
         ++pushes;
       }
     }
     if (profiled && ready.size() > peak_ready) peak_ready = ready.size();
+  };
+
+  if (options_.tie_break != TieBreak::kPermuteDisjoint) {
+    // Canonical and permute-all: the queue order (ready, key) is the
+    // schedule order — the production hot loop.
+    while (!ready.empty()) {
+      const auto [ready_at, key, id] = ready.top();
+      ready.pop();
+      ++pops;
+      place_task(ready_at, id);
+    }
+  } else {
+    // Permute-disjoint: drain each equal-ready-time tie group and place it
+    // one resource-disjoint component at a time, in seeded component order.
+    // Tasks sharing a resource stay in id order (their order is
+    // schedule-relevant); tasks that share nothing commute, so reordering
+    // them must not change any timing — divergence is an executor bug.
+    std::vector<TaskId> pool;
+    while (!ready.empty()) {
+      const SimTime now = ready.top().ready;
+      pool.clear();
+      for (;;) {
+        while (!ready.empty() && ready.top().ready == now) {
+          pool.push_back(ready.top().id);
+          ready.pop();
+          ++pops;
+        }
+        if (pool.empty()) break;
+        std::sort(pool.begin(), pool.end());
+
+        // Flush no-resource tasks (noops) first: they commute with every
+        // tied task, and their zero-cost chains release same-time dependents
+        // that must join the pool *before* component order is fixed —
+        // otherwise a dependent could be sequenced after a contender the
+        // canonical discipline would have placed it before.
+        std::vector<TaskId> holders;
+        bool flushed = false;
+        for (TaskId id : pool) {
+          if (tasks[static_cast<std::size_t>(id)].kind == TaskKind::kNoop) {
+            place_task(now, id);
+            flushed = true;
+          } else {
+            holders.push_back(id);
+          }
+        }
+        pool = std::move(holders);
+        if (flushed || pool.empty()) continue;  // re-drain the releases
+
+        // Group the pool into components of (transitively) shared resources.
+        PoolComponents uf(pool.size());
+        std::map<ResourceId, std::size_t> owner;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          const Task& task = tasks[static_cast<std::size_t>(pool[i])];
+          ResourceId touched[2] = {-1, -1};
+          if (task.kind == TaskKind::kCompute) {
+            touched[0] = task.resource;
+          } else if (task.kind == TaskKind::kTransfer) {
+            touched[0] = task.src_port;
+            touched[1] = task.dst_port;
+          }
+          for (ResourceId r : touched) {
+            if (r < 0) continue;
+            auto [it, inserted] = owner.emplace(r, i);
+            if (!inserted) uf.unite(i, it->second);
+          }
+        }
+
+        // Place the component whose seeded key is smallest; same-time
+        // arrivals it releases re-enter the pool on the next pass, joining
+        // whatever component they share resources with.
+        std::size_t best_root = pool.size();
+        std::uint64_t best_key = 0;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (uf.find(i) != i) continue;
+          std::uint64_t min_id = static_cast<std::uint64_t>(pool[i]);
+          for (std::size_t j = 0; j < pool.size(); ++j) {
+            if (uf.find(j) == i) {
+              min_id = std::min(min_id, static_cast<std::uint64_t>(pool[j]));
+            }
+          }
+          const std::uint64_t key = mix64(options_.tie_seed ^ min_id);
+          if (best_root == pool.size() || key < best_key) {
+            best_root = i;
+            best_key = key;
+          }
+        }
+        std::vector<TaskId> remaining;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (uf.find(i) == best_root) {
+            place_task(now, pool[i]);
+          } else {
+            remaining.push_back(pool[i]);
+          }
+        }
+        pool = std::move(remaining);
+      }
+    }
   }
 
   if (profiled) {

@@ -8,7 +8,15 @@
 /// order (ties broken by task id), i.e. a task may reserve a busy resource
 /// and start when it frees up. This is the standard list-scheduling model
 /// used by network/compute co-simulators and is fully deterministic.
+///
+/// That tie-by-id discipline is a *documented contract*, and ExecutorOptions
+/// exists to verify it: the permuting tie-break policies deliberately
+/// reorder equal-ready-time tasks under a seeded hash so the determinism
+/// checker (verify::check_determinism, `holmes_cli check`) can prove which
+/// results depend on tie order and which do not — the gate the future
+/// parallel engine must keep green.
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/task_graph.h"
@@ -83,13 +91,44 @@ class SimResult {
   SimTime makespan_ = 0;
 };
 
+/// How the executor orders tasks that become ready at the same simulated
+/// time.
+enum class TieBreak {
+  /// The documented production discipline: ascending task id.
+  kCanonical,
+  /// Permutes only *resource-disjoint* groups of tied tasks (tasks that
+  /// share no resource with each other); tied tasks contending for the same
+  /// resource keep their id order. Placement of resource-disjoint tasks
+  /// commutes, so any divergence from kCanonical output is an executor bug —
+  /// this is the policy `holmes_cli check` drives by default.
+  kPermuteDisjoint,
+  /// Permutes every tie by a seeded hash of the task id. Tied tasks
+  /// contending for a resource swap places, so results legitimately change
+  /// whenever the schedule depends on tie order; use it to *find* such
+  /// schedule-order-sensitive graphs (the HV405 fixtures).
+  kPermuteAll,
+};
+
+struct ExecutorOptions {
+  TieBreak tie_break = TieBreak::kCanonical;
+  /// Seed for the permuting policies; ignored by kCanonical.
+  std::uint64_t tie_seed = 0;
+};
+
 class TaskGraphExecutor {
  public:
+  TaskGraphExecutor() = default;
+  explicit TaskGraphExecutor(const ExecutorOptions& options)
+      : options_(options) {}
+
   /// Simulates `graph` from time zero. Throws holmes::ConfigError when the
   /// dependency graph contains a cycle (some tasks can never run). When
   /// `observer` is non-null it receives one on_task_scheduled per task plus
   /// a final on_run_complete.
   SimResult run(const TaskGraph& graph, ExecutionObserver* observer = nullptr);
+
+ private:
+  ExecutorOptions options_;
 };
 
 }  // namespace holmes::sim

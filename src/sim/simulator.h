@@ -34,6 +34,12 @@ class Simulator {
   /// Requests that run()/run_until() return after the current event.
   void stop() { stopping_ = true; }
 
+  /// Forwards to EventQueue::set_tie_permutation. Must be called before any
+  /// event is scheduled; see event_queue.h for the race-hunting rationale.
+  void set_tie_permutation(std::uint64_t seed) {
+    queue_.set_tie_permutation(seed);
+  }
+
   std::size_t pending_events() const { return queue_.size(); }
 
  private:

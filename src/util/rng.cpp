@@ -18,6 +18,10 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 }
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) {
+  return splitmix64(x);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : state_) word = splitmix64(sm);

@@ -13,6 +13,13 @@
 
 namespace holmes {
 
+/// SplitMix64 step: advances `x` by the golden-ratio increment and returns
+/// the finalized mix. Stateless (pure function of the input), well
+/// avalanched, and cheap — the simulator's tie-permutation hooks use it to
+/// derive a deterministic ordering key from (seed ^ id) without carrying an
+/// engine around.
+std::uint64_t mix64(std::uint64_t x);
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 /// Satisfies UniformRandomBitGenerator so it can drive <random>
 /// distributions, but also offers convenience helpers used by tests.

@@ -69,8 +69,11 @@ void print_text(std::ostream& out, const LintReport& report) {
       << "verdict: " << (report.ok() ? "pass" : "fail") << "\n";
 }
 
-void write_json(std::ostream& out, const LintReport& report) {
-  out << "{\"schema\":\"" << kLintReportSchema << "\",\"verdict\":\""
+namespace {
+
+/// Everything after the schema (and optional fingerprint) member.
+void write_json_body(std::ostream& out, const LintReport& report) {
+  out << "\"verdict\":\""
       << (report.ok() ? "pass" : "fail")
       << "\",\"errors\":" << report.count(Severity::kError)
       << ",\"warnings\":" << report.count(Severity::kWarning)
@@ -90,6 +93,21 @@ void write_json(std::ostream& out, const LintReport& report) {
         << json_escape(d.message) << "\"}";
   }
   out << "]}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const LintReport& report) {
+  out << "{\"schema\":\"" << kLintReportSchema << "\",";
+  write_json_body(out, report);
+}
+
+void write_json(std::ostream& out, const LintReport& report,
+                const BuildInfo& fingerprint) {
+  out << "{\"schema\":\"" << kLintReportSchema << "\",\"fingerprint\":";
+  write_build_info_json(out, fingerprint);
+  out << ",";
+  write_json_body(out, report);
 }
 
 }  // namespace holmes::verify

@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/build_info.h"
+
 namespace holmes::verify {
 
 enum class Severity {
@@ -82,5 +84,12 @@ inline constexpr const char* kLintReportSchema = "holmes.lint_report.v1";
 /// diagnostic in firing order. Keys are emitted in fixed order so output is
 /// byte-stable for fixed inputs.
 void write_json(std::ostream& out, const LintReport& report);
+
+/// Same document stamped with the build fingerprint right after "schema",
+/// matching `holmes.bench_suite.v1` — this is what `holmes_cli lint --json`
+/// emits, so a CI lint artifact records what binary produced it. The
+/// unstamped overload stays for byte-stable golden tests.
+void write_json(std::ostream& out, const LintReport& report,
+                const BuildInfo& fingerprint);
 
 }  // namespace holmes::verify

@@ -1,0 +1,471 @@
+#include "verify/flow_lints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+#include "verify/rules.h"
+
+namespace holmes::verify {
+
+namespace {
+
+using sim::ResourceId;
+using sim::Task;
+using sim::TaskId;
+using sim::TaskKind;
+
+std::string resource_name(const TaskSetRef& view, ResourceId id) {
+  if (view.graph != nullptr && id >= 0 &&
+      static_cast<std::size_t>(id) < view.resource_count) {
+    return view.graph->resource_name(id);
+  }
+  return "r" + std::to_string(id);
+}
+
+std::string channel_name(const TaskSetRef& view, sim::ChannelId id) {
+  if (view.graph != nullptr && id >= 0 &&
+      static_cast<std::size_t>(id) < view.channel_count) {
+    return view.graph->channel_name(id);
+  }
+  return "ch" + std::to_string(id);
+}
+
+std::string task_subject(const TaskSetRef& view, std::size_t id) {
+  const Task& task = (*view.tasks)[id];
+  std::string subject = "task " + std::to_string(id);
+  if (!task.label.empty()) subject += " '" + task.label + "'";
+  return subject;
+}
+
+bool resource_ok(const TaskSetRef& view, ResourceId id) {
+  return id >= 0 && static_cast<std::size_t>(id) < view.resource_count;
+}
+
+/// Strips a trailing ".tx"/".rx" so a port collapses to its endpoint.
+std::string endpoint_of(const std::string& port) {
+  if (port.size() > 3) {
+    const std::string suffix = port.substr(port.size() - 3);
+    if (suffix == ".tx" || suffix == ".rx") {
+      return port.substr(0, port.size() - 3);
+    }
+  }
+  return port;
+}
+
+/// The minimum wall-clock span a task occupies regardless of schedule.
+/// Malformed negative costs (HV203's findings) clamp to zero so the chain
+/// stays a valid lower bound.
+double min_span_of(const Task& task) {
+  switch (task.kind) {
+    case TaskKind::kCompute:
+      return std::max(0.0, task.duration);
+    case TaskKind::kTransfer: {
+      const double serialization =
+          task.bytes > 0 && task.bandwidth > 0
+              ? static_cast<double>(task.bytes) / task.bandwidth
+              : 0.0;
+      return serialization + std::max(0.0, task.latency);
+    }
+    case TaskKind::kNoop:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+/// Serialization time a transfer occupies its ports for.
+double serialization_of(const Task& task) {
+  return task.bytes > 0 && task.bandwidth > 0
+             ? static_cast<double>(task.bytes) / task.bandwidth
+             : 0.0;
+}
+
+/// a >= b, up to relative/absolute tolerance.
+bool ge(double a, double b, double tolerance) {
+  const double eps = tolerance * std::max({1.0, std::fabs(a), std::fabs(b)});
+  return a >= b - eps;
+}
+
+bool near(double a, double b, double tolerance) {
+  return ge(a, b, tolerance) && ge(b, a, tolerance);
+}
+
+/// Kahn topological order; empty when deps are malformed or cyclic.
+std::vector<std::size_t> topo_order(const TaskSetRef& view) {
+  const std::size_t n = view.tasks->size();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TaskId dep : (*view.tasks)[i].deps) {
+      if (dep < 0 || static_cast<std::size_t>(dep) >= n ||
+          static_cast<std::size_t>(dep) == i) {
+        return {};  // HV202's findings; flow bounds would be garbage
+      }
+      indegree[i] += 1;
+      dependents[static_cast<std::size_t>(dep)].push_back(i);
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.back();
+    frontier.pop_back();
+    order.push_back(id);
+    for (std::size_t next : dependents[id]) {
+      if (--indegree[next] == 0) frontier.push_back(next);
+    }
+  }
+  if (order.size() != n) return {};  // cyclic: HV201's finding
+  return order;
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream os;
+  os.precision(12);
+  os << s;
+  return os.str();
+}
+
+}  // namespace
+
+FlowAnalysis analyze_flow(const TaskSetRef& view) {
+  HOLMES_CHECK_MSG(view.tasks != nullptr, "TaskSetRef needs tasks");
+  FlowAnalysis analysis;
+  const std::size_t n = view.tasks->size();
+  const std::vector<std::size_t> order = topo_order(view);
+  if (n > 0 && order.empty()) return analysis;  // malformed or cyclic
+  analysis.valid = true;
+  analysis.resource_load_s.assign(view.resource_count, 0.0);
+
+  // Longest chain through declared costs: dist[i] = span(i) + max dist[dep].
+  std::vector<double> dist(n, 0.0);
+  std::vector<TaskId> best_pred(n, sim::kInvalidTask);
+  std::size_t chain_tail = 0;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t i = order[pos];
+    const Task& task = (*view.tasks)[i];
+    double longest_dep = 0.0;
+    TaskId pred = sim::kInvalidTask;
+    for (TaskId dep : task.deps) {
+      const double d = dist[static_cast<std::size_t>(dep)];
+      if (pred == sim::kInvalidTask || d > longest_dep ||
+          (d == longest_dep && dep < pred)) {
+        longest_dep = d;
+        pred = dep;
+      }
+    }
+    dist[i] = longest_dep + min_span_of(task);
+    best_pred[i] = pred;
+    if (dist[i] > analysis.chain_bound_s) {
+      analysis.chain_bound_s = dist[i];
+      chain_tail = i;
+    }
+
+    // Aggregate occupancy, mirroring the executor's busy accounting.
+    switch (task.kind) {
+      case TaskKind::kCompute:
+        if (resource_ok(view, task.resource)) {
+          analysis.resource_load_s[static_cast<std::size_t>(task.resource)] +=
+              std::max(0.0, task.duration);
+        }
+        break;
+      case TaskKind::kTransfer: {
+        const double serialization = serialization_of(task);
+        if (resource_ok(view, task.src_port)) {
+          analysis.resource_load_s[static_cast<std::size_t>(task.src_port)] +=
+              serialization;
+        }
+        if (resource_ok(view, task.dst_port) &&
+            task.dst_port != task.src_port) {
+          analysis.resource_load_s[static_cast<std::size_t>(task.dst_port)] +=
+              serialization;
+        }
+        break;
+      }
+      case TaskKind::kNoop:
+        break;
+    }
+  }
+  if (analysis.chain_bound_s > 0) {
+    for (TaskId id = static_cast<TaskId>(chain_tail); id != sim::kInvalidTask;
+         id = best_pred[static_cast<std::size_t>(id)]) {
+      analysis.chain.push_back(id);
+    }
+    std::reverse(analysis.chain.begin(), analysis.chain.end());
+  }
+
+  for (std::size_t r = 0; r < analysis.resource_load_s.size(); ++r) {
+    if (analysis.resource_load_s[r] > analysis.resource_bound_s) {
+      analysis.resource_bound_s = analysis.resource_load_s[r];
+      analysis.busiest_resource = static_cast<ResourceId>(r);
+    }
+  }
+  analysis.makespan_bound_s =
+      std::max(analysis.chain_bound_s, analysis.resource_bound_s);
+
+  // In-flight receive-buffer watermark over topological cuts. A transfer's
+  // bytes occupy the destination endpoint from the transfer's topological
+  // position through its last dependent's; the peak of the sweep is a lower
+  // bound on the buffer any admissible schedule needs.
+  std::vector<std::size_t> pos_of(n, 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) pos_of[order[pos]] = pos;
+  std::vector<std::size_t> last_use(n, 0);
+  for (std::size_t i = 0; i < n; ++i) last_use[i] = pos_of[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TaskId dep : (*view.tasks)[i].deps) {
+      auto& lu = last_use[static_cast<std::size_t>(dep)];
+      lu = std::max(lu, pos_of[i]);
+    }
+  }
+  // endpoint -> topo position -> byte delta
+  std::map<std::string, std::map<std::size_t, Bytes>> deltas;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = (*view.tasks)[i];
+    if (task.kind != TaskKind::kTransfer || task.bytes <= 0) continue;
+    if (!resource_ok(view, task.dst_port)) continue;
+    auto& per_pos = deltas[endpoint_of(resource_name(view, task.dst_port))];
+    per_pos[pos_of[i]] += task.bytes;
+    per_pos[last_use[i] + 1] -= task.bytes;
+  }
+  for (const auto& [endpoint, per_pos] : deltas) {
+    Bytes live = 0;
+    Bytes peak = 0;
+    for (const auto& [pos, delta] : per_pos) {
+      live += delta;
+      peak = std::max(peak, live);
+    }
+    analysis.watermarks.push_back({endpoint, peak});
+  }
+  return analysis;
+}
+
+FlowAnalysis analyze_flow(const sim::TaskGraph& graph) {
+  return analyze_flow(as_ref(graph));
+}
+
+LintReport lint_flow(const TaskSetRef& view, const sim::SimResult* result,
+                     const FlowLintOptions& options) {
+  HOLMES_CHECK_MSG(view.tasks != nullptr, "TaskSetRef needs tasks");
+  LintReport report;
+  const FlowAnalysis analysis = analyze_flow(view);
+  if (!analysis.valid) return report;  // HV201/HV202 own broken graphs
+
+  const bool have_result =
+      result != nullptr && result->timings().size() == view.tasks->size();
+
+  if (have_result) {
+    // HV401: the critical chain is a makespan lower bound.
+    report.mark_checked(kRuleFlowChainBound);
+    if (!ge(result->makespan(), analysis.chain_bound_s, options.tolerance)) {
+      std::ostringstream os;
+      os << "critical chain needs " << format_seconds(analysis.chain_bound_s)
+         << " s but the simulated makespan is only "
+         << format_seconds(result->makespan()) << " s";
+      if (!analysis.chain.empty()) {
+        os << "; chain ends at "
+           << task_subject(view,
+                           static_cast<std::size_t>(analysis.chain.back()));
+      }
+      report.add(kRuleFlowChainBound, Severity::kError, "graph", os.str());
+    }
+
+    // HV402: no serial resource can fit its aggregate work in less than
+    // that work's sum, and the static aggregate must agree with what the
+    // executor accounted.
+    report.mark_checked(kRuleFlowResourceBound);
+    std::size_t findings = 0;
+    auto emit = [&](ResourceId r, const std::string& message) {
+      if (findings < options.max_diagnostics_per_rule) {
+        report.add(kRuleFlowResourceBound, Severity::kError,
+                   "resource '" + resource_name(view, r) + "'", message);
+      }
+      ++findings;
+    };
+    for (std::size_t r = 0; r < analysis.resource_load_s.size(); ++r) {
+      const double load = analysis.resource_load_s[r];
+      const auto id = static_cast<ResourceId>(r);
+      if (!ge(result->makespan(), load, options.tolerance)) {
+        emit(id, "aggregate declared occupancy " + format_seconds(load) +
+                     " s exceeds the simulated makespan " +
+                     format_seconds(result->makespan()) + " s");
+      }
+      const double busy = result->resource_busy(id);
+      if (!near(load, busy, options.tolerance)) {
+        emit(id, "static aggregate occupancy " + format_seconds(load) +
+                     " s disagrees with the executor's accounted busy time " +
+                     format_seconds(busy) + " s");
+      }
+    }
+  }
+
+  // HV403: in-flight receive bytes vs the per-device buffer budget.
+  if (options.buffer_budget > 0) {
+    report.mark_checked(kRuleFlowMemoryWatermark);
+    std::size_t findings = 0;
+    for (const FlowAnalysis::EndpointWatermark& wm : analysis.watermarks) {
+      if (wm.peak_bytes <= options.buffer_budget) continue;
+      if (findings < options.max_diagnostics_per_rule) {
+        std::ostringstream os;
+        os << "peak in-flight received bytes " << wm.peak_bytes
+           << " exceed the " << options.buffer_budget
+           << "-byte buffer budget under every admissible schedule";
+        report.add(kRuleFlowMemoryWatermark, Severity::kWarning,
+                   "endpoint '" + wm.endpoint + "'", os.str());
+      }
+      ++findings;
+    }
+  }
+
+  // HV404: byte balance across each cluster cut, per closed channel.
+  if (!options.resource_cluster.empty() && view.channel_count > 0) {
+    report.mark_checked(kRuleChannelCutBalance);
+    auto cluster_of = [&](ResourceId r) -> int {
+      if (r < 0 ||
+          static_cast<std::size_t>(r) >= options.resource_cluster.size()) {
+        return -1;
+      }
+      return options.resource_cluster[static_cast<std::size_t>(r)];
+    };
+    struct Flow {
+      Bytes tx = 0;
+      Bytes rx = 0;
+      bool sends = false;
+      bool receives = false;
+    };
+    struct CutFlow {
+      Bytes forward = 0;   ///< bytes lo-cluster -> hi-cluster
+      Bytes backward = 0;  ///< bytes hi-cluster -> lo-cluster
+    };
+    // channel -> endpoint -> flow (for closedness), and
+    // channel -> unordered cluster pair (lo, hi) -> both directions' bytes.
+    std::vector<std::map<std::string, Flow>> flows(view.channel_count);
+    std::vector<std::map<std::pair<int, int>, CutFlow>> cut(view.channel_count);
+    for (const Task& task : *view.tasks) {
+      if (task.kind != TaskKind::kTransfer) continue;
+      if (task.channel == sim::kInvalidChannel || task.channel < 0 ||
+          static_cast<std::size_t>(task.channel) >= view.channel_count) {
+        continue;
+      }
+      if (!resource_ok(view, task.src_port) ||
+          !resource_ok(view, task.dst_port)) {
+        continue;  // HV203 reports these
+      }
+      const auto c = static_cast<std::size_t>(task.channel);
+      Flow& src = flows[c][endpoint_of(resource_name(view, task.src_port))];
+      src.tx += task.bytes;
+      src.sends = true;
+      Flow& dst = flows[c][endpoint_of(resource_name(view, task.dst_port))];
+      dst.rx += task.bytes;
+      dst.receives = true;
+      const int a = cluster_of(task.src_port);
+      const int b = cluster_of(task.dst_port);
+      if (a >= 0 && b >= 0 && a != b) {
+        CutFlow& cf = cut[c][{std::min(a, b), std::max(a, b)}];
+        (a < b ? cf.forward : cf.backward) += task.bytes;
+      }
+    }
+    std::size_t findings = 0;
+    for (std::size_t c = 0; c < flows.size(); ++c) {
+      if (cut[c].empty()) continue;
+      const auto& per_endpoint = flows[c];
+      const bool closed = per_endpoint.size() >= 2 &&
+                          std::all_of(per_endpoint.begin(), per_endpoint.end(),
+                                      [](const auto& kv) {
+                                        return kv.second.sends &&
+                                               kv.second.receives;
+                                      });
+      if (!closed) continue;
+      for (const auto& [pair, cf] : cut[c]) {
+        const auto [a, b] = pair;
+        if (cf.forward == cf.backward) continue;
+        if (findings < options.max_diagnostics_per_rule) {
+          std::ostringstream os;
+          os << "cluster cut " << a << "<->" << b << " moves " << cf.forward
+             << " bytes forward but " << cf.backward
+             << " back on a closed channel — the cut is unbalanced";
+          report.add(kRuleChannelCutBalance, Severity::kWarning,
+                     "channel " +
+                         channel_name(view, static_cast<sim::ChannelId>(c)),
+                     os.str());
+        }
+        ++findings;
+      }
+    }
+  }
+  return report;
+}
+
+LintReport lint_flow(const sim::TaskGraph& graph, const sim::SimResult& result,
+                     const FlowLintOptions& options) {
+  return lint_flow(as_ref(graph), &result, options);
+}
+
+LintReport check_determinism(const sim::TaskGraph& graph,
+                             const DeterminismCheckOptions& options) {
+  LintReport report;
+  report.mark_checked(kRuleScheduleRace);
+  const sim::SimResult baseline = sim::TaskGraphExecutor{}.run(graph);
+  std::size_t findings = 0;
+  for (int k = 0; k < options.permutations; ++k) {
+    sim::ExecutorOptions exec;
+    exec.tie_break = options.tie_break;
+    exec.tie_seed = options.base_seed + static_cast<std::uint64_t>(k);
+    const sim::SimResult permuted = sim::TaskGraphExecutor{exec}.run(graph);
+
+    // Bitwise comparison: identical placement arithmetic in identical order
+    // yields identical doubles, so any difference at all is a divergence.
+    TaskId first_diverging = sim::kInvalidTask;
+    for (std::size_t i = 0; i < graph.task_count(); ++i) {
+      const sim::TaskTiming& a = baseline.timings()[i];
+      const sim::TaskTiming& b = permuted.timings()[i];
+      if (a.start != b.start || a.finish != b.finish) {
+        first_diverging = static_cast<TaskId>(i);
+        break;
+      }
+    }
+    bool busy_diverged = false;
+    for (std::size_t r = 0; r < graph.resource_count(); ++r) {
+      const auto id = static_cast<sim::ResourceId>(r);
+      if (baseline.resource_busy(id) != permuted.resource_busy(id)) {
+        busy_diverged = true;
+        break;
+      }
+    }
+    if (first_diverging == sim::kInvalidTask && !busy_diverged &&
+        baseline.makespan() == permuted.makespan()) {
+      continue;
+    }
+    if (findings < options.max_diagnostics_per_rule) {
+      std::ostringstream os;
+      os << "results diverge under tie permutation seed " << exec.tie_seed;
+      std::string subject = "graph";
+      if (first_diverging != sim::kInvalidTask) {
+        const auto i = static_cast<std::size_t>(first_diverging);
+        const TaskSetRef view = as_ref(graph);
+        subject = task_subject(view, i);
+        os << ": first diverging task starts at "
+           << format_seconds(baseline.timings()[i].start)
+           << " s canonically but "
+           << format_seconds(permuted.timings()[i].start)
+           << " s permuted";
+      } else if (busy_diverged) {
+        os << ": per-resource busy time differs";
+      } else {
+        os << ": makespan " << format_seconds(baseline.makespan())
+           << " s became " << format_seconds(permuted.makespan()) << " s";
+      }
+      report.add(kRuleScheduleRace, Severity::kError, subject, os.str());
+    }
+    ++findings;
+  }
+  return report;
+}
+
+}  // namespace holmes::verify

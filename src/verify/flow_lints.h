@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file flow_lints.h
+/// Flow-family (HV4xx) lints: simulation-free bounds on a task graph plus
+/// the schedule-race determinism check.
+///
+/// analyze_flow derives, without simulating, the quantities a strategy
+/// search wants for pruning (the AMP / H2 cost-model bounds): the longest
+/// dependency chain's aggregate cost, every resource's aggregate declared
+/// occupancy, and each endpoint's in-flight transfer high-water mark over
+/// topological cuts. Both time figures are true makespan lower bounds — no
+/// admissible schedule can beat the critical chain or squeeze a serial
+/// resource's work into less wall-clock than its sum of costs.
+///
+/// lint_flow cross-checks those bounds against an executed sim::SimResult:
+/// a static lower bound exceeding the simulated makespan proves the
+/// analyzer or the executor wrong (HV401/HV402), the watermark is checked
+/// against a per-device buffer budget (HV403), and closed collective
+/// channels must move balanced byte volumes across every cluster cut
+/// (HV404).
+///
+/// check_determinism is the race detector for the DES itself: it re-runs
+/// the executor with equal-ready-time ties reordered under seeded
+/// permutations (sim::TieBreak) and reports any bitwise divergence from the
+/// canonical run as HV405, naming the first diverging task. With the
+/// resource-disjoint policy divergence is always an executor bug; with the
+/// permute-all policy it exposes graphs whose schedule depends on tie
+/// order — the sync points a future parallel engine must respect.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+#include "verify/diagnostics.h"
+#include "verify/graph_lints.h"
+
+namespace holmes::verify {
+
+/// Everything analyze_flow derives from a task set. Only meaningful when
+/// `valid` is true (dependencies well-formed and acyclic — HV201/HV202
+/// report those; the flow bounds would be garbage on a broken graph).
+struct FlowAnalysis {
+  bool valid = false;
+
+  /// Longest dependency chain through declared costs (compute duration,
+  /// transfer serialization + latency), in seconds, and its task ids in
+  /// dependency order.
+  double chain_bound_s = 0;
+  std::vector<sim::TaskId> chain;
+
+  /// Aggregate declared occupancy per resource (exactly what the executor
+  /// accounts as busy time), the busiest resource, and its load.
+  std::vector<double> resource_load_s;
+  sim::ResourceId busiest_resource = -1;
+  double resource_bound_s = 0;
+
+  /// max(chain_bound_s, resource_bound_s): the flow makespan lower bound.
+  double makespan_bound_s = 0;
+
+  /// Peak in-flight received bytes per destination endpoint: a transfer's
+  /// bytes are live from the transfer's topological position until its last
+  /// dependent's (the receive buffer cannot be released before every
+  /// consumer ran). Sorted by endpoint name.
+  struct EndpointWatermark {
+    std::string endpoint;
+    Bytes peak_bytes = 0;
+  };
+  std::vector<EndpointWatermark> watermarks;
+};
+
+/// Simulation-free flow analysis of a task set.
+FlowAnalysis analyze_flow(const TaskSetRef& view);
+FlowAnalysis analyze_flow(const sim::TaskGraph& graph);
+
+struct FlowLintOptions {
+  /// Relative tolerance for floating-point comparisons.
+  double tolerance = 1e-9;
+  /// Per-endpoint in-flight byte budget for HV403 (the paper's 80 GB A100
+  /// by default); 0 disables the rule.
+  Bytes buffer_budget = 80LL * 1024 * 1024 * 1024;
+  /// Resource id -> cluster id for HV404's cut balance (-1 = unknown,
+  /// transfers touching unknown clusters are skipped); empty disables the
+  /// rule. core/preflight.h derives this map from a net::Topology.
+  std::vector<int> resource_cluster;
+  /// Cap on diagnostics emitted per rule.
+  std::size_t max_diagnostics_per_rule = 8;
+};
+
+/// Flow rules HV401..HV404. `result` may be null: the cross-check rules
+/// HV401/HV402 need executed timings and are skipped (not marked checked)
+/// without them; HV403/HV404 are purely static.
+LintReport lint_flow(const TaskSetRef& view, const sim::SimResult* result,
+                     const FlowLintOptions& options = {});
+LintReport lint_flow(const sim::TaskGraph& graph, const sim::SimResult& result,
+                     const FlowLintOptions& options = {});
+
+struct DeterminismCheckOptions {
+  /// Number of seeded tie-permutation re-runs compared against canonical.
+  int permutations = 5;
+  /// Base seed; permutation k runs with tie_seed = base_seed + k.
+  std::uint64_t base_seed = 0x484F4C4D4553ull;  // "HOLMES"
+  /// Permutation policy (see sim::TieBreak). The default reorders only
+  /// resource-disjoint ties, so any divergence is an executor bug.
+  sim::TieBreak tie_break = sim::TieBreak::kPermuteDisjoint;
+  /// Cap on diagnostics emitted.
+  std::size_t max_diagnostics_per_rule = 8;
+};
+
+/// Schedule-race rule HV405: simulates `graph` canonically, then under
+/// `permutations` seeded tie permutations, and bitwise-compares every task
+/// timing, per-resource busy time, and the makespan. Throws ConfigError on
+/// a cyclic graph (lint the graph first).
+LintReport check_determinism(const sim::TaskGraph& graph,
+                             const DeterminismCheckOptions& options = {});
+
+}  // namespace holmes::verify

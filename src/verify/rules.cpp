@@ -1,5 +1,7 @@
 #include "verify/rules.h"
 
+#include <ostream>
+
 namespace holmes::verify {
 
 std::string to_string(RuleFamily family) {
@@ -10,6 +12,8 @@ std::string to_string(RuleFamily family) {
       return "graph";
     case RuleFamily::kExecution:
       return "execution";
+    case RuleFamily::kFlow:
+      return "flow";
   }
   return "unknown";
 }
@@ -85,6 +89,31 @@ const std::vector<RuleInfo>& rule_catalog() {
        "result-complete",
        "The simulation result does not cover every task, or its makespan "
        "disagrees with the latest task finish."},
+      {kRuleFlowChainBound, RuleFamily::kFlow, Severity::kError,
+       "flow-chain-bound",
+       "The longest dependency chain's aggregate cost — a simulation-free "
+       "makespan lower bound — exceeds the simulated makespan, proving the "
+       "static analyzer or the executor wrong."},
+      {kRuleFlowResourceBound, RuleFamily::kFlow, Severity::kError,
+       "flow-resource-bound",
+       "A resource's aggregate declared occupancy exceeds the simulated "
+       "makespan, or disagrees with the busy time the executor accounted to "
+       "it — the serial resource cannot have fit its work."},
+      {kRuleFlowMemoryWatermark, RuleFamily::kFlow, Severity::kWarning,
+       "flow-memory-watermark",
+       "An endpoint's in-flight transfer high-water mark over topological "
+       "cuts exceeds the per-device buffer budget; receive buffers would "
+       "overflow under any admissible schedule."},
+      {kRuleChannelCutBalance, RuleFamily::kFlow, Severity::kWarning,
+       "channel-cut-balance",
+       "A closed collective channel moves unequal byte volumes across a "
+       "cluster cut (a->b vs b->a), so the cross-cluster links cannot be "
+       "load-balanced."},
+      {kRuleScheduleRace, RuleFamily::kFlow, Severity::kError,
+       "schedule-race",
+       "Simulated results changed when equal-ready-time ties were reordered "
+       "under a seeded permutation: the schedule depends on tie order, which "
+       "the determinism contract forbids."},
   };
   return catalog;
 }
@@ -94,6 +123,16 @@ const RuleInfo* find_rule(std::string_view id) {
     if (id == rule.id) return &rule;
   }
   return nullptr;
+}
+
+void write_rule_catalog_markdown(std::ostream& out) {
+  out << "| Rule | Family | Severity | Name | Checks |\n"
+      << "|------|--------|----------|------|--------|\n";
+  for (const RuleInfo& rule : rule_catalog()) {
+    out << "| " << rule.id << " | " << to_string(rule.family) << " | "
+        << to_string(rule.default_severity) << " | `" << rule.title << "` | "
+        << rule.detail << " |\n";
+  }
 }
 
 }  // namespace holmes::verify

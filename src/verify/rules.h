@@ -10,8 +10,11 @@
 /// Numbering: HV1xx are *plan* lints (ParallelConfig / group layout /
 /// partition / memory, checked before graph construction), HV2xx are
 /// *graph* lints (structural checks on a built TaskGraph), HV3xx are
-/// *execution* lints (conservation checks on a SimResult).
+/// *execution* lints (conservation checks on a SimResult), HV4xx are *flow*
+/// lints (simulation-free bounds on a TaskGraph cross-checked against
+/// executed results, plus the schedule-race determinism check).
 
+#include <iosfwd>
 #include <string_view>
 #include <vector>
 
@@ -19,7 +22,7 @@
 
 namespace holmes::verify {
 
-enum class RuleFamily { kPlan, kGraph, kExecution };
+enum class RuleFamily { kPlan, kGraph, kExecution, kFlow };
 
 std::string to_string(RuleFamily family);
 
@@ -36,6 +39,13 @@ const std::vector<RuleInfo>& rule_catalog();
 
 /// Looks a rule up by id; nullptr when unknown.
 const RuleInfo* find_rule(std::string_view id);
+
+/// Renders the catalog as the GitHub-flavored markdown table embedded in
+/// docs/static-analysis.md between the `<!-- rule-catalog:begin -->` /
+/// `<!-- rule-catalog:end -->` markers. `holmes_cli lint --rules --markdown`
+/// prints it and CI diffs the docs against it, so the table cannot drift
+/// from this registry.
+void write_rule_catalog_markdown(std::ostream& out);
 
 // ---- Plan family ----
 inline constexpr const char* kRuleDpGroupTransport = "HV101";
@@ -58,5 +68,12 @@ inline constexpr const char* kRuleChannelConservation = "HV205";
 inline constexpr const char* kRuleTimingMonotone = "HV301";
 inline constexpr const char* kRuleResourceExclusive = "HV302";
 inline constexpr const char* kRuleResultComplete = "HV303";
+
+// ---- Flow family ----
+inline constexpr const char* kRuleFlowChainBound = "HV401";
+inline constexpr const char* kRuleFlowResourceBound = "HV402";
+inline constexpr const char* kRuleFlowMemoryWatermark = "HV403";
+inline constexpr const char* kRuleChannelCutBalance = "HV404";
+inline constexpr const char* kRuleScheduleRace = "HV405";
 
 }  // namespace holmes::verify

@@ -5,20 +5,23 @@
 ///
 /// `holmes_verify` is a diagnostics engine over the planning layer and the
 /// simulation substrate: stable rule ids (HV1xx plan, HV2xx graph, HV3xx
-/// execution), severities, source attribution to task/group/link ids, and
-/// text + JSON reports. See docs/static-analysis.md for the rule catalog
-/// and how to add a rule.
+/// execution, HV4xx flow), severities, source attribution to task/group/
+/// link ids, and text + JSON reports. See docs/static-analysis.md for the
+/// rule catalog and how to add a rule.
 ///
 ///  - verify/diagnostics.h — Diagnostic, LintReport, text/JSON writers
 ///  - verify/rules.h       — the rule registry (ids, families, docs)
 ///  - verify/plan_lints.h  — HV1xx: PlanView + lint_plan
 ///  - verify/graph_lints.h — HV2xx/HV3xx: lint_graph + lint_execution
+///  - verify/flow_lints.h  — HV4xx: analyze_flow + lint_flow +
+///                           check_determinism (the schedule-race detector)
 ///
 /// The library layers strictly below `core`; core/preflight.h adapts a
 /// core::TrainingPlan into a PlanView and wires the debug-mode pre-flight
 /// into the training simulator.
 
 #include "verify/diagnostics.h"   // IWYU pragma: export
+#include "verify/flow_lints.h"    // IWYU pragma: export
 #include "verify/graph_lints.h"   // IWYU pragma: export
 #include "verify/plan_lints.h"    // IWYU pragma: export
 #include "verify/rules.h"         // IWYU pragma: export

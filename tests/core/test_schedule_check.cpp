@@ -1,0 +1,92 @@
+#include "core/schedule_check.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/plan.h"
+#include "model/gpt_zoo.h"
+#include "net/topology.h"
+#include "util/build_info.h"
+#include "util/json.h"
+#include "verify/rules.h"
+
+namespace holmes::core {
+namespace {
+
+TrainingPlan plan_for(const FrameworkConfig& framework,
+                      const net::Topology& topo, int group = 1) {
+  return Planner(framework).plan(topo, model::parameter_group(group));
+}
+
+ScheduleCheckOptions quick_options() {
+  ScheduleCheckOptions options;
+  options.permutations = 2;
+  options.iterations = 2;
+  return options;
+}
+
+TEST(ScheduleCheck, HybridRunIsDeterministicUnderDisjointPermutations) {
+  const net::Topology topo = net::Topology::hybrid_two_clusters(1);
+  const TrainingPlan plan = plan_for(FrameworkConfig::holmes(), topo);
+  const ScheduleCheckResult result =
+      check_schedule_determinism(topo, plan, quick_options());
+  EXPECT_EQ(result.permutations, 2);
+  EXPECT_EQ(result.diverged, 0);
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_FALSE(result.report.fired(verify::kRuleScheduleRace));
+}
+
+TEST(ScheduleCheck, FlowBoundsHoldAcrossFrameworks) {
+  const net::Topology topo = net::Topology::hybrid_two_clusters(1);
+  for (const FrameworkConfig& framework :
+       {FrameworkConfig::holmes(), FrameworkConfig::megatron_lm()}) {
+    const TrainingPlan plan = plan_for(framework, topo);
+    ScheduleCheckOptions options = quick_options();
+    options.permutations = 1;
+    const ScheduleCheckResult result =
+        check_schedule_determinism(topo, plan, options);
+    ASSERT_TRUE(result.flow.valid) << framework.name;
+    EXPECT_GT(result.flow.makespan_bound_s, 0) << framework.name;
+    EXPECT_LE(result.flow.makespan_bound_s, result.makespan_s * (1 + 1e-9))
+        << framework.name;
+    EXPECT_FALSE(result.report.fired(verify::kRuleFlowChainBound))
+        << framework.name;
+    EXPECT_FALSE(result.report.fired(verify::kRuleFlowResourceBound))
+        << framework.name;
+  }
+}
+
+TEST(ScheduleCheck, ReportJsonIsStampedParsableAndStable) {
+  const net::Topology topo = net::Topology::hybrid_two_clusters(1);
+  const TrainingPlan plan = plan_for(FrameworkConfig::holmes(), topo);
+  ScheduleCheckOptions options = quick_options();
+  options.permutations = 1;
+  const ScheduleCheckResult result =
+      check_schedule_determinism(topo, plan, options);
+
+  std::ostringstream a;
+  write_check_report_json(a, result, current_build_info());
+  const JsonValue doc = json_parse(a.str());
+  EXPECT_EQ(doc.at("schema").as_string(), kCheckReportSchema);
+  EXPECT_TRUE(doc.find("fingerprint") != nullptr);
+  EXPECT_EQ(doc.at("verdict").as_string(), "pass");
+  EXPECT_EQ(doc.at("policy").as_string(), "disjoint");
+  EXPECT_EQ(doc.at("diverged").as_number(), 0);
+  EXPECT_GT(doc.at("flow").at("chain_bound_s").as_number(), 0);
+  EXPECT_EQ(doc.at("lint").at("schema").as_string(), "holmes.lint_report.v1");
+
+  std::ostringstream b;
+  write_check_report_json(b, result, current_build_info());
+  EXPECT_EQ(a.str(), b.str());  // byte-stable for fixed inputs
+}
+
+TEST(ScheduleCheck, TieBreakNamesAreStable) {
+  EXPECT_EQ(to_string(sim::TieBreak::kCanonical), "canonical");
+  EXPECT_EQ(to_string(sim::TieBreak::kPermuteDisjoint), "disjoint");
+  EXPECT_EQ(to_string(sim::TieBreak::kPermuteAll), "all");
+}
+
+}  // namespace
+}  // namespace holmes::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "util/error.h"
@@ -51,6 +53,59 @@ TEST(EventQueue, PopOnEmptyThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop(), InternalError);
   EXPECT_THROW(q.next_time(), InternalError);
+}
+
+TEST(EventQueue, TiePermutationReordersEqualTimeEvents) {
+  // Across a handful of seeds at least one must deviate from insertion
+  // order; distinct timestamps must stay time-ordered regardless.
+  bool reordered = false;
+  for (std::uint64_t seed = 0; seed < 8 && !reordered; ++seed) {
+    EventQueue q;
+    q.set_tie_permutation(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+      q.schedule(5.0, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) q.pop()();
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+    for (int i = 0; i < 10; ++i) {
+      if (order[static_cast<std::size_t>(i)] != i) reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(EventQueue, TiePermutationKeepsTimeOrder) {
+  EventQueue q;
+  q.set_tie_permutation(42);
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiePermutationIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    EventQueue q;
+    q.set_tie_permutation(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+      q.schedule(1.0, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) q.pop()();
+    return order;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(EventQueue, TiePermutationRejectedOnNonEmptyQueue) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  EXPECT_THROW(q.set_tie_permutation(1), InternalError);
 }
 
 }  // namespace

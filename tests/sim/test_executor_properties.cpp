@@ -116,5 +116,76 @@ TEST_P(ExecutorFuzz, InvariantsHoldOnRandomDags) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 
+/// The resource-disjoint tie permutation only reorders placements that
+/// commute, so on ANY graph — including ones with noop joins releasing
+/// same-time dependents — its results must be bitwise identical to the
+/// canonical discipline. This is the invariant `holmes_cli check` relies
+/// on: a divergence under kPermuteDisjoint is an executor bug, never a
+/// property of the graph.
+TEST_P(ExecutorFuzz, DisjointPermutationIsOutcomePreserving) {
+  Rng rng(GetParam() ^ 0x9E3779B97F4A7C15ull);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomGraph rg = make_random_graph(rng);
+    const SimResult canonical = TaskGraphExecutor{}.run(rg.graph);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      ExecutorOptions options;
+      options.tie_break = TieBreak::kPermuteDisjoint;
+      options.tie_seed = seed;
+      const SimResult permuted = TaskGraphExecutor{options}.run(rg.graph);
+      ASSERT_EQ(canonical.makespan(), permuted.makespan());
+      for (std::size_t i = 0; i < rg.graph.task_count(); ++i) {
+        const auto id = static_cast<TaskId>(i);
+        ASSERT_EQ(canonical.timing(id).start, permuted.timing(id).start)
+            << "task " << i << " seed " << seed;
+        ASSERT_EQ(canonical.timing(id).finish, permuted.timing(id).finish)
+            << "task " << i << " seed " << seed;
+      }
+      for (std::size_t r = 0; r < rg.graph.resource_count(); ++r) {
+        const auto res = static_cast<ResourceId>(r);
+        ASSERT_EQ(canonical.resource_busy(res), permuted.resource_busy(res));
+      }
+    }
+  }
+}
+
+/// Default-constructed options are the canonical policy: byte-identical to
+/// the no-options executor on the same graphs.
+TEST_P(ExecutorFuzz, DefaultOptionsMatchCanonical) {
+  Rng rng(GetParam() ^ 0x5DEECE66Dull);
+  RandomGraph rg = make_random_graph(rng);
+  const SimResult a = TaskGraphExecutor{}.run(rg.graph);
+  const SimResult b = TaskGraphExecutor{ExecutorOptions{}}.run(rg.graph);
+  ASSERT_EQ(a.makespan(), b.makespan());
+  for (std::size_t i = 0; i < rg.graph.task_count(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    ASSERT_EQ(a.timing(id).start, b.timing(id).start);
+    ASSERT_EQ(a.timing(id).finish, b.timing(id).finish);
+  }
+}
+
+/// kPermuteAll legitimately changes schedule-order-sensitive graphs: two
+/// equal-ready computes of different durations on one resource, with a
+/// dependent hanging off the first — some seed must swap them.
+TEST(ExecutorTieBreak, PermuteAllSwapsContendingTies) {
+  TaskGraph graph;
+  const ResourceId gpu = graph.add_resource("gpu0.compute");
+  const TaskId first = graph.add_compute(gpu, 1.0, "short");
+  graph.add_compute(gpu, 2.0, "long");
+  const TaskId dep = graph.add_compute(gpu, 0.5, "after-short");
+  graph.add_dep(dep, first);
+  const SimResult canonical = TaskGraphExecutor{}.run(graph);
+  bool swapped = false;
+  for (std::uint64_t seed = 0; seed < 8 && !swapped; ++seed) {
+    ExecutorOptions options;
+    options.tie_break = TieBreak::kPermuteAll;
+    options.tie_seed = seed;
+    const SimResult permuted = TaskGraphExecutor{options}.run(graph);
+    if (permuted.timing(first).start != canonical.timing(first).start) {
+      swapped = true;
+    }
+  }
+  EXPECT_TRUE(swapped);
+}
+
 }  // namespace
 }  // namespace holmes::sim

@@ -102,5 +102,50 @@ TEST(JsonParse, RoundTripsEmitterNumbers) {
   EXPECT_DOUBLE_EQ(json_parse(json_number(1.0 / 0.0)).as_number(), 0.0);
 }
 
+// ---- round-trip byte-identity ----
+//
+// The determinism checker byte-compares serialized documents across runs,
+// so parse -> serialize -> parse -> serialize must be byte-identical: a
+// re-serialized document may differ from the *original* text (number
+// formatting, whitespace) but must be a fixpoint of its own emitter.
+
+TEST(JsonRoundTrip, SerializeIsAFixpointOnNestedDocuments) {
+  const char* docs[] = {
+      R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})",
+      R"([0.1,1e-9,-3.5e2,123456789012,0,-0])",
+      R"({"empty_obj":{},"empty_arr":[],"s":""})",
+      R"({"z":1,"a":2,"m":{"q":[false,null,"t"]}})",
+  };
+  for (const char* doc : docs) {
+    const std::string once = json_serialize(json_parse(doc));
+    const std::string twice = json_serialize(json_parse(once));
+    EXPECT_EQ(once, twice) << doc;
+  }
+}
+
+TEST(JsonRoundTrip, EscapesSurviveByteIdentically) {
+  const std::string raw = "quote\" back\\ nl\n tab\t cr\r ctrl\x01 \x1f end";
+  const std::string doc = "{\"k\":\"" + json_escape(raw) + "\"}";
+  const std::string once = json_serialize(json_parse(doc));
+  EXPECT_EQ(json_parse(once).at("k").as_string(), raw);
+  EXPECT_EQ(json_serialize(json_parse(once)), once);
+}
+
+TEST(JsonRoundTrip, NumberFormattingIsStable) {
+  // json_number drives every writer in the tree; its output must parse
+  // back to the same double and re-serialize to the same bytes.
+  for (double value : {0.0, 1.0, -1.5, 0.1, 1e-12, 9.87654321e8,
+                       52.5905447891, 1.0 / 3.0}) {
+    const std::string text = json_number(value);
+    const double parsed = json_parse(text).as_number();
+    EXPECT_EQ(json_number(parsed), text) << value;
+  }
+}
+
+TEST(JsonRoundTrip, ObjectKeyOrderIsPreservedNotSorted) {
+  const std::string doc = R"({"z":1,"a":2,"0":3})";
+  EXPECT_EQ(json_serialize(json_parse(doc)), doc);
+}
+
 }  // namespace
 }  // namespace holmes

@@ -1,0 +1,254 @@
+#include "verify/flow_lints.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+#include "verify/rules.h"
+
+namespace holmes::verify {
+namespace {
+
+using sim::ResourceId;
+using sim::SimResult;
+using sim::TaskGraph;
+using sim::TaskGraphExecutor;
+using sim::TaskId;
+using sim::TaskTiming;
+
+bool checked(const LintReport& report, const char* rule) {
+  const auto& rules = report.rules_checked();
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+/// Two devices, a chained compute -> transfer -> compute, plus independent
+/// work on gpu1 — enough structure for every flow quantity to be non-zero.
+struct SmallGraph {
+  TaskGraph graph;
+  ResourceId gpu0, gpu1, tx, rx;
+  TaskId a, move, b, extra;
+
+  SmallGraph() {
+    gpu0 = graph.add_resource("gpu0.compute");
+    gpu1 = graph.add_resource("gpu1.compute");
+    tx = graph.add_resource("gpu0.ib.tx");
+    rx = graph.add_resource("gpu1.ib.rx");
+    a = graph.add_compute(gpu0, 1.0, "fwd0");
+    move = graph.add_transfer(tx, rx, Bytes{1000}, 1e3, 0.5, "act");
+    graph.add_dep(move, a);
+    b = graph.add_compute(gpu1, 2.0, "fwd1");
+    graph.add_dep(b, move);
+    extra = graph.add_compute(gpu1, 0.5, "other1");
+  }
+};
+
+// ---- analyze_flow ----
+
+TEST(FlowAnalysis, ChainAndResourceBounds) {
+  SmallGraph fx;
+  const FlowAnalysis flow = analyze_flow(fx.graph);
+  ASSERT_TRUE(flow.valid);
+  // Chain: fwd0 (1.0) + transfer (1000/1e3 + 0.5) + fwd1 (2.0).
+  EXPECT_DOUBLE_EQ(flow.chain_bound_s, 1.0 + 1.5 + 2.0);
+  ASSERT_EQ(flow.chain.size(), 3u);
+  EXPECT_EQ(flow.chain.front(), fx.a);
+  EXPECT_EQ(flow.chain.back(), fx.b);
+  // Busiest resource: gpu1 with 2.0 + 0.5 aggregate compute.
+  EXPECT_EQ(flow.busiest_resource, fx.gpu1);
+  EXPECT_DOUBLE_EQ(flow.resource_bound_s, 2.5);
+  EXPECT_DOUBLE_EQ(flow.makespan_bound_s, flow.chain_bound_s);
+  // Watermark: 1000 bytes live at the gpu1.ib endpoint.
+  ASSERT_EQ(flow.watermarks.size(), 1u);
+  EXPECT_EQ(flow.watermarks[0].endpoint, "gpu1.ib");
+  EXPECT_EQ(flow.watermarks[0].peak_bytes, Bytes{1000});
+}
+
+TEST(FlowAnalysis, InvalidOnCyclicGraph) {
+  TaskGraph graph;
+  const ResourceId r = graph.add_resource("gpu0.compute");
+  const TaskId x = graph.add_compute(r, 1.0);
+  const TaskId y = graph.add_compute(r, 1.0);
+  graph.add_dep(x, y);
+  graph.add_dep(y, x);
+  EXPECT_FALSE(analyze_flow(graph).valid);
+}
+
+// ---- HV401 flow-chain-bound ----
+
+TEST(FlowLints, HV401CleanOnExecutedGraph) {
+  SmallGraph fx;
+  const SimResult result = TaskGraphExecutor{}.run(fx.graph);
+  const LintReport report = lint_flow(fx.graph, result);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(checked(report, kRuleFlowChainBound));
+  EXPECT_TRUE(checked(report, kRuleFlowResourceBound));
+}
+
+TEST(FlowLints, HV401ErrorWhenMakespanBeatsTheChain) {
+  SmallGraph fx;
+  const std::size_t n = fx.graph.task_count();
+  // A fabricated result claiming everything finished instantly: the chain
+  // bound (4.5 s) proves it impossible.
+  const SimResult impossible(std::vector<TaskTiming>(n, {0.0, 0.0}),
+                             std::vector<SimTime>(fx.graph.resource_count(), 0),
+                             /*makespan=*/0.0);
+  const LintReport report = lint_flow(fx.graph, impossible);
+  EXPECT_TRUE(report.fired(kRuleFlowChainBound));
+  EXPECT_FALSE(report.ok());
+}
+
+// ---- HV402 flow-resource-bound ----
+
+TEST(FlowLints, HV402ErrorWhenBusyAccountingDisagrees) {
+  SmallGraph fx;
+  const SimResult result = TaskGraphExecutor{}.run(fx.graph);
+  // Re-use the true timings but claim every resource idled: the static
+  // aggregate (e.g. gpu1's 2.5 s) disagrees with the accounted busy time.
+  SimResult cooked(std::vector<TaskTiming>(result.timings()),
+                   std::vector<SimTime>(fx.graph.resource_count(), 0.0),
+                   result.makespan());
+  const LintReport report = lint_flow(fx.graph, cooked);
+  EXPECT_TRUE(report.fired(kRuleFlowResourceBound));
+}
+
+TEST(FlowLints, HV402SkippedWithoutExecutedTimings) {
+  SmallGraph fx;
+  const LintReport report = lint_flow(as_ref(fx.graph), nullptr);
+  EXPECT_FALSE(checked(report, kRuleFlowChainBound));
+  EXPECT_FALSE(checked(report, kRuleFlowResourceBound));
+  EXPECT_TRUE(report.ok());
+}
+
+// ---- HV403 flow-memory-watermark ----
+
+TEST(FlowLints, HV403WarningOverBufferBudget) {
+  SmallGraph fx;
+  FlowLintOptions options;
+  options.buffer_budget = 500;  // the fixture moves 1000 bytes
+  const LintReport report = lint_flow(as_ref(fx.graph), nullptr, options);
+  EXPECT_TRUE(checked(report, kRuleFlowMemoryWatermark));
+  EXPECT_TRUE(report.fired(kRuleFlowMemoryWatermark));
+  EXPECT_TRUE(report.ok());  // warning, not error
+}
+
+TEST(FlowLints, HV403CleanUnderBudgetAndDisabledAtZero) {
+  SmallGraph fx;
+  FlowLintOptions options;
+  options.buffer_budget = 1 << 20;
+  EXPECT_FALSE(
+      lint_flow(as_ref(fx.graph), nullptr, options).fired(kRuleFlowMemoryWatermark));
+  options.buffer_budget = 0;
+  EXPECT_FALSE(checked(lint_flow(as_ref(fx.graph), nullptr, options),
+                       kRuleFlowMemoryWatermark));
+}
+
+// ---- HV404 channel-cut-balance ----
+
+/// Closed two-endpoint channel crossing a cluster cut; `back_bytes` tunes
+/// the balance.
+TaskGraph cut_graph(Bytes back_bytes) {
+  TaskGraph graph;
+  const ResourceId tx0 = graph.add_resource("gpu0.eth.tx");
+  const ResourceId rx0 = graph.add_resource("gpu0.eth.rx");
+  const ResourceId tx1 = graph.add_resource("gpu1.eth.tx");
+  const ResourceId rx1 = graph.add_resource("gpu1.eth.rx");
+  const sim::ChannelId ch = graph.channel("dp0");
+  graph.add_transfer(tx0, rx1, Bytes{1000}, 1e9, 0, "fwd", sim::kUntagged, ch);
+  graph.add_transfer(tx1, rx0, back_bytes, 1e9, 0, "bwd", sim::kUntagged, ch);
+  return graph;
+}
+
+FlowLintOptions cut_options() {
+  FlowLintOptions options;
+  options.resource_cluster = {0, 0, 1, 1};  // gpu0 ports / gpu1 ports
+  return options;
+}
+
+TEST(FlowLints, HV404CleanOnBalancedCut) {
+  const TaskGraph graph = cut_graph(Bytes{1000});
+  const LintReport report = lint_flow(as_ref(graph), nullptr, cut_options());
+  EXPECT_TRUE(checked(report, kRuleChannelCutBalance));
+  EXPECT_FALSE(report.fired(kRuleChannelCutBalance));
+}
+
+TEST(FlowLints, HV404WarningOnUnbalancedCut) {
+  const TaskGraph graph = cut_graph(Bytes{250});
+  const LintReport report = lint_flow(as_ref(graph), nullptr, cut_options());
+  EXPECT_TRUE(report.fired(kRuleChannelCutBalance));
+  EXPECT_TRUE(report.ok());  // warning severity
+}
+
+TEST(FlowLints, HV404SkippedWithoutClusterMap) {
+  const TaskGraph graph = cut_graph(Bytes{250});
+  const LintReport report = lint_flow(as_ref(graph), nullptr);
+  EXPECT_FALSE(checked(report, kRuleChannelCutBalance));
+}
+
+// ---- HV405 schedule-race ----
+
+/// Deliberately tie-order-dependent: two equal-ready computes of *different*
+/// durations contend for one resource, and a third task depends on the
+/// first. Whichever runs first changes the dependent's start, so permuting
+/// the tie under kPermuteAll must move timings.
+TaskGraph racy_graph() {
+  TaskGraph graph;
+  const ResourceId gpu = graph.add_resource("gpu0.compute");
+  const TaskId first = graph.add_compute(gpu, 1.0, "short");
+  graph.add_compute(gpu, 2.0, "long");
+  const TaskId dep = graph.add_compute(gpu, 0.5, "after-short");
+  graph.add_dep(dep, first);
+  return graph;
+}
+
+TEST(DeterminismCheck, CleanUnderDisjointPermutations) {
+  SmallGraph fx;
+  DeterminismCheckOptions options;  // kPermuteDisjoint default
+  const LintReport report = check_determinism(fx.graph, options);
+  EXPECT_TRUE(checked(report, kRuleScheduleRace));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(DeterminismCheck, RacyGraphStaysCleanUnderDisjoint) {
+  // The contending tie keeps id order under the disjoint policy, so even a
+  // schedule-order-sensitive graph must not diverge.
+  const LintReport report = check_determinism(racy_graph(), {});
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(DeterminismCheck, HV405FlagsTieOrderDependentSchedule) {
+  DeterminismCheckOptions options;
+  options.tie_break = sim::TieBreak::kPermuteAll;
+  options.permutations = 8;  // enough seeds that at least one swaps the tie
+  const LintReport report = check_determinism(racy_graph(), options);
+  ASSERT_TRUE(report.fired(kRuleScheduleRace));
+  // The diagnostic names the first diverging task by id and label.
+  bool named = false;
+  for (const Diagnostic& diag : report.diagnostics()) {
+    if (diag.rule == kRuleScheduleRace &&
+        diag.subject.find("task") != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(DeterminismCheck, CapsDiagnostics) {
+  DeterminismCheckOptions options;
+  options.tie_break = sim::TieBreak::kPermuteAll;
+  options.permutations = 32;
+  options.max_diagnostics_per_rule = 2;
+  const LintReport report = check_determinism(racy_graph(), options);
+  std::size_t count = 0;
+  for (const Diagnostic& diag : report.diagnostics()) {
+    if (diag.rule == kRuleScheduleRace) ++count;
+  }
+  EXPECT_LE(count, 2u);
+}
+
+}  // namespace
+}  // namespace holmes::verify

@@ -8,9 +8,9 @@
 namespace holmes::verify {
 namespace {
 
-TEST(RuleCatalog, HasSixteenRulesWithUniqueAscendingIds) {
+TEST(RuleCatalog, HasTwentyOneRulesWithUniqueAscendingIds) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 16u);
+  EXPECT_EQ(catalog.size(), 21u);
   std::set<std::string> ids;
   std::string prev;
   for (const RuleInfo& rule : catalog) {
@@ -35,6 +35,9 @@ TEST(RuleCatalog, FamiliesMatchIdNumbering) {
       case '3':
         EXPECT_EQ(rule.family, RuleFamily::kExecution) << id;
         break;
+      case '4':
+        EXPECT_EQ(rule.family, RuleFamily::kFlow) << id;
+        break;
       default:
         FAIL() << "unknown family digit in " << id;
     }
@@ -55,7 +58,8 @@ TEST(RuleCatalog, ConstantsResolve) {
         kRuleDegreesConsistent, kRuleNeedlessFallback, kRuleGraphAcyclic,
         kRuleDepsValid, kRuleTaskFields, kRuleSerialOrder,
         kRuleChannelConservation, kRuleTimingMonotone, kRuleResourceExclusive,
-        kRuleResultComplete}) {
+        kRuleResultComplete, kRuleFlowChainBound, kRuleFlowResourceBound,
+        kRuleFlowMemoryWatermark, kRuleChannelCutBalance, kRuleScheduleRace}) {
     EXPECT_NE(find_rule(id), nullptr) << id << " missing from the catalog";
   }
 }
@@ -79,6 +83,7 @@ TEST(RuleFamilyNames, ToString) {
   EXPECT_EQ(to_string(RuleFamily::kPlan), "plan");
   EXPECT_EQ(to_string(RuleFamily::kGraph), "graph");
   EXPECT_EQ(to_string(RuleFamily::kExecution), "execution");
+  EXPECT_EQ(to_string(RuleFamily::kFlow), "flow");
 }
 
 }  // namespace

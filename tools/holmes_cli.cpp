@@ -60,15 +60,35 @@
 ///
 ///   holmes_cli lint <topology> <group> [options]
 ///       Static verifier: plan-family (HV1xx) lints over the resolved plan,
-///       then graph/execution-family (HV2xx/HV3xx) lints over a simulated
-///       run. Exits non-zero when any error-severity rule fires
-///       (docs/static-analysis.md).
+///       then graph/execution/flow-family (HV2xx/HV3xx/HV4xx) lints over a
+///       simulated run. Exit codes are graded (docs/static-analysis.md):
+///       0 clean, 1 warnings only, 2 errors, 3 internal failure.
 ///       --framework F    as for simulate          (default holmes)
 ///       --iterations N   simulated iterations     (default 3)
-///       --json[=FILE]    stable JSON lint report
+///       --json[=FILE]    stable JSON lint report (fingerprint-stamped)
 ///       --strict         promote warnings to errors
 ///       --no-graph       plan lints only (skip the simulation)
 ///       --rules          print the rule catalog and exit
+///       --rules --markdown  emit the catalog as the markdown table
+///                        docs/static-analysis.md embeds (CI drift check)
+///
+///   holmes_cli check <topology> <group> [options]
+///       Schedule-race determinism check (rule HV405): simulate the
+///       scenario canonically, then re-run it under N seeded permutations
+///       of equal-ready-time ties and byte-compare the run-summary and
+///       critical-path JSON documents. Any divergence is an error naming
+///       the first task that moved. The HV4xx flow bounds (static lower
+///       bound vs simulated makespan) are checked on the same run. Exit
+///       codes as for lint.
+///       --permutations N as described             (default 5)
+///       --seed S         base tie seed            (default 0x484F4C4D4553)
+///       --policy P       disjoint | all           (default disjoint;
+///                        disjoint must never diverge, all also flags
+///                        legitimately tie-order-sensitive schedules)
+///       --framework F    as for simulate          (default holmes)
+///       --iterations N   simulated iterations     (default 3)
+///       --json[=FILE]    stable holmes.check_report.v1 document
+///       --strict         promote warnings to errors
 ///
 ///   holmes_cli bench [binaries...] [options]
 ///       Perf-trajectory harness (docs/observability.md): runs bench
@@ -130,6 +150,7 @@
 #include "core/autotune.h"
 #include "core/preflight.h"
 #include "core/experiment.h"
+#include "core/schedule_check.h"
 #include "core/report.h"
 #include "core/run_stats.h"
 #include "model/memory.h"
@@ -174,6 +195,7 @@ std::string usage_text() {
       "  explain  <topology> <group>    critical-path makespan attribution\n"
       "  diff     <before> <after>      compare two emitted JSON documents\n"
       "  lint     <topology> <group>    static verifier (or lint --rules)\n"
+      "  check    <topology> <group>    schedule-race determinism check\n"
       "  bench    [binaries...]         perf-trajectory harness over the "
       "bench binaries\n"
       "  envs                           list named environments\n"
@@ -789,8 +811,23 @@ int cmd_diff(const Args& args) {
   return 0;
 }
 
+/// Graded verdict exit code shared by `lint` and `check`: 0 clean (notes
+/// never gate), 1 warnings only, 2 errors. Internal failures exit 3 via
+/// main()'s catch.
+int verdict_exit_code(const verify::LintReport& report) {
+  if (report.count(verify::Severity::kError) > 0) return 2;
+  if (report.count(verify::Severity::kWarning) > 0) return 1;
+  return 0;
+}
+
 int cmd_lint(const Args& args) {
   if (args.options.count("rules")) {
+    if (args.options.count("markdown")) {
+      // The exact table docs/static-analysis.md embeds between its
+      // rule-catalog markers; CI diffs the two to catch drift.
+      verify::write_rule_catalog_markdown(std::cout);
+      return 0;
+    }
     TextTable table({"Rule", "Family", "Severity", "Title"});
     for (const verify::RuleInfo& rule : verify::rule_catalog()) {
       table.add_row({rule.id, verify::to_string(rule.family),
@@ -804,7 +841,7 @@ int cmd_lint(const Args& args) {
     throw ConfigError(
         "usage: holmes_cli lint <topology> <group> "
         "[--framework F] [--json FILE] [--strict] [--no-graph] (or lint "
-        "--rules)");
+        "--rules [--markdown])");
   }
   const net::Topology topo = resolve_topology(args.positional[0]);
   const int group = std::stoi(args.positional[1]);
@@ -823,14 +860,14 @@ int cmd_lint(const Args& args) {
     SimArtifacts artifacts;
     TrainingSimulator{}.run(topo, plan, iterations, /*perturbations=*/{},
                             /*chrome_trace=*/nullptr, &artifacts);
-    report.merge(lint_artifacts(artifacts));
+    report.merge(lint_artifacts(artifacts, &topo));
   }
   if (args.options.count("strict")) report.promote_warnings();
 
   if (json_dest(args) == JsonDest::kStdout) {
-    verify::write_json(std::cout, report);
+    verify::write_json(std::cout, report, current_build_info());
     std::cout << "\n";
-    return report.ok() ? 0 : 1;
+    return verdict_exit_code(report);
   }
 
   std::cout << framework.name << " / group " << group << " on "
@@ -838,9 +875,85 @@ int cmd_lint(const Args& args) {
             << ")\n";
   verify::print_text(std::cout, report);
 
-  emit_json(args, "JSON report",
-            [&](std::ostream& out) { verify::write_json(out, report); });
-  return report.ok() ? 0 : 1;
+  emit_json(args, "JSON report", [&](std::ostream& out) {
+    verify::write_json(out, report, current_build_info());
+  });
+  return verdict_exit_code(report);
+}
+
+int cmd_check(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError(
+        "usage: holmes_cli check <topology> <group> [--permutations N] "
+        "[--seed S] [--policy disjoint|all] [--framework F] [--iterations N] "
+        "[--json[=FILE]] [--strict]");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const FrameworkConfig framework = resolve_framework(args);
+
+  ScheduleCheckOptions options;
+  options.permutations = option_int(args, "permutations", 5);
+  if (options.permutations < 1) {
+    throw ConfigError("--permutations expects a positive count");
+  }
+  options.iterations = option_int(args, "iterations", 3);
+  const auto seed = args.options.find("seed");
+  if (seed != args.options.end()) {
+    try {
+      options.base_seed = std::stoull(seed->second, nullptr, 0);
+    } catch (const std::exception&) {
+      throw ConfigError("--seed expects an integer, got '" + seed->second +
+                        "'");
+    }
+  }
+  const auto policy = args.options.find("policy");
+  if (policy != args.options.end()) {
+    if (policy->second == "disjoint") {
+      options.tie_break = sim::TieBreak::kPermuteDisjoint;
+    } else if (policy->second == "all") {
+      options.tie_break = sim::TieBreak::kPermuteAll;
+    } else {
+      throw ConfigError("unknown --policy '" + policy->second +
+                        "' (disjoint|all)");
+    }
+  }
+
+  const TrainingPlan plan =
+      Planner(framework).plan(topo, model::parameter_group(group));
+  ScheduleCheckResult result = check_schedule_determinism(topo, plan, options);
+  if (args.options.count("strict")) result.report.promote_warnings();
+
+  if (json_dest(args) == JsonDest::kStdout) {
+    write_check_report_json(std::cout, result, current_build_info());
+    std::cout << "\n";
+    return verdict_exit_code(result.report);
+  }
+
+  std::cout << framework.name << " / group " << group << " on "
+            << net::format_topology(topo) << " (" << plan.degrees.to_string()
+            << ")\n"
+            << "determinism: " << result.permutations << " '"
+            << core::to_string(result.tie_break)
+            << "' tie permutations (base seed " << result.base_seed << "), ";
+  if (result.diverged == 0) {
+    std::cout << "all byte-identical\n";
+  } else {
+    std::cout << result.diverged << " diverged\n";
+  }
+  const double tight =
+      result.makespan_s > 0
+          ? result.flow.makespan_bound_s / result.makespan_s * 100
+          : 0.0;
+  std::cout << "flow bound:  " << format_time(result.flow.makespan_bound_s)
+            << " <= makespan " << format_time(result.makespan_s) << " ("
+            << TextTable::num(tight, 1) << "% tight)\n";
+  verify::print_text(std::cout, result.report);
+
+  emit_json(args, "JSON check report", [&](std::ostream& out) {
+    write_check_report_json(out, result, current_build_info());
+  });
+  return verdict_exit_code(result.report);
 }
 
 /// Timing leaves get the noise floor; everything else (self-profile
@@ -1206,15 +1319,18 @@ int main(int argc, char** argv) {
     if (args.command == "explain") return cmd_explain(args);
     if (args.command == "diff") return cmd_diff(args);
     if (args.command == "lint") return cmd_lint(args);
+    if (args.command == "check") return cmd_check(args);
     if (args.command == "bench") return cmd_bench(args);
     if (args.command == "envs") return cmd_envs();
     throw ConfigError("unknown command '" + args.command + "'\n" +
                       usage_text());
   } catch (const Error& e) {
+    // 3 = internal/usage failure, distinct from the graded lint/check
+    // verdicts (0 clean, 1 warnings, 2 errors / tripped gates).
     std::cerr << e.what() << "\n";
-    return 1;
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return 3;
   }
 }
