@@ -1,15 +1,26 @@
-/// Engine probe: one fixed, fully deterministic simulator run whose
+/// Engine probe: fixed, fully deterministic engine scenarios whose
 /// self-profile counters become bench metrics.
 ///
 /// Unlike the experiment benches (whose metrics are simulated seconds) and
 /// the micro benches (whose metrics are noisy wall times), the probe's
-/// counter metrics — tasks created, ready-queue pops, cost-model calls —
-/// are exact integers that change only when the engine's structure changes.
-/// That makes it the anchor of the `holmes_cli bench` trajectory: a diff on
-/// these metrics is a real behavioral change, never noise, so the CI gate
-/// can hold them to zero drift while the wall-time metrics get a noise
-/// floor. The scenario is the paper's hybrid IB+RoCE environment (2 nodes,
-/// parameter group 1, 3 iterations) planned by the Holmes framework.
+/// counter metrics — tasks created, ready-queue pops, cost-model calls,
+/// arena bytes, memo hits — are exact integers that change only when the
+/// engine's structure changes. That makes it the anchor of the
+/// `holmes_cli bench` trajectory: a diff on these metrics is a real
+/// behavioral change, never noise, so the CI gate can hold them to zero
+/// drift while the wall-time metrics get a noise floor.
+///
+/// Four sections, each under its own SelfProfiler so the counters do not
+/// bleed into one another:
+///   1. the paper's hybrid IB+RoCE environment (2 nodes, parameter group 1,
+///      3 iterations) planned by the Holmes framework — the original probe;
+///   2. the GPT-3-scale synthetic stress graph (bench/synthetic_graph.h,
+///      ~110k tasks) through the raw TaskGraphExecutor — the ROADMAP item-3
+///      "100k+-task iteration" target measured directly;
+///   3. arena-backed EventQueue churn (schedule + drain a fixed event
+///      population twice across a reset_storage cycle);
+///   4. a two-scenario ScenarioRunner fan sharing one SimMemo — one miss,
+///      then one structural hit, deterministically.
 
 #include <iostream>
 
@@ -18,6 +29,9 @@
 #include "core/framework.h"
 #include "model/gpt_zoo.h"
 #include "obs/self_profile.h"
+#include "sim/event_queue.h"
+#include "sim/scenario_runner.h"
+#include "synthetic_graph.h"
 #include "util/units.h"
 
 using namespace holmes;
@@ -65,6 +79,79 @@ int main(int argc, char** argv) {
               << c.cost_model_evals << " cost-model evals, iteration "
               << format_time(metrics.iteration_time) << "\n";
     obs::print_text(std::cout, profile);
+
+    // GPT-3-scale stress: the synthetic ~110k-task iteration graph through
+    // the raw executor. Its pop count and peak queue depth anchor the hot
+    // path's structure; its makespan anchors the simulated semantics.
+    {
+      obs::SelfProfiler stress_profiler;
+      sim::TaskGraph graph;
+      const std::size_t tasks =
+          bench::build_training_graph(graph, bench::gpt3_scale_spec());
+      const sim::SimResult result = sim::TaskGraphExecutor{}.run(graph);
+      const obs::SelfProfileCounters& g =
+          stress_profiler.snapshot().counters;
+      report.set("gpt3/task_count", static_cast<double>(tasks));
+      report.set("gpt3/deps_added", static_cast<double>(g.deps_added));
+      report.set("gpt3/ready_pops", static_cast<double>(g.ready_pops));
+      report.set("gpt3/max_ready_queue",
+                 static_cast<double>(g.max_ready_queue));
+      report.set("gpt3/makespan_s", result.makespan());
+      std::cout << "gpt3 stress: " << tasks << " tasks, " << g.ready_pops
+                << " pops, peak queue " << g.max_ready_queue << ", makespan "
+                << format_time(result.makespan()) << "\n";
+    }
+
+    // Arena-backed event storage: schedule + drain a fixed event population
+    // twice across a reset_storage cycle. Block and byte totals are exact
+    // functions of the population and the arena's growth policy.
+    {
+      obs::SelfProfiler arena_profiler;
+      sim::EventQueue queue;
+      std::uint64_t fired = 0;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 4096; ++i) {
+          queue.schedule(static_cast<SimTime>(i % 97),
+                         [&fired] { ++fired; });
+        }
+        while (!queue.empty()) queue.pop()();
+        queue.reset_storage();
+      }
+      const obs::SelfProfileCounters& a = arena_profiler.snapshot().counters;
+      report.set("event_queue/events_scheduled",
+                 static_cast<double>(a.events_scheduled));
+      report.set("event_queue/events_fired",
+                 static_cast<double>(a.events_fired));
+      report.set("event_queue/arena_blocks",
+                 static_cast<double>(a.arena_blocks));
+      report.set("event_queue/arena_bytes",
+                 static_cast<double>(a.arena_bytes));
+      std::cout << "event queue: " << a.events_fired << " events fired, "
+                << a.arena_blocks << " arena blocks, " << a.arena_bytes
+                << " arena bytes\n";
+    }
+
+    // Memoized scenario fan: two structurally identical scenarios through a
+    // single-worker ScenarioRunner sharing one SimMemo — deterministically
+    // one miss (simulated) then one structural hit (cached).
+    {
+      obs::SelfProfiler memo_profiler;
+      sim::SimMemo memo;
+      sim::ScenarioRunner runner(1);
+      runner.run_all(2, [&](std::size_t) {
+        TrainingSimulator simulator;
+        simulator.set_memo(&memo);
+        simulator.run(topo, plan, 3);
+      });
+      memo.flush_profile();
+      const obs::SelfProfileCounters& m = memo_profiler.snapshot().counters;
+      report.set("memo/scenarios_run", static_cast<double>(m.scenarios_run));
+      report.set("memo/memo_hits", static_cast<double>(m.memo_hits));
+      report.set("memo/memo_misses", static_cast<double>(m.memo_misses));
+      std::cout << "scenario fan: " << m.scenarios_run << " scenarios, "
+                << m.memo_hits << " memo hits, " << m.memo_misses
+                << " misses\n";
+    }
   });
   return report.write();
 }

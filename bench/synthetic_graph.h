@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file synthetic_graph.h
+/// Deterministic synthetic training-iteration graphs for engine stress
+/// benchmarks.
+///
+/// build_training_graph emits the same dependency shapes TrainingSimulator
+/// lowers real plans into — per-device 1F1B pipeline compute chains,
+/// stage-to-stage activation/gradient transfers, and a ring reduce-scatter
+/// per pipeline stage — but parameterized directly in stages, replicas and
+/// micro-batches so benches can dial the task count without planning a
+/// model. The default gpt3_scale_spec() yields a ~110k-task iteration
+/// (16 stages x 8 DP replicas x 192 micro-batches — GPT-3's batch of 1536
+/// split 8 ways — with 8-chunk rings), the ROADMAP item-3 "100k+-task
+/// iteration graph" target shape.
+
+#include <string>
+
+#include "sim/task_graph.h"
+
+namespace holmes::bench {
+
+struct SyntheticGraphSpec {
+  int stages = 4;         ///< pipeline stages
+  int replicas = 2;       ///< data-parallel replicas (ring size)
+  int micro_batches = 8;  ///< micro-batches pipelined per iteration
+  int ring_chunks = 4;    ///< reduce-scatter chunks per ring step pair
+  holmes::SimTime compute_s = 1e-6;   ///< per-micro-batch compute
+  holmes::SimTime transfer_s = 2e-7;  ///< serialization per hop (bytes/bw)
+  holmes::SimTime latency_s = 1e-7;   ///< propagation latency per hop
+};
+
+/// The GPT-3-scale stress shape: ~110k tasks over 128 devices.
+inline SyntheticGraphSpec gpt3_scale_spec() {
+  SyntheticGraphSpec spec;
+  spec.stages = 16;
+  spec.replicas = 8;
+  spec.micro_batches = 192;
+  spec.ring_chunks = 8;
+  return spec;
+}
+
+/// Builds one training iteration into `g` and returns the task count.
+/// Deterministic for a fixed spec (resource and task ids depend only on
+/// the spec), so repeated builds produce structurally identical graphs.
+inline std::size_t build_training_graph(sim::TaskGraph& g,
+                                        const SyntheticGraphSpec& spec) {
+  using sim::ResourceId;
+  using sim::TaskId;
+  const int S = spec.stages;
+  const int R = spec.replicas;
+  const int M = spec.micro_batches;
+
+  // One compute engine plus one TX/RX port pair per (stage, replica) device.
+  std::vector<ResourceId> compute(static_cast<std::size_t>(S * R));
+  std::vector<ResourceId> tx(compute.size());
+  std::vector<ResourceId> rx(compute.size());
+  for (int s = 0; s < S; ++s) {
+    for (int r = 0; r < R; ++r) {
+      const auto d = static_cast<std::size_t>(s * R + r);
+      std::string suffix = "s";
+      suffix += std::to_string(s);
+      suffix += "r";
+      suffix += std::to_string(r);
+      compute[d] = g.add_resource("gpu/" + suffix);
+      tx[d] = g.add_resource("tx/" + suffix);
+      rx[d] = g.add_resource("rx/" + suffix);
+    }
+  }
+  const double bandwidth = 1e9;
+  const auto bytes =
+      static_cast<holmes::Bytes>(spec.transfer_s * bandwidth);
+
+  // Forward then backward sweeps: compute per (stage, replica, micro) with
+  // activation/gradient hops between neighboring stages. prev_on_device
+  // serializes each device's own work (the 1F1B compute chain).
+  std::vector<TaskId> prev_on_device(compute.size(), sim::kInvalidTask);
+  // fwd_out[d * M + m]: last forward task of micro m on device d (the
+  // backward sweep of micro m on the same device depends on it).
+  std::vector<TaskId> fwd_out(compute.size() * static_cast<std::size_t>(M),
+                              sim::kInvalidTask);
+  std::size_t tasks = 0;
+
+  const auto add_stage_compute = [&](int s, int r, TaskId carried) {
+    const auto d = static_cast<std::size_t>(s * R + r);
+    const TaskId t = g.add_compute(compute[d], spec.compute_s);
+    if (carried != sim::kInvalidTask) g.add_dep(t, carried);
+    if (prev_on_device[d] != sim::kInvalidTask) {
+      g.add_dep(t, prev_on_device[d]);
+    }
+    prev_on_device[d] = t;
+    ++tasks;
+    return t;
+  };
+  const auto add_hop = [&](int from_s, int to_s, int r, TaskId carried) {
+    const auto src = static_cast<std::size_t>(from_s * R + r);
+    const auto dst = static_cast<std::size_t>(to_s * R + r);
+    const TaskId t = g.add_transfer(tx[src], rx[dst], bytes, bandwidth,
+                                    spec.latency_s);
+    g.add_dep(t, carried);
+    ++tasks;
+    return t;
+  };
+
+  for (int r = 0; r < R; ++r) {
+    for (int m = 0; m < M; ++m) {
+      TaskId carried = sim::kInvalidTask;
+      for (int s = 0; s < S; ++s) {
+        carried = add_stage_compute(s, r, carried);
+        fwd_out[static_cast<std::size_t>(s * R + r) * M + m] = carried;
+        if (s + 1 < S) carried = add_hop(s, s + 1, r, carried);
+      }
+    }
+    for (int m = 0; m < M; ++m) {
+      TaskId carried = sim::kInvalidTask;
+      for (int s = S - 1; s >= 0; --s) {
+        const TaskId bwd = add_stage_compute(s, r, carried);
+        g.add_dep(bwd, fwd_out[static_cast<std::size_t>(s * R + r) * M + m]);
+        carried = bwd;
+        if (s > 0) carried = add_hop(s, s - 1, r, carried);
+      }
+    }
+  }
+
+  // Per-stage gradient ring reduce-scatter + all-gather across replicas:
+  // 2*(R-1) ring steps of `ring_chunks` chunk transfers each, gated on the
+  // stage's last backward compute per replica.
+  std::vector<TaskId> ring_prev(static_cast<std::size_t>(R));
+  for (int s = 0; s < S; ++s) {
+    for (int r = 0; r < R; ++r) {
+      ring_prev[static_cast<std::size_t>(r)] =
+          prev_on_device[static_cast<std::size_t>(s * R + r)];
+    }
+    for (int step = 0; step < 2 * (R - 1); ++step) {
+      for (int r = 0; r < R; ++r) {
+        const int peer = (r + 1) % R;
+        const auto src = static_cast<std::size_t>(s * R + r);
+        const auto dst = static_cast<std::size_t>(s * R + peer);
+        TaskId last = sim::kInvalidTask;
+        for (int c = 0; c < spec.ring_chunks; ++c) {
+          const TaskId t = g.add_transfer(tx[src], rx[dst], bytes, bandwidth,
+                                          spec.latency_s);
+          g.add_dep(t, ring_prev[static_cast<std::size_t>(r)]);
+          if (step > 0 || c > 0) {
+            // Ring steps serialize: each send also waits on the peer's
+            // previous receive chain (the classic ring data dependency).
+            g.add_dep(t, last != sim::kInvalidTask
+                             ? last
+                             : ring_prev[static_cast<std::size_t>(peer)]);
+          }
+          last = t;
+          ++tasks;
+        }
+        ring_prev[static_cast<std::size_t>(r)] = last;
+      }
+    }
+    // Optimizer step per device, gated on the ring.
+    for (int r = 0; r < R; ++r) {
+      const auto d = static_cast<std::size_t>(s * R + r);
+      const TaskId opt = g.add_compute(compute[d], spec.compute_s);
+      g.add_dep(opt, ring_prev[static_cast<std::size_t>(r)]);
+      g.add_dep(opt, prev_on_device[d]);
+      prev_on_device[d] = opt;
+      ++tasks;
+    }
+  }
+  return tasks;
+}
+
+}  // namespace holmes::bench

@@ -1,15 +1,18 @@
 #include "core/schedule_check.h"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/preflight.h"
 #include "core/run_stats.h"
 #include "obs/critical_path.h"
 #include "obs/summary.h"
+#include "sim/scenario_runner.h"
 #include "util/json.h"
 #include "verify/rules.h"
 
@@ -134,19 +137,33 @@ ScheduleCheckResult check_schedule_determinism(
       make_flow_options(canonical.artifacts, topo)));
 
   result.report.mark_checked(verify::kRuleScheduleRace);
-  for (int k = 0; k < options.permutations; ++k) {
-    const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(k);
+  // Permuted runs are independent simulations; fan them across a pool when
+  // asked. Divergences are compared and reported in seed order afterwards,
+  // so the report bytes do not depend on the thread count.
+  std::vector<RunSnapshot> permuted(
+      static_cast<std::size_t>(std::max(options.permutations, 0)));
+  auto run_permutation = [&](std::size_t k) {
     sim::ExecutorOptions exec;
     exec.tie_break = options.tie_break;
-    exec.tie_seed = seed;
-    const RunSnapshot permuted = run_once(topo, plan, options.iterations, exec);
+    exec.tie_seed = options.base_seed + static_cast<std::uint64_t>(k);
+    permuted[k] = run_once(topo, plan, options.iterations, exec);
+  };
+  if (options.threads == 1 || permuted.size() <= 1) {
+    for (std::size_t k = 0; k < permuted.size(); ++k) run_permutation(k);
+  } else {
+    sim::ScenarioRunner runner(options.threads);
+    runner.run_all(permuted.size(), run_permutation);
+  }
+  for (std::size_t k = 0; k < permuted.size(); ++k) {
+    const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(k);
+    const RunSnapshot& snap = permuted[k];
     result.permutations += 1;
-    if (permuted.run_summary_json == canonical.run_summary_json &&
-        permuted.critical_path_json == canonical.critical_path_json) {
+    if (snap.run_summary_json == canonical.run_summary_json &&
+        snap.critical_path_json == canonical.critical_path_json) {
       continue;
     }
     result.diverged += 1;
-    auto [subject, message] = describe_divergence(canonical, permuted, seed);
+    auto [subject, message] = describe_divergence(canonical, snap, seed);
     result.report.add(verify::kRuleScheduleRace, verify::Severity::kError,
                       std::move(subject), std::move(message));
   }

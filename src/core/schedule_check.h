@@ -42,6 +42,11 @@ struct ScheduleCheckOptions {
   sim::TieBreak tie_break = sim::TieBreak::kPermuteDisjoint;
   /// Simulated training iterations per run (TrainingSimulator::run).
   int iterations = 3;
+  /// Worker threads for the permutation fan-out (1 = serial in the calling
+  /// thread, 0 = hardware concurrency). The permuted runs are independent
+  /// simulations compared in seed order, so the report is byte-identical at
+  /// any thread count (sim::ScenarioRunner's contract).
+  std::size_t threads = 1;
 };
 
 /// Everything one check run produces: the merged lint report (HV4xx flow

@@ -21,6 +21,10 @@
 #include "sim/task_graph.h"
 #include "util/units.h"
 
+namespace holmes::sim {
+class SimMemo;
+}  // namespace holmes::sim
+
 namespace holmes::core {
 
 struct IterationMetrics {
@@ -84,6 +88,13 @@ class TrainingSimulator {
     exec_options_ = options;
   }
 
+  /// Shares a simulation memo (see sim::SimMemo) across runs: when a run
+  /// needs no live observer, a structurally identical (graph, options) pair
+  /// simulated earlier — by this simulator or any other sharing the memo —
+  /// returns the cached result without re-running the executor. The caller
+  /// keeps ownership; pass nullptr to detach.
+  void set_memo(sim::SimMemo* memo) { memo_ = memo; }
+
   /// Simulates `iterations` chained training iterations of `plan` on
   /// `topo` and reports steady-state metrics from the last one.
   /// `iterations` must be >= 2 (one warm-up minimum). `perturbations`
@@ -104,6 +115,7 @@ class TrainingSimulator {
  private:
   CostModel cost_;
   sim::ExecutorOptions exec_options_;
+  sim::SimMemo* memo_ = nullptr;
 };
 
 }  // namespace holmes::core

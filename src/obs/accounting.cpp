@@ -27,9 +27,10 @@ bool in_window(const Window& window, SimTime s, SimTime f) {
 }
 
 /// Latest dependency finish (the task's data-ready time).
-SimTime dep_ready(const sim::SimResult& result, const sim::Task& task) {
+SimTime dep_ready(const sim::TaskGraph& graph, const sim::SimResult& result,
+                  sim::TaskId id) {
   SimTime ready = 0;
-  for (sim::TaskId dep : task.deps) {
+  for (sim::TaskId dep : graph.deps(id)) {
     ready = std::max(ready, result.timing(dep).finish);
   }
   return ready;
@@ -104,7 +105,8 @@ std::vector<ResourceAccount> account_resources(const sim::TaskGraph& graph,
         acc.is_device = true;
         acc.busy += window.clip(timing.start, timing.finish);
         if (in_window(window, timing.start, timing.finish)) ++acc.tasks;
-        const SimTime ready = dep_ready(result, task);
+        const SimTime ready =
+            dep_ready(graph, result, static_cast<sim::TaskId>(i));
         acc.waiting += window.clip(ready, timing.start);
         break;
       }
@@ -113,7 +115,8 @@ std::vector<ResourceAccount> account_resources(const sim::TaskGraph& graph,
         const SimTime busy =
             window.clip(timing.start, timing.start + serialization);
         const SimTime wait =
-            window.clip(dep_ready(result, task), timing.start);
+            window.clip(dep_ready(graph, result, static_cast<sim::TaskId>(i)),
+                        timing.start);
         const bool counted =
             in_window(window, timing.start, timing.start + serialization);
         ResourceAccount& src =

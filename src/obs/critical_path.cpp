@@ -36,7 +36,7 @@ SimTime release_time(const sim::Task& task, const sim::TaskTiming& timing) {
 SimTime ready_time(const sim::TaskGraph& graph, const sim::SimResult& result,
                    sim::TaskId id) {
   SimTime ready = 0;
-  for (sim::TaskId dep : graph.task(id).deps) {
+  for (sim::TaskId dep : graph.deps(id)) {
     ready = std::max(ready, result.timing(dep).finish);
   }
   return ready;
@@ -172,7 +172,7 @@ CriticalPath extract_critical_path(const sim::TaskGraph& graph,
       // Dependency-bound: the latest-finishing dependency (lowest id wins
       // ties) is the predecessor.
       sim::TaskId pred = sim::kInvalidTask;
-      for (sim::TaskId dep : task.deps) {
+      for (sim::TaskId dep : graph.deps(cur)) {
         if (result.timing(dep).finish == ready &&
             (pred == sim::kInvalidTask || dep < pred)) {
           pred = dep;

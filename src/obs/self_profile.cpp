@@ -38,6 +38,11 @@ SelfProfile delta(const SelfProfile& before, const SelfProfile& after) {
   c.events_scheduled -= b.events_scheduled;
   c.events_fired -= b.events_fired;
   c.cost_model_evals -= b.cost_model_evals;
+  c.arena_blocks -= b.arena_blocks;
+  c.arena_bytes -= b.arena_bytes;
+  c.memo_hits -= b.memo_hits;
+  c.memo_misses -= b.memo_misses;
+  c.scenarios_run -= b.scenarios_run;
   d.phases.graph_build_s -= before.phases.graph_build_s;
   d.phases.event_loop_s -= before.phases.event_loop_s;
   d.phases.accounting_s -= before.phases.accounting_s;
@@ -75,7 +80,12 @@ std::string counters_json(const SelfProfileCounters& c) {
       << ",\"max_ready_queue\":" << c.max_ready_queue
       << ",\"events_scheduled\":" << c.events_scheduled
       << ",\"events_fired\":" << c.events_fired
-      << ",\"cost_model_evals\":" << c.cost_model_evals << "}";
+      << ",\"cost_model_evals\":" << c.cost_model_evals
+      << ",\"arena_blocks\":" << c.arena_blocks
+      << ",\"arena_bytes\":" << c.arena_bytes
+      << ",\"memo_hits\":" << c.memo_hits
+      << ",\"memo_misses\":" << c.memo_misses
+      << ",\"scenarios_run\":" << c.scenarios_run << "}";
   return out.str();
 }
 
@@ -105,6 +115,11 @@ void print_text(std::ostream& out, const SelfProfile& profile) {
       << (c.executor_runs == 1 ? "" : "s") << ")\n"
       << "  events      " << c.events_scheduled << " scheduled, "
       << c.events_fired << " fired\n"
+      << "  arena       " << c.arena_blocks << " blocks, "
+      << format_bytes(static_cast<std::int64_t>(c.arena_bytes))
+      << " bump-allocated\n"
+      << "  memo        " << c.memo_hits << " hits, " << c.memo_misses
+      << " misses (" << c.scenarios_run << " scenarios)\n"
       << "  cost model  " << c.cost_model_evals << " evaluations\n"
       << "  peak RSS    " << format_bytes(profile.peak_rss_bytes) << "\n";
 }

@@ -61,6 +61,16 @@ struct SelfProfileCounters {
   std::uint64_t events_fired = 0;
   // core::CostModel evaluations during lowering.
   std::uint64_t cost_model_evals = 0;
+  // util::Arena (arena-backed event storage): blocks reserved and bytes
+  // bump-allocated.
+  std::uint64_t arena_blocks = 0;
+  std::uint64_t arena_bytes = 0;
+  // sim::SimMemo structural-hash cache and sim::ScenarioRunner fan-out.
+  // Memo and scenario totals are aggregated across worker threads by their
+  // owners and flushed to the orchestrating thread's profile.
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t scenarios_run = 0;
 };
 
 /// Wall seconds per engine phase (steady clock). Non-deterministic by

@@ -1,18 +1,6 @@
 #include "sim/event_queue.h"
 
-#include "obs/self_profile.h"
-#include "util/error.h"
-#include "util/rng.h"
-
 namespace holmes::sim {
-
-void EventQueue::schedule(SimTime when, EventFn fn) {
-  HOLMES_CHECK_MSG(when >= 0, "event time must be non-negative");
-  obs::self_profile::count(&obs::SelfProfileCounters::events_scheduled);
-  const std::uint64_t seq = next_seq_++;
-  const std::uint64_t key = permute_ties_ ? mix64(tie_seed_ ^ seq) : seq;
-  heap_.push(Entry{when, key, seq, std::move(fn)});
-}
 
 void EventQueue::set_tie_permutation(std::uint64_t seed) {
   HOLMES_CHECK_MSG(heap_.empty(),
@@ -26,15 +14,28 @@ SimTime EventQueue::next_time() const {
   return heap_.top().when;
 }
 
-EventFn EventQueue::pop() {
+FiredEvent EventQueue::pop() {
   HOLMES_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the callback must be moved out, so we
-  // cast away constness of the owning entry right before popping it. The
-  // entry is discarded immediately afterwards.
-  EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+  const Entry& top = heap_.top();
+  FiredEvent event(top.fire, top.ctx);
   heap_.pop();
   obs::self_profile::count(&obs::SelfProfileCounters::events_fired);
-  return fn;
+  return event;
+}
+
+void EventQueue::destroy_contexts() {
+  // Reverse order: later events may reference state owned by earlier ones.
+  for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+    it->second(it->first);
+  }
+  dtors_.clear();
+}
+
+void EventQueue::reset_storage() {
+  HOLMES_CHECK_MSG(heap_.empty(),
+                   "cannot reset event storage with events pending");
+  destroy_contexts();
+  arena_.reset();
 }
 
 }  // namespace holmes::sim

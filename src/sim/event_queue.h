@@ -11,23 +11,67 @@
 /// events under a seeded hash of their sequence number. A model whose
 /// observable results change under the permutation depends on tie order —
 /// exactly the race the `holmes_cli check` subcommand hunts for.
+///
+/// Storage model (the production-scale rewrite): an event is a small POD
+/// record — timestamp, tie key, and a (function pointer, context pointer)
+/// pair — ordered by a 4-ary heap of those records. The callable a caller
+/// passes to schedule() is bump-allocated from a monotonic Arena, so
+/// scheduling performs no per-event heap allocation and heap sifts move
+/// plain 40-byte structs instead of std::function objects. Contexts stay
+/// alive until reset_storage() (the Simulator resets after each drained
+/// run); the rare non-trivially-destructible callable is tracked on a
+/// destructor side-list and destroyed at reset/destruction.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "obs/self_profile.h"
+#include "util/arena.h"
+#include "util/error.h"
+#include "util/quad_heap.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace holmes::sim {
 
-/// Callback invoked when simulated time reaches the event's timestamp.
-using EventFn = std::function<void()>;
+/// A popped event, ready to fire: invoke with operator(). The context it
+/// points at lives in the queue's arena, valid until reset_storage().
+class FiredEvent {
+ public:
+  FiredEvent(void (*fire)(void*), void* ctx) : fire_(fire), ctx_(ctx) {}
+  void operator()() const { fire_(ctx_); }
+
+ private:
+  void (*fire_)(void*);
+  void* ctx_;
+};
 
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute simulated time `when`.
-  void schedule(SimTime when, EventFn fn);
+  EventQueue() = default;
+  ~EventQueue() { destroy_contexts(); }
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` (any void() callable) at absolute simulated time
+  /// `when`. The callable is copied/moved into the queue's arena.
+  template <typename F>
+  void schedule(SimTime when, F&& fn) {
+    using Fn = std::decay_t<F>;
+    HOLMES_CHECK_MSG(when >= 0, "event time must be non-negative");
+    obs::self_profile::count(&obs::SelfProfileCounters::events_scheduled);
+    void* ctx = arena_.allocate(sizeof(Fn), alignof(Fn));
+    ::new (ctx) Fn(std::forward<F>(fn));
+    if constexpr (!std::is_trivially_destructible_v<Fn>) {
+      dtors_.push_back({ctx, [](void* p) { static_cast<Fn*>(p)->~Fn(); }});
+    }
+    const std::uint64_t seq = next_seq_++;
+    const std::uint64_t key = permute_ties_ ? mix64(tie_seed_ ^ seq) : seq;
+    heap_.push(Entry{when, key, seq,
+                     [](void* p) { (*static_cast<Fn*>(p))(); }, ctx});
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -35,29 +79,48 @@ class EventQueue {
   /// Timestamp of the next event. Requires !empty().
   SimTime next_time() const;
 
-  /// Removes and returns the next event's callback. Requires !empty().
-  EventFn pop();
+  /// Removes and returns the next event, ready to invoke. Requires
+  /// !empty().
+  FiredEvent pop();
 
   /// Scrambles tie order: events scheduled at equal timestamps fire in
   /// ascending mix64(seed ^ seq) order instead of insertion order. Must be
   /// called while the queue is empty; affects all subsequent schedules.
   void set_tie_permutation(std::uint64_t seed);
 
+  /// Recycles all event storage (the arena and the fired-event contexts).
+  /// Requires an empty queue: contexts of pending events would dangle.
+  void reset_storage();
+
+  /// Arena bytes bump-allocated for event contexts since the last reset.
+  std::size_t arena_bytes_allocated() const {
+    return arena_.bytes_allocated();
+  }
+
  private:
   struct Entry {
     SimTime when;
     std::uint64_t key;  ///< tie-break key: seq, or mix64(seed ^ seq)
     std::uint64_t seq;
-    EventFn fn;
+    void (*fire)(void*);
+    void* ctx;
   };
-  struct Later {
+  struct Earlier {
     bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      if (a.key != b.key) return a.key > b.key;
-      return a.seq > b.seq;
+      if (a.when != b.when) return a.when < b.when;
+      if (a.key != b.key) return a.key < b.key;
+      return a.seq < b.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+
+  void destroy_contexts();
+
+  QuadHeap<Entry, Earlier> heap_;
+  Arena arena_;
+  /// Deferred destructors for non-trivially-destructible callables; run at
+  /// reset_storage()/destruction (contexts outlive their pop for arena
+  /// lifetime reasons, and pending events may never fire at all).
+  std::vector<std::pair<void*, void (*)(void*)>> dtors_;
   std::uint64_t next_seq_ = 0;
   bool permute_ties_ = false;
   std::uint64_t tie_seed_ = 0;

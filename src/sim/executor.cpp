@@ -1,35 +1,82 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
-#include <map>
-#include <queue>
 #include <sstream>
 
 #include "obs/self_profile.h"
 #include "util/error.h"
+#include "util/quad_heap.h"
 #include "util/rng.h"
 
 namespace holmes::sim {
 
 namespace {
 
-/// (ready time, tie key, task id) ordering for the ready queue: earliest
-/// ready first, then lowest key. Under the canonical tie-break the key *is*
-/// the task id, which makes execution order independent of container
-/// iteration details; the permuting policies substitute a seeded hash.
-struct ReadyEntry {
+/// Heap slot for a released-but-not-placed task under kPermuteDisjoint:
+/// ordered by ready time alone. Equal-time entries are drained together into
+/// a pool and ordered there, so their relative heap order is irrelevant.
+struct ReadySlot {
+  SimTime ready;
+  TaskId id;
+};
+struct ReadySooner {
+  bool operator()(const ReadySlot& a, const ReadySlot& b) const {
+    return a.ready < b.ready;
+  }
+};
+
+/// Canonical heap slot: (ready, id) packed order-preservingly into one
+/// 128-bit integer. Under TieBreak::kCanonical the tie key *is* the task
+/// id, so (ready, id) already encodes the complete (ready, key, id)
+/// placement order — and because sim times are non-negative, the IEEE-754
+/// bit pattern of `ready` compares exactly like the double itself. A single
+/// integer comparison per heap step lets the sift loops compile to
+/// conditional moves instead of data-dependent branches; with near-random
+/// ready times those branches mispredict almost every level and dominate
+/// the whole executor otherwise. (__int128 is a GCC/Clang built-in; both
+/// compilers this project supports provide it.)
+using PackedSlot = unsigned __int128;
+struct PackedSooner {
+  bool operator()(PackedSlot a, PackedSlot b) const { return a < b; }
+};
+inline PackedSlot pack_slot(SimTime ready, TaskId id) {
+  return (PackedSlot(std::bit_cast<std::uint64_t>(ready)) << 32) |
+         static_cast<std::uint32_t>(id);
+}
+inline SimTime packed_ready(PackedSlot s) {
+  return std::bit_cast<SimTime>(static_cast<std::uint64_t>(s >> 32));
+}
+inline TaskId packed_id(PackedSlot s) {
+  return static_cast<TaskId>(static_cast<std::uint32_t>(s));
+}
+
+/// Heap slot for the canonical / permute-all driver. Placement order is
+/// exactly ascending (ready, tie key, id), and each task is pushed once, so
+/// the triples are unique — one ordered heap reproduces the schedule with no
+/// separate tie-group pass. Under the canonical tie-break the key *is* the
+/// task id, which makes execution order independent of container iteration
+/// details; permute-all substitutes a seeded hash.
+struct OrderedSlot {
   SimTime ready;
   std::uint64_t key;
   TaskId id;
 };
-struct ReadyLater {
-  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
-    if (a.ready != b.ready) return a.ready > b.ready;
-    if (a.key != b.key) return a.key > b.key;
-    return a.id > b.id;
+struct OrderedSooner {
+  bool operator()(const OrderedSlot& a, const OrderedSlot& b) const {
+    if (a.ready != b.ready) return a.ready < b.ready;
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
   }
+};
+
+/// Per-task mutable scheduling state, fused so releasing a dependent
+/// touches one cache line: latest dependency finish + dependencies left.
+struct TaskState {
+  SimTime ready = 0;
+  std::uint32_t indeg = 0;
 };
 
 /// Union-find over positions of one equal-ready-time pool; used by
@@ -107,82 +154,75 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
   std::uint64_t pops = 0;
   std::uint64_t peak_ready = 0;
 
-  const auto& tasks = graph.tasks();
-  const std::size_t n = tasks.size();
+  const std::size_t n = graph.task_count();
 
-  std::vector<std::size_t> indegree(n, 0);
-  std::vector<std::vector<TaskId>> dependents(n);
+  // The CSR adjacency and compact scheduling records are cached on the
+  // graph, so repeated runs over the same graph pay for them once. The hot
+  // loop walks the raw arrays directly.
+  graph.build_adjacency();
+  const std::span<const SchedTask> sched = graph.sched_tasks();
+  const std::uint32_t* const dep_off = graph.dep_offsets().data();
+  const TaskId* const out_list = graph.dependent_list().data();
+
+  std::vector<TaskState> state(n);
   for (std::size_t i = 0; i < n; ++i) {
-    indegree[i] = tasks[i].deps.size();
-    for (TaskId dep : tasks[i].deps) {
-      dependents[static_cast<std::size_t>(dep)].push_back(
-          static_cast<TaskId>(i));
-    }
+    state[i].indeg = dep_off[i + 1] - dep_off[i];
   }
 
   std::vector<TaskTiming> timing(n);
-  std::vector<SimTime> ready_time(n, 0);
-  std::vector<SimTime> resource_avail(graph.resource_count(), 0);
-  std::vector<SimTime> resource_busy(graph.resource_count(), 0);
+  // One extra slot: the scratch resource noop SchedTasks resolve to (see the
+  // SchedTask doc). Its busy tally only ever accumulates zeros and is
+  // dropped before the result is built.
+  std::vector<SimTime> resource_avail(graph.resource_count() + 1, 0);
+  std::vector<SimTime> resource_busy(graph.resource_count() + 1, 0);
 
-  // Tie keys: canonical and disjoint-permute queue in id order (the latter
-  // reorders whole resource-disjoint components after draining a tie group);
-  // permute-all hashes every id so ties interleave under the seed.
-  const bool hash_keys = options_.tie_break == TieBreak::kPermuteAll;
+  // Seeded tie key used by TieBreak::kPermuteAll (canonical keys are the
+  // task ids themselves and never materialize).
   auto tie_key = [&](TaskId id) {
-    return hash_keys ? mix64(options_.tie_seed ^ static_cast<std::uint64_t>(id))
-                     : static_cast<std::uint64_t>(id);
+    return mix64(options_.tie_seed ^ static_cast<std::uint64_t>(id));
   };
 
-  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyLater> ready;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (indegree[i] == 0) {
-      ready.push({0, tie_key(static_cast<TaskId>(i)), static_cast<TaskId>(i)});
-      ++pushes;
-    }
-  }
-  if (profiled) peak_ready = ready.size();
+  // Release buffer for the pool driver, which must hold same-time arrivals
+  // back until the current tie group resolves. The ordered drivers bypass it
+  // and push straight into their heap.
+  std::vector<ReadySlot> released;
+  released.reserve(graph.max_dependent_count());
 
   std::size_t completed = 0;
   SimTime makespan = 0;
 
   // Places one ready task: claims its resources, fixes start/finish, and
-  // releases dependents into the ready queue. Shared by every tie-break
-  // driver so the placement semantics cannot drift between them.
-  auto place_task = [&](SimTime ready_at, TaskId id) {
-    const Task& task = tasks[static_cast<std::size_t>(id)];
+  // hands newly released dependents to `emit(ready, id)` — the ordered
+  // drivers push straight into their heap, the pool driver buffers. Shared
+  // by every tie-break driver so the placement semantics cannot drift
+  // between them.
+  auto place_task = [&](SimTime ready_at, TaskId id, auto&& emit) {
+    const SchedTask& task = sched[static_cast<std::size_t>(id)];
 
-    SimTime start = ready_at;
-    SimTime finish = ready_at;
-    switch (task.kind) {
-      case TaskKind::kCompute: {
-        auto& avail = resource_avail[static_cast<std::size_t>(task.resource)];
-        start = std::max(ready_at, avail);
-        finish = start + task.duration;
-        avail = finish;
-        resource_busy[static_cast<std::size_t>(task.resource)] += task.duration;
-        break;
+    // Dependent state lines are the placement's only unpredictable demand
+    // loads left; start them before the arithmetic below needs the results.
+    {
+      const std::uint32_t pin =
+          task.out_count < SchedTask::kInlineOut ? task.out_count
+                                                 : SchedTask::kInlineOut;
+      for (std::uint32_t j = 0; j < pin; ++j) {
+        __builtin_prefetch(&state[static_cast<std::size_t>(task.out[j])], 1);
       }
-      case TaskKind::kTransfer: {
-        auto& src = resource_avail[static_cast<std::size_t>(task.src_port)];
-        auto& dst = resource_avail[static_cast<std::size_t>(task.dst_port)];
-        start = std::max({ready_at, src, dst});
-        const SimTime serialization =
-            task.bytes > 0 ? static_cast<double>(task.bytes) / task.bandwidth
-                           : 0.0;
-        // Ports are occupied only while bytes stream through them; the
-        // propagation latency delays the dependents, not the ports.
-        src = dst = start + serialization;
-        finish = start + task.latency + serialization;
-        resource_busy[static_cast<std::size_t>(task.src_port)] += serialization;
-        if (task.dst_port != task.src_port) {
-          resource_busy[static_cast<std::size_t>(task.dst_port)] += serialization;
-        }
-        break;
-      }
-      case TaskKind::kNoop:
-        break;
     }
+
+    // Unified branch-free placement; bit-exact per kind (SchedTask doc).
+    // Ports are occupied only for the (precomputed) serialization time; the
+    // propagation latency delays the dependents, not the ports.
+    SimTime& src = resource_avail[static_cast<std::size_t>(task.resource)];
+    SimTime& dst = resource_avail[static_cast<std::size_t>(task.dst_port)];
+    const SimTime start = std::max(ready_at, std::max(src, dst));
+    const SimTime ports_free = start + task.cost;
+    const SimTime finish = (start + task.latency) + task.cost;
+    src = ports_free;
+    dst = ports_free;
+    resource_busy[static_cast<std::size_t>(task.resource)] += task.cost;
+    resource_busy[static_cast<std::size_t>(task.dst_port)] +=
+        task.dst_port != task.resource ? task.cost : 0.0;
 
     timing[static_cast<std::size_t>(id)] = {start, finish};
     makespan = std::max(makespan, finish);
@@ -193,40 +233,105 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
                                   ready_at);
     }
 
-    for (TaskId next : dependents[static_cast<std::size_t>(id)]) {
-      auto& rt = ready_time[static_cast<std::size_t>(next)];
-      rt = std::max(rt, finish);
-      if (--indegree[static_cast<std::size_t>(next)] == 0) {
-        ready.push({rt, tie_key(next), next});
+    // Release order is irrelevant to results: ready-time maxing and
+    // indegree decrements commute, and every downstream container orders by
+    // the unique (ready, key, id) triple.
+    auto release = [&](TaskId next) {
+      TaskState& s = state[static_cast<std::size_t>(next)];
+      if (finish > s.ready) s.ready = finish;
+      if (--s.indeg == 0) {
+        emit(s.ready, next);
+        ++pushes;
+        // The task now waits in the ready queue for a while (typically tens
+        // of placements on large graphs). Task ids arrive in near-random
+        // order there, so the lines its placement will touch are almost
+        // never resident — warm them now, off the critical path. Everything
+        // placement reads lives in the task's single SchedTask line.
+        __builtin_prefetch(&sched[static_cast<std::size_t>(next)]);
+        __builtin_prefetch(&timing[static_cast<std::size_t>(next)], 1);
+      }
+    };
+    const std::uint32_t inline_out =
+        task.out_count < SchedTask::kInlineOut ? task.out_count
+                                               : SchedTask::kInlineOut;
+    for (std::uint32_t j = 0; j < inline_out; ++j) release(task.out[j]);
+    for (std::uint32_t j = SchedTask::kInlineOut; j < task.out_count; ++j) {
+      release(out_list[task.out_begin + j]);
+    }
+  };
+
+  // Canonical and permute-all: place strictly in (ready, key, id) order —
+  // the production hot loop. One ordered heap IS the schedule: pop the
+  // minimum, place it, push what it releases. No tie-group pass is needed
+  // because the comparator already encodes the full tie-break. `make_slot`
+  // maps a released (ready, id) pair to the heap's slot type: canonical
+  // uses the packed 16-byte integer slot; permute-all carries the seeded
+  // hash in a 24-byte struct slot.
+  auto run_ordered = [&](auto& heap, auto make_slot, auto ready_of,
+                         auto id_of) {
+    heap.reserve(std::min<std::size_t>(n, 4096));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i].indeg == 0) {
+        heap.push(make_slot(0, static_cast<TaskId>(i)));
         ++pushes;
       }
     }
-    if (profiled && ready.size() > peak_ready) peak_ready = ready.size();
+    if (profiled) peak_ready = heap.size();
+
+    while (!heap.empty()) {
+      const auto slot = heap.top();
+      heap.pop();
+      ++pops;
+      place_task(ready_of(slot), id_of(slot),
+                 [&](SimTime ready, TaskId id) {
+                   heap.push(make_slot(ready, id));
+                 });
+      if (profiled && heap.size() > peak_ready) peak_ready = heap.size();
+    }
   };
 
-  if (options_.tie_break != TieBreak::kPermuteDisjoint) {
-    // Canonical and permute-all: the queue order (ready, key) is the
-    // schedule order — the production hot loop.
-    while (!ready.empty()) {
-      const auto [ready_at, key, id] = ready.top();
-      ready.pop();
-      ++pops;
-      place_task(ready_at, id);
-    }
+  if (options_.tie_break == TieBreak::kCanonical) {
+    QuadHeap<PackedSlot, PackedSooner> heap;
+    run_ordered(heap, pack_slot, packed_ready, packed_id);
+  } else if (options_.tie_break == TieBreak::kPermuteAll) {
+    QuadHeap<OrderedSlot, OrderedSooner> heap;
+    run_ordered(
+        heap,
+        [&](SimTime ready, TaskId id) {
+          return OrderedSlot{ready, tie_key(id), id};
+        },
+        [](const OrderedSlot& s) { return s.ready; },
+        [](const OrderedSlot& s) { return s.id; });
   } else {
+    QuadHeap<ReadySlot, ReadySooner> heap;
+    heap.reserve(std::min<std::size_t>(n, 4096));
     // Permute-disjoint: drain each equal-ready-time tie group and place it
     // one resource-disjoint component at a time, in seeded component order.
     // Tasks sharing a resource stay in id order (their order is
     // schedule-relevant); tasks that share nothing commute, so reordering
     // them must not change any timing — divergence is an executor bug.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i].indeg == 0) {
+        heap.push({0, static_cast<TaskId>(i)});
+        ++pushes;
+      }
+    }
+    if (profiled) peak_ready = heap.size();
+
+    // Flat replacement for a map<ResourceId, pool position>: epoch-stamped
+    // claims, reset per pool pass by bumping the epoch.
+    std::vector<std::size_t> owner(graph.resource_count(), 0);
+    std::vector<std::uint32_t> owner_epoch(graph.resource_count(), 0);
+    std::uint32_t epoch = 0;
+
     std::vector<TaskId> pool;
-    while (!ready.empty()) {
-      const SimTime now = ready.top().ready;
+    while (!heap.empty()) {
+      const SimTime now = heap.top().ready;
       pool.clear();
       for (;;) {
-        while (!ready.empty() && ready.top().ready == now) {
-          pool.push_back(ready.top().id);
-          ready.pop();
+        while (!heap.empty() && heap.top().ready == now) {
+          pool.push_back(heap.top().id);
+          heap.pop();
           ++pops;
         }
         if (pool.empty()) break;
@@ -239,33 +344,46 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
         // canonical discipline would have placed it before.
         std::vector<TaskId> holders;
         bool flushed = false;
+        auto buffer = [&](SimTime ready, TaskId id) {
+          released.push_back({ready, id});
+        };
         for (TaskId id : pool) {
-          if (tasks[static_cast<std::size_t>(id)].kind == TaskKind::kNoop) {
-            place_task(now, id);
+          if (sched[static_cast<std::size_t>(id)].kind == TaskKind::kNoop) {
+            place_task(now, id, buffer);
             flushed = true;
           } else {
             holders.push_back(id);
           }
         }
         pool = std::move(holders);
+        for (const ReadySlot& slot : released) heap.push(slot);
+        released.clear();
+        if (profiled && heap.size() + pool.size() > peak_ready) {
+          peak_ready = heap.size() + pool.size();
+        }
         if (flushed || pool.empty()) continue;  // re-drain the releases
 
         // Group the pool into components of (transitively) shared resources.
         PoolComponents uf(pool.size());
-        std::map<ResourceId, std::size_t> owner;
+        ++epoch;
         for (std::size_t i = 0; i < pool.size(); ++i) {
-          const Task& task = tasks[static_cast<std::size_t>(pool[i])];
+          const SchedTask& task = sched[static_cast<std::size_t>(pool[i])];
           ResourceId touched[2] = {-1, -1};
           if (task.kind == TaskKind::kCompute) {
             touched[0] = task.resource;
           } else if (task.kind == TaskKind::kTransfer) {
-            touched[0] = task.src_port;
+            touched[0] = task.resource;
             touched[1] = task.dst_port;
           }
           for (ResourceId r : touched) {
             if (r < 0) continue;
-            auto [it, inserted] = owner.emplace(r, i);
-            if (!inserted) uf.unite(i, it->second);
+            const auto ri = static_cast<std::size_t>(r);
+            if (owner_epoch[ri] == epoch) {
+              uf.unite(i, owner[ri]);
+            } else {
+              owner_epoch[ri] = epoch;
+              owner[ri] = i;
+            }
           }
         }
 
@@ -291,12 +409,17 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
         std::vector<TaskId> remaining;
         for (std::size_t i = 0; i < pool.size(); ++i) {
           if (uf.find(i) == best_root) {
-            place_task(now, pool[i]);
+            place_task(now, pool[i], buffer);
           } else {
             remaining.push_back(pool[i]);
           }
         }
         pool = std::move(remaining);
+        for (const ReadySlot& slot : released) heap.push(slot);
+        released.clear();
+        if (profiled && heap.size() + pool.size() > peak_ready) {
+          peak_ready = heap.size() + pool.size();
+        }
       }
     }
   }
@@ -315,6 +438,7 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
     throw ConfigError(os.str());
   }
 
+  resource_busy.pop_back();  // drop the scratch slot (zeros by construction)
   SimResult result(std::move(timing), std::move(resource_busy), makespan);
   if (observer != nullptr) observer->on_run_complete(graph, result);
   return result;

@@ -1,0 +1,105 @@
+#include "sim/scenario_runner.h"
+
+#include <bit>
+#include <cstring>
+
+#include "obs/self_profile.h"
+
+namespace holmes::sim {
+
+namespace {
+
+/// Two independent FNV-1a streams over the same byte feed. 64-bit FNV alone
+/// is weak against engineered collisions; two offset/prime-perturbed streams
+/// make an accidental 128-bit collision implausible for memo purposes.
+struct Hash2 {
+  std::uint64_t lo = 0xcbf29ce484222325ULL;
+  std::uint64_t hi = 0x9e3779b97f4a7c15ULL;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo = (lo ^ p[i]) * 0x100000001b3ULL;
+      hi = (hi ^ p[i]) * 0x00000100000001b3ULL + 0x2545f4914f6cdd1dULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) {
+    u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+};
+
+}  // namespace
+
+SimMemo::Key SimMemo::key(const TaskGraph& graph,
+                          const ExecutorOptions& options) {
+  Hash2 h;
+  h.u64(graph.task_count());
+  h.u64(graph.resource_count());
+  h.u64(graph.dep_count());
+  for (const Task& t : graph.tasks()) {
+    h.i32(static_cast<std::int32_t>(t.kind));
+    h.i32(t.tag);
+    h.i32(t.resource);
+    h.f64(t.duration);
+    h.i32(t.src_port);
+    h.i32(t.dst_port);
+    h.u64(static_cast<std::uint64_t>(t.bytes));
+    h.f64(t.bandwidth);
+    h.f64(t.latency);
+    h.i32(t.channel);
+    // label excluded: it never influences timing.
+  }
+  graph.build_adjacency();
+  for (std::size_t i = 0; i < graph.task_count(); ++i) {
+    const auto deps = graph.deps(static_cast<TaskId>(i));
+    h.u64(deps.size());
+    for (TaskId dep : deps) h.i32(dep);
+  }
+  h.i32(static_cast<std::int32_t>(options.tie_break));
+  h.u64(options.tie_seed);
+  return Key{h.lo, h.hi};
+}
+
+std::shared_ptr<const SimResult> SimMemo::find(const Key& key) {
+  std::lock_guard lock(mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void SimMemo::store(const Key& key, std::shared_ptr<const SimResult> result) {
+  std::lock_guard lock(mutex_);
+  cache_.emplace(key, std::move(result));
+}
+
+void SimMemo::clear() {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+}
+
+std::size_t SimMemo::size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+void SimMemo::flush_profile() {
+  namespace prof = obs::self_profile;
+  prof::count(&obs::SelfProfileCounters::memo_hits,
+              hits_.exchange(0, std::memory_order_relaxed));
+  prof::count(&obs::SelfProfileCounters::memo_misses,
+              misses_.exchange(0, std::memory_order_relaxed));
+}
+
+void ScenarioRunner::run_all(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  pool_.parallel_for(count, fn);
+  obs::self_profile::count(&obs::SelfProfileCounters::scenarios_run, count);
+}
+
+}  // namespace holmes::sim

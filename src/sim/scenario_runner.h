@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file scenario_runner.h
+/// Scenario-level parallelism for the DES engine.
+///
+/// A single simulation is deliberately single-threaded (determinism is the
+/// contract `holmes_cli check` enforces), but the workloads above it —
+/// autotune layout sweeps, determinism-check permutation fans, parameter
+/// studies — run many *independent* simulations. ScenarioRunner fans those
+/// across a util::ThreadPool; SimMemo short-circuits scenarios whose task
+/// graph and executor options are structurally identical to one already
+/// simulated (layout sweeps frequently revisit equivalent configurations).
+///
+/// Determinism: each scenario still runs on one thread, and callers index
+/// results by scenario, so a parallel sweep produces byte-identical output
+/// to a serial one regardless of completion order. The memo key hashes the
+/// graph *structure* (kinds, tags, resources, durations, transfer
+/// parameters, channels, edges) plus the executor options; labels are
+/// excluded — they never influence timing.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+#include "util/thread_pool.h"
+
+namespace holmes::sim {
+
+/// Structural-hash memo of simulation results. Thread-safe; share one
+/// instance across a sweep and consult it per scenario.
+class SimMemo {
+ public:
+  /// 128-bit structural key (two independent 64-bit FNV-style streams; a
+  /// collision would need both to collide simultaneously).
+  struct Key {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const Key& other) const {
+      return lo == other.lo && hi == other.hi;
+    }
+  };
+
+  /// Hashes the structure of `graph` under `options`. Labels and resource /
+  /// channel *names* are excluded; counts, kinds, tags, numeric parameters,
+  /// edges, and the tie-break policy are all folded in.
+  static Key key(const TaskGraph& graph, const ExecutorOptions& options);
+
+  /// Returns the memoized result for `key`, or nullptr (counting a hit or
+  /// a miss accordingly).
+  std::shared_ptr<const SimResult> find(const Key& key);
+
+  /// Stores `result` for `key` (first writer wins; later stores of the same
+  /// key are dropped — structurally identical runs produce identical
+  /// results, so which copy survives is immaterial).
+  void store(const Key& key, std::shared_ptr<const SimResult> result);
+
+  void clear();
+  std::size_t size() const;
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Flushes hit/miss totals to the *calling thread's* self-profile (worker
+  /// threads carry no profiler, so per-lookup counting would be invisible)
+  /// and resets the internal tallies.
+  void flush_profile();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const SimResult>, KeyHash> cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Fans `count` independent scenarios across a thread pool.
+class ScenarioRunner {
+ public:
+  /// Spawns a pool of `threads` workers; 0 means hardware concurrency.
+  explicit ScenarioRunner(std::size_t threads = 0) : pool_(threads) {}
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for all of
+  /// them; rethrows the first exception encountered. Counts
+  /// `scenarios_run` on the calling thread's self-profile.
+  void run_all(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace holmes::sim

@@ -1,18 +1,6 @@
 #include "sim/simulator.h"
 
-#include "util/error.h"
-
 namespace holmes::sim {
-
-void Simulator::at(SimTime when, EventFn fn) {
-  HOLMES_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
-  queue_.schedule(when, std::move(fn));
-}
-
-void Simulator::after(SimTime delay, EventFn fn) {
-  HOLMES_CHECK_MSG(delay >= 0, "negative delay");
-  queue_.schedule(now_ + delay, std::move(fn));
-}
 
 SimTime Simulator::run() {
   stopping_ = false;
@@ -20,6 +8,10 @@ SimTime Simulator::run() {
     now_ = queue_.next_time();
     queue_.pop()();
   }
+  // The queue drained (or will be drained by a later run()): recycle the
+  // event arena. Safe here — no callback is in flight and no event context
+  // can be referenced again.
+  if (queue_.empty()) queue_.reset_storage();
   return now_;
 }
 
@@ -29,6 +21,7 @@ SimTime Simulator::run_until(SimTime until) {
     now_ = queue_.next_time();
     queue_.pop()();
   }
+  if (queue_.empty()) queue_.reset_storage();
   return now_;
 }
 

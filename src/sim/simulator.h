@@ -6,8 +6,15 @@
 /// The simulator never touches wall-clock time; `now()` only advances when
 /// events fire. All higher-level timing (task-graph execution, collective
 /// schedules, pipeline iterations) runs on top of this clock.
+///
+/// Event storage is arena-backed (see event_queue.h); run() recycles the
+/// arena whenever the queue drains, so a simulator reused across runs
+/// reaches a steady state with zero allocator traffic per event.
+
+#include <utility>
 
 #include "sim/event_queue.h"
+#include "util/error.h"
 #include "util/units.h"
 
 namespace holmes::sim {
@@ -18,10 +25,18 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when`. `when` must be >= now().
-  void at(SimTime when, EventFn fn);
+  template <typename F>
+  void at(SimTime when, F&& fn) {
+    HOLMES_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+    queue_.schedule(when, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` `delay` seconds from now. `delay` must be >= 0.
-  void after(SimTime delay, EventFn fn);
+  template <typename F>
+  void after(SimTime delay, F&& fn) {
+    HOLMES_CHECK_MSG(delay >= 0, "negative delay");
+    queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Runs events until the queue drains (or stop() is called from inside an
   /// event). Returns the final simulated time.

@@ -1,5 +1,6 @@
 #include "sim/task_graph.h"
 
+#include <algorithm>
 #include <limits>
 
 // Header-only hooks: no-ops unless an obs::SelfProfiler is active on this
@@ -39,6 +40,7 @@ TaskId TaskGraph::push(Task task) {
         break;
     }
   }
+  adjacency_valid_ = false;
   tasks_.push_back(std::move(task));
   return static_cast<TaskId>(tasks_.size() - 1);
 }
@@ -104,7 +106,8 @@ void TaskGraph::add_dep(TaskId task, TaskId dep) {
                    "unknown dependency");
   HOLMES_CHECK_MSG(dep != task, "task cannot depend on itself");
   prof::count(&SelfProfileCounters::deps_added);
-  tasks_[static_cast<std::size_t>(task)].deps.push_back(dep);
+  adjacency_valid_ = false;
+  edges_.push_back(Edge{task, dep});
 }
 
 void TaskGraph::add_deps(TaskId task, const std::vector<TaskId>& deps) {
@@ -137,6 +140,116 @@ ChannelId TaskGraph::channel(const std::string& name) {
 const std::string& TaskGraph::channel_name(ChannelId id) const {
   HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < channel_names_.size());
   return channel_names_[static_cast<std::size_t>(id)];
+}
+
+std::span<const TaskId> TaskGraph::deps(TaskId id) const {
+  HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size());
+  if (!adjacency_valid_) build_adjacency();
+  const std::size_t i = static_cast<std::size_t>(id);
+  return {dep_list_.data() + dep_offset_[i],
+          dep_list_.data() + dep_offset_[i + 1]};
+}
+
+std::span<const TaskId> TaskGraph::dependents(TaskId id) const {
+  HOLMES_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size());
+  if (!adjacency_valid_) build_adjacency();
+  const std::size_t i = static_cast<std::size_t>(id);
+  return {dependent_list_.data() + dependent_offset_[i],
+          dependent_list_.data() + dependent_offset_[i + 1]};
+}
+
+std::span<const SchedTask> TaskGraph::sched_tasks() const {
+  if (!adjacency_valid_) build_adjacency();
+  return {sched_tasks_.data(), sched_tasks_.size()};
+}
+
+std::span<const std::uint32_t> TaskGraph::dep_offsets() const {
+  if (!adjacency_valid_) build_adjacency();
+  return {dep_offset_.data(), dep_offset_.size()};
+}
+
+std::span<const std::uint32_t> TaskGraph::dependent_offsets() const {
+  if (!adjacency_valid_) build_adjacency();
+  return {dependent_offset_.data(), dependent_offset_.size()};
+}
+
+std::span<const TaskId> TaskGraph::dependent_list() const {
+  if (!adjacency_valid_) build_adjacency();
+  return {dependent_list_.data(), dependent_list_.size()};
+}
+
+std::size_t TaskGraph::max_dependent_count() const {
+  if (!adjacency_valid_) build_adjacency();
+  return max_dependents_;
+}
+
+void TaskGraph::build_adjacency() const {
+  if (adjacency_valid_) return;
+  const std::size_t n = tasks_.size();
+  // Counting sort: one pass to count degrees, a prefix sum for offsets, a
+  // second pass to scatter. Stable — within a task, list order equals
+  // edge-declaration (add_dep) order.
+  dep_offset_.assign(n + 1, 0);
+  dependent_offset_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++dep_offset_[static_cast<std::size_t>(e.task) + 1];
+    ++dependent_offset_[static_cast<std::size_t>(e.dep) + 1];
+  }
+  max_dependents_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_dependents_ = std::max<std::size_t>(max_dependents_,
+                                            dependent_offset_[i + 1]);
+    dep_offset_[i + 1] += dep_offset_[i];
+    dependent_offset_[i + 1] += dependent_offset_[i];
+  }
+  dep_list_.resize(edges_.size());
+  dependent_list_.resize(edges_.size());
+  std::vector<std::uint32_t> dep_cursor(dep_offset_.begin(),
+                                        dep_offset_.end() - 1);
+  std::vector<std::uint32_t> dependent_cursor(dependent_offset_.begin(),
+                                              dependent_offset_.end() - 1);
+  for (const Edge& e : edges_) {
+    dep_list_[dep_cursor[static_cast<std::size_t>(e.task)]++] = e.dep;
+    dependent_list_[dependent_cursor[static_cast<std::size_t>(e.dep)]++] =
+        e.task;
+  }
+  sched_tasks_.assign(n, SchedTask{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks_[i];
+    SchedTask& s = sched_tasks_[i];
+    s.out_begin = dependent_offset_[i];
+    s.out_count = dependent_offset_[i + 1] - dependent_offset_[i];
+    const std::uint32_t inl = std::min(s.out_count, SchedTask::kInlineOut);
+    for (std::uint32_t j = 0; j < inl; ++j) {
+      s.out[j] = dependent_list_[s.out_begin + j];
+    }
+    s.kind = t.kind;
+    // See the SchedTask doc comment: every kind resolves to valid resource
+    // indices so placement is branch-free; noops park on the scratch slot.
+    const auto scratch = static_cast<ResourceId>(resource_names_.size());
+    switch (t.kind) {
+      case TaskKind::kCompute:
+        s.resource = t.resource;
+        s.dst_port = t.resource;
+        s.cost = t.duration;
+        s.latency = 0;
+        break;
+      case TaskKind::kTransfer:
+        s.resource = t.src_port;
+        s.dst_port = t.dst_port;
+        s.cost = t.bytes > 0 ? static_cast<double>(t.bytes) / t.bandwidth
+                             : 0.0;
+        s.latency = t.latency;
+        break;
+      case TaskKind::kNoop:
+        s.resource = scratch;
+        s.dst_port = scratch;
+        s.cost = 0;
+        s.latency = 0;
+        break;
+    }
+  }
+  adjacency_valid_ = true;
 }
 
 }  // namespace holmes::sim

@@ -16,8 +16,17 @@
 /// Higher layers (comm collectives, pipeline schedules, optimizer overlap)
 /// express themselves purely through this structure; overlap of computation
 /// with communication falls out of resources being independent.
+///
+/// Memory layout: dependencies live in one flat edge list, compiled on
+/// demand into a cached CSR adjacency (dep and dependent index arrays).
+/// Tasks therefore carry no per-task dependency vector — building a
+/// million-edge graph performs zero per-dependency heap allocations, and
+/// the executor walks contiguous arrays. Read dependencies through
+/// `deps(id)` / `dependents(id)`; the first call after a mutation pays one
+/// linear counting-sort pass, later calls are free.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +47,43 @@ inline constexpr TaskId kInvalidTask = -1;
 inline constexpr ChannelId kInvalidChannel = -1;
 
 enum class TaskKind : std::uint8_t { kCompute, kTransfer, kNoop };
+
+/// Compact per-task scheduling record: everything placing one task needs —
+/// resources, precomputed costs, *and* the first dependents — fused into
+/// exactly one cache line (vs the ~120-byte Task with its label string and a
+/// separate adjacency lookup). On large graphs task ids reach the ready
+/// queue in near-random order, so placement is bound by cache misses; one
+/// line per task is the difference between one miss and three. Built and
+/// cached by TaskGraph::build_adjacency(); `cost` is the compute duration or
+/// the transfer serialization time (bytes / bandwidth, precomputed — the
+/// division leaves the hot loop). Dependents beyond the inline capacity
+/// continue in dependent_list()[out_begin + kInlineOut ...].
+struct alignas(64) SchedTask {
+  /// Dependents stored inline; graphs built from collectives and pipeline
+  /// schedules have out-degree <= 2 almost everywhere.
+  static constexpr std::uint32_t kInlineOut = 7;
+
+  /// `resource` and `dst_port` are always valid indices so placement needs
+  /// no per-kind branching: a compute sets dst_port = resource, and a noop
+  /// parks both on the scratch slot at index resource_count() (executors
+  /// size their per-resource arrays resource_count() + 1). With latency and
+  /// cost 0 for the degenerate kinds, every task places as
+  ///   start  = max(ready, avail[resource], avail[dst_port])
+  ///   ports  = start + cost
+  ///   finish = (start + latency) + cost
+  /// which is bit-exact against the per-kind formulas: x + 0.0 == x for the
+  /// non-negative times the graph admits, and the scratch slot's avail can
+  /// never exceed `ready` because tasks place in nondecreasing ready order.
+  SimTime cost = 0;         ///< occupancy time of the claimed resource(s)
+  SimTime latency = 0;      ///< transfer propagation latency (0 otherwise)
+  ResourceId resource = -1; ///< compute resource / TX port / scratch (noop)
+  ResourceId dst_port = -1; ///< RX port; = resource (compute), scratch (noop)
+  std::uint32_t out_begin = 0;  ///< this task's slice of dependent_list()
+  std::uint32_t out_count = 0;  ///< total dependent count
+  TaskKind kind = TaskKind::kNoop;
+  TaskId out[kInlineOut] = {};  ///< first min(out_count, kInlineOut) dependents
+};
+static_assert(sizeof(SchedTask) == 64, "SchedTask must fill one cache line");
 
 /// Accounting category for a task. Metrics aggregate start/finish spans and
 /// busy time per tag (e.g. "time spent in grads-reduce-scatter", Fig. 3).
@@ -64,6 +110,11 @@ struct Task {
 
   std::string label;  ///< optional; used in traces and error messages
 
+  /// Dependencies of a *raw* task-set fixture (see verify::TaskSetRef):
+  /// known-bad graphs the TaskGraph API would refuse are expressed as bare
+  /// `std::vector<Task>` with this field filled in. Tasks owned by a
+  /// TaskGraph leave it empty — the graph stores dependencies in its flat
+  /// edge list instead; read them via TaskGraph::deps(id).
   std::vector<TaskId> deps;
 };
 
@@ -102,6 +153,12 @@ class TaskGraph {
   std::size_t task_count() const { return tasks_.size(); }
   std::size_t resource_count() const { return resource_names_.size(); }
   std::size_t channel_count() const { return channel_names_.size(); }
+  /// Dependency edges declared so far.
+  std::size_t dep_count() const { return edges_.size(); }
+
+  /// Largest dependent (out-degree) count of any task; a sizing hint for
+  /// release buffers. Compiled with the adjacency.
+  std::size_t max_dependent_count() const;
 
   const Task& task(TaskId id) const;
   const std::string& resource_name(ResourceId id) const;
@@ -109,12 +166,54 @@ class TaskGraph {
 
   const std::vector<Task>& tasks() const { return tasks_; }
 
+  /// Dependencies of `id` in add_dep order (a view into the cached CSR
+  /// adjacency; valid until the next graph mutation).
+  std::span<const TaskId> deps(TaskId id) const;
+
+  /// Tasks that depend on `id`, in edge-declaration order (same validity).
+  std::span<const TaskId> dependents(TaskId id) const;
+
+  /// Compact scheduling records, one per task (same cache validity as the
+  /// adjacency views).
+  std::span<const SchedTask> sched_tasks() const;
+
+  /// Raw CSR arrays, for hot loops that inline the adjacency walk or issue
+  /// prefetches by address. `offsets` has task_count()+1 entries; task `i`'s
+  /// neighbours are `list[offsets[i] .. offsets[i+1])`. Same cache validity
+  /// as deps()/dependents().
+  std::span<const std::uint32_t> dep_offsets() const;
+  std::span<const std::uint32_t> dependent_offsets() const;
+  std::span<const TaskId> dependent_list() const;
+
+  /// Compiles the CSR adjacency now if any mutation invalidated it.
+  /// Implied by deps()/dependents(); call explicitly before sharing the
+  /// graph read-only across threads (lazy builds are not synchronized).
+  void build_adjacency() const;
+
  private:
   TaskId push(Task task);
 
+  /// One dependency edge: `task` waits for `dep`.
+  struct Edge {
+    TaskId task;
+    TaskId dep;
+  };
+
   std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
   std::vector<std::string> resource_names_;
   std::vector<std::string> channel_names_;
+
+  // Cached CSR views of edges_, built by build_adjacency(). offsets have
+  // task_count()+1 entries; lists are edge-count long. Stable: per-task
+  // order equals edge-declaration order (counting sort).
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::uint32_t> dep_offset_;
+  mutable std::vector<TaskId> dep_list_;
+  mutable std::vector<std::uint32_t> dependent_offset_;
+  mutable std::vector<TaskId> dependent_list_;
+  mutable std::vector<SchedTask> sched_tasks_;
+  mutable std::size_t max_dependents_ = 0;
 };
 
 }  // namespace holmes::sim

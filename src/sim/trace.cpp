@@ -1,7 +1,7 @@
 #include "sim/trace.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "util/json.h"
@@ -20,17 +20,32 @@ const char* kind_name(TaskKind kind) {
 }
 
 /// Accumulates step deltas per timestamp for one counter track and emits
-/// the resulting staircase as "C" events.
+/// the resulting staircase as "C" events. Steps append to a flat vector —
+/// one sort at emit time replaces the per-step ordered-map rebalancing the
+/// old implementation paid on every call.
 class CounterTrack {
  public:
   CounterTrack(std::string name, std::string unit)
       : name_(std::move(name)), unit_(std::move(unit)) {}
 
-  void step(SimTime at, double delta) { deltas_[at] += delta; }
+  void step(SimTime at, double delta) { steps_.push_back({at, delta}); }
 
-  void emit(std::ostream& out, int pid, bool* first) const {
+  void emit(std::ostream& out, int pid, bool* first) {
+    // stable_sort keeps equal-timestamp deltas in step() call order, so the
+    // per-timestamp sum adds in exactly the order the old map accumulated —
+    // output stays byte-identical.
+    std::stable_sort(steps_.begin(), steps_.end(),
+                     [](const std::pair<SimTime, double>& a,
+                        const std::pair<SimTime, double>& b) {
+                       return a.first < b.first;
+                     });
     double value = 0;
-    for (const auto& [at, delta] : deltas_) {
+    for (std::size_t i = 0; i < steps_.size();) {
+      const SimTime at = steps_[i].first;
+      double delta = 0;
+      for (; i < steps_.size() && steps_[i].first == at; ++i) {
+        delta += steps_[i].second;
+      }
       if (delta == 0) continue;
       value += delta;
       if (!*first) out << ",";
@@ -46,7 +61,7 @@ class CounterTrack {
  private:
   std::string name_;
   std::string unit_;
-  std::map<SimTime, double> deltas_;  ///< ordered by time
+  std::vector<std::pair<SimTime, double>> steps_;  ///< unsorted until emit
 };
 
 }  // namespace
@@ -140,7 +155,7 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
     for (std::size_t i = 0; i < graph.task_count(); ++i) {
       if (slice_row[i] < 0) continue;
       const TaskTiming& timing = result.timing(static_cast<TaskId>(i));
-      for (TaskId dep : graph.tasks()[i].deps) {
+      for (TaskId dep : graph.deps(static_cast<TaskId>(i))) {
         const auto d = static_cast<std::size_t>(dep);
         if (slice_row[d] < 0 || slice_row[d] == slice_row[i]) continue;
         ++flow_id;

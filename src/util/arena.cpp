@@ -1,0 +1,69 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+// Header-only hooks: no-ops unless an obs::SelfProfiler is active on this
+// thread, and no link dependency on holmes_obs.
+#include "obs/self_profile.h"
+#include "util/error.h"
+
+namespace holmes {
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(std::max<std::size_t>(block_bytes, 64)) {}
+
+void Arena::grow(std::size_t min_bytes) {
+  // Move past any remaining blocks from before the last reset() before
+  // allocating fresh ones.
+  while (current_ + 1 < blocks_.size()) {
+    ++current_;
+    cursor_ = 0;
+    if (blocks_[current_].size >= min_bytes) return;
+  }
+  const std::size_t size = std::max(min_bytes, block_bytes_);
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+  bytes_reserved_ += size;
+  current_ = blocks_.size() - 1;
+  cursor_ = 0;
+  obs::self_profile::count(&obs::SelfProfileCounters::arena_blocks);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  HOLMES_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                   "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  if (blocks_.empty()) grow(bytes + align);
+  for (;;) {
+    Block& block = blocks_[current_];
+    // Align the actual address, not the cursor: operator new[] only
+    // guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the block base.
+    const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+    const std::size_t aligned =
+        ((base + cursor_ + align - 1) & ~(align - 1)) - base;
+    if (aligned + bytes <= block.size) {
+      cursor_ = aligned + bytes;
+      bytes_allocated_ += bytes;
+      obs::self_profile::count(&obs::SelfProfileCounters::arena_bytes, bytes);
+      return block.data.get() + aligned;
+    }
+    grow(bytes + align);
+  }
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) {
+    // Consolidate: one block covering everything held, so the next run of
+    // the same workload bumps through a single contiguous region.
+    const std::size_t total = bytes_reserved_;
+    blocks_.clear();
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(total), total});
+    bytes_reserved_ = total;
+    obs::self_profile::count(&obs::SelfProfileCounters::arena_blocks);
+  }
+  current_ = 0;
+  cursor_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace holmes

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file arena.h
+/// Monotonic arena allocator for hot-path simulation state.
+///
+/// The DES engine allocates many small, identically-scoped objects per run
+/// (event callback contexts, scratch records) whose lifetimes all end
+/// together when the run finishes. A monotonic arena turns each of those
+/// heap allocations into a pointer bump: allocate() never frees, and
+/// reset() recycles everything at once. After a reset the arena keeps one
+/// consolidated block sized to the high-water mark, so a steady-state
+/// workload (e.g. the scenario runner simulating thousands of graphs)
+/// performs zero allocator calls after its first run.
+///
+/// The arena does NOT run destructors — callers either place only
+/// trivially destructible objects or arrange destruction themselves (see
+/// sim::EventQueue, which keeps a destructor side-list for the rare
+/// non-trivial callback). Not thread-safe; use one arena per thread
+/// (ScenarioRunner workers each own their simulation's arenas by
+/// construction).
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace holmes {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Valid until reset() or destruction.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Constructs a T in arena storage. The destructor will never run:
+  /// restricted to trivially destructible types.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::create never runs destructors");
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Recycles all storage. Consolidates multiple blocks into one block
+  /// covering the high-water mark, so subsequent identical workloads
+  /// allocate no new memory.
+  void reset();
+
+  /// Bytes handed out since construction or the last reset().
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total capacity currently held (survives reset()).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  /// Blocks currently held.
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Appends a block of at least `min_bytes` and makes it current.
+  void grow(std::size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t block_bytes_;
+  std::size_t current_ = 0;  ///< index of the block being bumped
+  std::size_t cursor_ = 0;   ///< bump offset within the current block
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace holmes

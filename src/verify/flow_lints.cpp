@@ -99,7 +99,7 @@ std::vector<std::size_t> topo_order(const TaskSetRef& view) {
   std::vector<std::size_t> indegree(n, 0);
   std::vector<std::vector<std::size_t>> dependents(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (TaskId dep : (*view.tasks)[i].deps) {
+    for (TaskId dep : view.deps(i)) {
       if (dep < 0 || static_cast<std::size_t>(dep) >= n ||
           static_cast<std::size_t>(dep) == i) {
         return {};  // HV202's findings; flow bounds would be garbage
@@ -153,7 +153,7 @@ FlowAnalysis analyze_flow(const TaskSetRef& view) {
     const Task& task = (*view.tasks)[i];
     double longest_dep = 0.0;
     TaskId pred = sim::kInvalidTask;
-    for (TaskId dep : task.deps) {
+    for (TaskId dep : view.deps(i)) {
       const double d = dist[static_cast<std::size_t>(dep)];
       if (pred == sim::kInvalidTask || d > longest_dep ||
           (d == longest_dep && dep < pred)) {
@@ -219,7 +219,7 @@ FlowAnalysis analyze_flow(const TaskSetRef& view) {
   std::vector<std::size_t> last_use(n, 0);
   for (std::size_t i = 0; i < n; ++i) last_use[i] = pos_of[i];
   for (std::size_t i = 0; i < n; ++i) {
-    for (TaskId dep : (*view.tasks)[i].deps) {
+    for (TaskId dep : view.deps(i)) {
       auto& lu = last_use[static_cast<std::size_t>(dep)];
       lu = std::max(lu, pos_of[i]);
     }

@@ -60,7 +60,7 @@ bool lint_deps_valid(const TaskSetRef& view, const GraphLintOptions& options,
   const std::size_t n = view.tasks->size();
   std::size_t findings = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    for (TaskId dep : (*view.tasks)[i].deps) {
+    for (TaskId dep : view.deps(i)) {
       const bool dangling = dep < 0 || static_cast<std::size_t>(dep) >= n;
       const bool self = !dangling && static_cast<std::size_t>(dep) == i;
       if (!dangling && !self) continue;
@@ -85,7 +85,7 @@ std::vector<std::size_t> stuck_tasks(
   std::vector<std::size_t> indegree(n, 0);
   std::vector<std::vector<std::size_t>> dependents(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (TaskId dep : (*view.tasks)[i].deps) {
+    for (TaskId dep : view.deps(i)) {
       indegree[i] += 1;
       dependents[static_cast<std::size_t>(dep)].push_back(i);
     }
@@ -338,7 +338,7 @@ void lint_timing_monotone(const TaskSetRef& view, const sim::SimResult& result,
         }
         break;
     }
-    for (TaskId dep : task.deps) {
+    for (TaskId dep : view.deps(i)) {
       if (dep < 0 || static_cast<std::size_t>(dep) >= view.tasks->size()) {
         continue;  // HV202 reports these
       }

@@ -20,6 +20,7 @@
 /// build.
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,14 @@ struct TaskSetRef {
   std::size_t resource_count = 0;
   std::size_t channel_count = 0;
   const sim::TaskGraph* graph = nullptr;
+
+  /// Dependencies of task `i`: a TaskGraph stores them in its flat edge
+  /// list (Task::deps stays empty there), raw fixtures carry them on the
+  /// Task records themselves.
+  std::span<const sim::TaskId> deps(std::size_t i) const {
+    if (graph != nullptr) return graph->deps(static_cast<sim::TaskId>(i));
+    return (*tasks)[i].deps;
+  }
 };
 
 /// View over a real TaskGraph.

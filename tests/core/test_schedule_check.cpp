@@ -82,6 +82,29 @@ TEST(ScheduleCheck, ReportJsonIsStampedParsableAndStable) {
   EXPECT_EQ(a.str(), b.str());  // byte-stable for fixed inputs
 }
 
+TEST(ScheduleCheck, ParallelFanOutMatchesSerialReportBytes) {
+  // The permutation fan-out is embarrassingly parallel; the report must be
+  // byte-identical whether the permuted runs execute serially or across a
+  // pool (the sim::ScenarioRunner determinism contract, end to end).
+  const net::Topology topo = net::Topology::hybrid_two_clusters(1);
+  const TrainingPlan plan = plan_for(FrameworkConfig::holmes(), topo);
+  ScheduleCheckOptions serial = quick_options();
+  serial.permutations = 4;
+  ScheduleCheckOptions parallel = serial;
+  parallel.threads = 4;
+  const ScheduleCheckResult a =
+      check_schedule_determinism(topo, plan, serial);
+  const ScheduleCheckResult b =
+      check_schedule_determinism(topo, plan, parallel);
+  std::ostringstream sa;
+  std::ostringstream sb;
+  write_check_report_json(sa, a, current_build_info());
+  write_check_report_json(sb, b, current_build_info());
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_EQ(b.permutations, 4);
+  EXPECT_EQ(b.diverged, 0);
+}
+
 TEST(ScheduleCheck, TieBreakNamesAreStable) {
   EXPECT_EQ(to_string(sim::TieBreak::kCanonical), "canonical");
   EXPECT_EQ(to_string(sim::TieBreak::kPermuteDisjoint), "disjoint");

@@ -74,7 +74,7 @@ TEST_P(ExecutorFuzz, InvariantsHoldOnRandomDags) {
       ASSERT_GE(timing.start, 0);
       max_finish = std::max(max_finish, timing.finish);
       // No task starts before its dependencies finish.
-      for (TaskId dep : tasks[i].deps) {
+      for (TaskId dep : rg.graph.deps(static_cast<TaskId>(i))) {
         ASSERT_GE(timing.start, result.timing(dep).finish - 1e-12)
             << "task " << i << " started before dep " << dep;
       }

@@ -1,0 +1,154 @@
+#include "sim/scenario_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/self_profile.h"
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+
+namespace holmes::sim {
+namespace {
+
+TaskGraph make_graph(double duration, const std::string& label = "a") {
+  TaskGraph g;
+  const ResourceId r0 = g.add_resource("r0");
+  const ResourceId r1 = g.add_resource("r1");
+  const TaskId a = g.add_compute(r0, duration, label);
+  const TaskId b = g.add_compute(r1, duration * 2);
+  const TaskId t = g.add_transfer(r0, r1, 1000, 1e9, 1e-6);
+  g.add_dep(t, a);
+  g.add_dep(b, t);
+  return g;
+}
+
+TEST(ScenarioRunner, RunsEveryScenarioExactlyOnce) {
+  ScenarioRunner runner(4);
+  EXPECT_GE(runner.threads(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  runner.run_all(hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ScenarioRunner, ParallelResultsMatchSerial) {
+  std::vector<double> serial(32), parallel(32);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    TaskGraph g = make_graph(1e-6 * static_cast<double>(i + 1));
+    serial[i] = TaskGraphExecutor{}.run(g).makespan();
+  }
+  ScenarioRunner runner(4);
+  runner.run_all(parallel.size(), [&](std::size_t i) {
+    TaskGraph g = make_graph(1e-6 * static_cast<double>(i + 1));
+    parallel[i] = TaskGraphExecutor{}.run(g).makespan();
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ScenarioRunner, RethrowsWorkerExceptions) {
+  ScenarioRunner runner(2);
+  EXPECT_THROW(runner.run_all(8,
+                              [](std::size_t i) {
+                                if (i == 5) throw std::runtime_error("boom");
+                              }),
+               std::runtime_error);
+}
+
+TEST(ScenarioRunner, CountsScenariosOnCallingThreadProfile) {
+  obs::SelfProfiler profiler;
+  ScenarioRunner runner(2);
+  runner.run_all(7, [](std::size_t) {});
+  EXPECT_EQ(profiler.snapshot().counters.scenarios_run, 7u);
+}
+
+TEST(SimMemo, HitsOnStructurallyIdenticalGraphs) {
+  SimMemo memo;
+  TaskGraph g1 = make_graph(1e-6, "first");
+  TaskGraph g2 = make_graph(1e-6, "renamed");  // labels must not matter
+  const ExecutorOptions options;
+
+  const SimMemo::Key k1 = SimMemo::key(g1, options);
+  const SimMemo::Key k2 = SimMemo::key(g2, options);
+  EXPECT_TRUE(k1 == k2);
+
+  EXPECT_EQ(memo.find(k1), nullptr);  // miss
+  auto result =
+      std::make_shared<const SimResult>(TaskGraphExecutor{}.run(g1));
+  memo.store(k1, result);
+  const auto cached = memo.find(k2);  // hit via the structural twin
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->makespan(), result->makespan());
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(SimMemo, KeySeparatesStructuresAndOptions) {
+  const ExecutorOptions canonical;
+  TaskGraph g = make_graph(1e-6);
+  const SimMemo::Key base = SimMemo::key(g, canonical);
+
+  // Different numeric structure.
+  TaskGraph longer = make_graph(2e-6);
+  EXPECT_FALSE(SimMemo::key(longer, canonical) == base);
+
+  // Extra edge.
+  TaskGraph extra = make_graph(1e-6);
+  extra.add_dep(1, 0);
+  EXPECT_FALSE(SimMemo::key(extra, canonical) == base);
+
+  // Same graph, different tie-break policy or seed.
+  ExecutorOptions permuted;
+  permuted.tie_break = TieBreak::kPermuteAll;
+  permuted.tie_seed = 1;
+  EXPECT_FALSE(SimMemo::key(g, permuted) == base);
+  ExecutorOptions reseeded = permuted;
+  reseeded.tie_seed = 2;
+  EXPECT_FALSE(SimMemo::key(g, reseeded) == SimMemo::key(g, permuted));
+}
+
+TEST(SimMemo, MutationInvalidatesByChangingTheKey) {
+  const ExecutorOptions options;
+  TaskGraph g = make_graph(1e-6);
+  SimMemo memo;
+  const SimMemo::Key before = SimMemo::key(g, options);
+  memo.store(before, std::make_shared<const SimResult>(
+                         TaskGraphExecutor{}.run(g)));
+
+  // Growing the graph changes the structural key, so the stale entry can
+  // never be returned for the mutated graph.
+  g.add_compute(0, 5e-6);
+  const SimMemo::Key after = SimMemo::key(g, options);
+  EXPECT_FALSE(before == after);
+  EXPECT_EQ(memo.find(after), nullptr);
+
+  memo.clear();
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_EQ(memo.find(before), nullptr);
+}
+
+TEST(SimMemo, FlushProfileMovesTalliesToCallingThread) {
+  obs::SelfProfiler profiler;
+  SimMemo memo;
+  TaskGraph g = make_graph(1e-6);
+  const SimMemo::Key k = SimMemo::key(g, {});
+  memo.find(k);  // miss
+  memo.store(k, std::make_shared<const SimResult>(TaskGraphExecutor{}.run(g)));
+  memo.find(k);  // hit
+  memo.find(k);  // hit
+  memo.flush_profile();
+  const auto counters = profiler.snapshot().counters;
+  EXPECT_EQ(counters.memo_hits, 2u);
+  EXPECT_EQ(counters.memo_misses, 1u);
+  // Flushing resets the internal tallies.
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace holmes::sim

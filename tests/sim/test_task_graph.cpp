@@ -66,7 +66,7 @@ TEST(TaskGraph, DepsAccumulate) {
   const TaskId c = g.add_compute(r, 1.0);
   g.add_dep(c, a);
   g.add_dep(c, b);
-  EXPECT_EQ(g.task(c).deps.size(), 2u);
+  EXPECT_EQ(g.deps(c).size(), 2u);
 }
 
 TEST(TaskGraph, AddDepsSkipsInvalidTaskSentinel) {
@@ -75,7 +75,7 @@ TEST(TaskGraph, AddDepsSkipsInvalidTaskSentinel) {
   const TaskId a = g.add_compute(r, 1.0);
   const TaskId b = g.add_compute(r, 1.0);
   g.add_deps(b, {kInvalidTask, a, kInvalidTask});
-  EXPECT_EQ(g.task(b).deps.size(), 1u);
+  EXPECT_EQ(g.deps(b).size(), 1u);
 }
 
 TEST(TaskGraph, SelfDependencyRejected) {

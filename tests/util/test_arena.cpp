@@ -1,0 +1,85 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace holmes {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  Arena arena;
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(24, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    std::memset(p, i, 24);  // asan would catch overlap/overflow
+    ptrs.push_back(p);
+  }
+  for (std::size_t i = 0; i + 1 < ptrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < ptrs.size(); ++j) {
+      const auto a = reinterpret_cast<std::uintptr_t>(ptrs[i]);
+      const auto b = reinterpret_cast<std::uintptr_t>(ptrs[j]);
+      EXPECT_TRUE(a + 24 <= b || b + 24 <= a) << i << " overlaps " << j;
+    }
+  }
+  EXPECT_EQ(arena.bytes_allocated(), 2400u);
+}
+
+TEST(Arena, StrictAlignmentHonored) {
+  Arena arena;
+  arena.allocate(1, 1);
+  void* p = arena.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(Arena, GrowsBeyondOneBlock) {
+  Arena arena;
+  // Default block is 64 KiB; allocate well past it.
+  for (int i = 0; i < 1000; ++i) arena.allocate(256, 8);
+  EXPECT_GE(arena.bytes_allocated(), 256000u);
+  EXPECT_GT(arena.block_count(), 1u);
+}
+
+TEST(Arena, OversizedAllocationGetsOwnBlock) {
+  Arena arena;
+  void* p = arena.allocate(1 << 20, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 1 << 20);
+  EXPECT_GE(arena.bytes_reserved(), static_cast<std::size_t>(1) << 20);
+}
+
+TEST(Arena, ResetConsolidatesToSingleBlockAtHighWater) {
+  Arena arena;
+  for (int i = 0; i < 1000; ++i) arena.allocate(256, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(arena.block_count(), 1u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), reserved);
+
+  // Steady state: the same workload now fits without growing a new block.
+  const std::size_t blocks_before = arena.block_count();
+  for (int i = 0; i < 1000; ++i) arena.allocate(256, 8);
+  EXPECT_EQ(arena.block_count(), blocks_before);
+}
+
+TEST(Arena, CreateConstructsInPlace) {
+  struct Pod {
+    std::uint64_t a;
+    std::uint32_t b;
+  };
+  Arena arena;
+  Pod* p = arena.create<Pod>(Pod{42, 7});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->a, 42u);
+  EXPECT_EQ(p->b, 7u);
+}
+
+}  // namespace
+}  // namespace holmes

@@ -1,0 +1,105 @@
+#include "util/quad_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace holmes {
+namespace {
+
+struct IntLess {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+TEST(QuadHeap, PopsInSortedOrder) {
+  QuadHeap<int, IntLess> heap;
+  Rng rng(7);
+  std::vector<int> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<int>(rng() % 500));
+  }
+  for (int v : values) heap.push(v);
+  EXPECT_EQ(heap.size(), values.size());
+
+  std::sort(values.begin(), values.end());
+  for (int expected : values) {
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.top(), expected);
+    heap.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(QuadHeap, InterleavedPushPopKeepsHeapProperty) {
+  QuadHeap<int, IntLess> heap;
+  Rng rng(13);
+  std::vector<int> mirror;
+  for (int round = 0; round < 2000; ++round) {
+    if (mirror.empty() || rng() % 3 != 0) {
+      const int v = static_cast<int>(rng() % 1000);
+      heap.push(v);
+      mirror.push_back(v);
+    } else {
+      const auto it = std::min_element(mirror.begin(), mirror.end());
+      ASSERT_EQ(heap.top(), *it);
+      heap.pop();
+      mirror.erase(it);
+    }
+    ASSERT_EQ(heap.size(), mirror.size());
+  }
+}
+
+/// The executor's contract: entries ordered by a (primary, secondary) pair
+/// must pop in exact lexicographic order, regardless of arity or internal
+/// layout — ties resolved by the comparator, never by insertion accidents.
+TEST(QuadHeap, TieOrderFollowsComparatorExactly) {
+  struct Entry {
+    std::uint64_t key;
+    std::int32_t id;
+  };
+  struct Before {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.key != b.key) return a.key < b.key;
+      return a.id < b.id;
+    }
+  };
+  QuadHeap<Entry, Before> heap;
+  Rng rng(99);
+  std::vector<Entry> entries;
+  for (std::int32_t i = 0; i < 500; ++i) {
+    entries.push_back({rng() % 16, i});  // dense keys: many ties
+  }
+  // Push in a scrambled order.
+  std::vector<Entry> scrambled = entries;
+  for (std::size_t i = scrambled.size(); i > 1; --i) {
+    std::swap(scrambled[i - 1], scrambled[rng() % i]);
+  }
+  for (const Entry& e : scrambled) heap.push(e);
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return Before{}(a, b); });
+  for (const Entry& expected : entries) {
+    ASSERT_EQ(heap.top().key, expected.key);
+    ASSERT_EQ(heap.top().id, expected.id);
+    heap.pop();
+  }
+}
+
+TEST(QuadHeap, SingleElementAndClear) {
+  QuadHeap<int, IntLess> heap;
+  heap.push(42);
+  EXPECT_EQ(heap.top(), 42);
+  heap.pop();
+  EXPECT_TRUE(heap.empty());
+  heap.push(1);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+}  // namespace
+}  // namespace holmes

@@ -87,6 +87,9 @@
 ///                        legitimately tie-order-sensitive schedules)
 ///       --framework F    as for simulate          (default holmes)
 ///       --iterations N   simulated iterations     (default 3)
+///       --threads N      permutation fan-out workers (default 1 = serial,
+///                        0 = hardware concurrency; the report is
+///                        byte-identical at any thread count)
 ///       --json[=FILE]    stable holmes.check_report.v1 document
 ///       --strict         promote warnings to errors
 ///
@@ -158,6 +161,7 @@
 #include "obs/critical_path.h"
 #include "obs/self_profile.h"
 #include "obs/summary.h"
+#include "sim/scenario_runner.h"
 #include "sim/trace.h"
 #include "util/build_info.h"
 #include "util/error.h"
@@ -886,7 +890,7 @@ int cmd_check(const Args& args) {
     throw ConfigError(
         "usage: holmes_cli check <topology> <group> [--permutations N] "
         "[--seed S] [--policy disjoint|all] [--framework F] [--iterations N] "
-        "[--json[=FILE]] [--strict]");
+        "[--threads N] [--json[=FILE]] [--strict]");
   }
   const net::Topology topo = resolve_topology(args.positional[0]);
   const int group = std::stoi(args.positional[1]);
@@ -898,6 +902,9 @@ int cmd_check(const Args& args) {
     throw ConfigError("--permutations expects a positive count");
   }
   options.iterations = option_int(args, "iterations", 3);
+  const int threads = option_int(args, "threads", 1);
+  if (threads < 0) throw ConfigError("--threads expects a non-negative count");
+  options.threads = static_cast<std::size_t>(threads);
   const auto seed = args.options.find("seed");
   if (seed != args.options.end()) {
     try {
@@ -1124,6 +1131,25 @@ int cmd_bench(const Args& args) {
       if (i >= warmup) wall.push_back(seconds);
       suite_profile = artifacts.self_profile;
     }
+    // Memoized scenario fan demo: two structurally identical scenarios
+    // through a single-worker ScenarioRunner sharing one SimMemo —
+    // deterministically one miss then one structural hit. Folded into the
+    // suite profile so the memo/scenario counters anchor the trajectory.
+    {
+      obs::SelfProfiler demo_profiler;
+      sim::SimMemo memo;
+      sim::ScenarioRunner scenario_runner(1);
+      scenario_runner.run_all(2, [&](std::size_t) {
+        TrainingSimulator simulator;
+        simulator.set_memo(&memo);
+        simulator.run(topo, plan, 3);
+      });
+      memo.flush_profile();
+      const obs::SelfProfileCounters& d = demo_profiler.snapshot().counters;
+      suite_profile->counters.scenarios_run = d.scenarios_run;
+      suite_profile->counters.memo_hits = d.memo_hits;
+      suite_profile->counters.memo_misses = d.memo_misses;
+    }
     const SampleStats stats = summarize_samples(std::move(wall));
     std::vector<JsonValue> metrics;
     const auto metric = [&metrics](const std::string& name, double value) {
@@ -1150,6 +1176,11 @@ int cmd_bench(const Args& args) {
     metric("counters/events_fired", static_cast<double>(c.events_fired));
     metric("counters/cost_model_evals",
            static_cast<double>(c.cost_model_evals));
+    metric("counters/arena_blocks", static_cast<double>(c.arena_blocks));
+    metric("counters/arena_bytes", static_cast<double>(c.arena_bytes));
+    metric("counters/scenarios_run", static_cast<double>(c.scenarios_run));
+    metric("counters/memo_hits", static_cast<double>(c.memo_hits));
+    metric("counters/memo_misses", static_cast<double>(c.memo_misses));
     metric("iteration_time_s", last_metrics.iteration_time);
     metric("task_count", static_cast<double>(last_metrics.task_count));
     benches.insert(
