@@ -1,0 +1,68 @@
+/// Fault-injection recovery bench: how much of the throughput lost to a
+/// straggler of increasing severity the measured-speed re-partition wins
+/// back on the Hybrid environment — static plan vs elastic re-plan, the
+/// experiment `holmes_cli inject` runs, swept across severities.
+///
+/// Metrics per severity: faulted/static throughput, re-planned throughput,
+/// and the recovery ratio (share of lost throughput regained; the repo's
+/// acceptance bar for 2.0x is >= 0.5). Emits holmes.bench.v1 so the CI
+/// perf trajectory tracks recovery quality over time.
+
+#include <iostream>
+
+#include "bench_json.h"
+#include "core/experiment.h"
+#include "core/faults.h"
+#include "util/table.h"
+
+using namespace holmes;
+using namespace holmes::core;
+
+int main(int argc, char** argv) {
+  bench::BenchReport report("faults", argc, argv);
+  report.run_timed([&] {
+    std::cout << "Fault-injection recovery: group 1 on the Hybrid "
+                 "environment (4 nodes);\none RoCE-cluster node slowed by "
+                 "increasing factors, re-planned from measured speeds\n\n";
+
+    const net::Topology topo = make_environment(NicEnv::kHybrid, 4);
+    int slow_cluster = static_cast<int>(topo.clusters().size()) - 1;
+    for (std::size_t c = 0; c < topo.clusters().size(); ++c) {
+      if (topo.clusters()[c].nic == net::NicType::kRoCE) {
+        slow_cluster = static_cast<int>(c);
+        break;
+      }
+    }
+
+    TextTable table({"Severity", "Fault-free thr", "Faulted thr",
+                     "Re-planned thr", "Recovery ratio"});
+    for (double severity : {1.2, 1.5, 2.0, 3.0}) {
+      FaultPlan plan;
+      ComputeStraggler straggler;
+      straggler.cluster = slow_cluster;
+      straggler.node_in_cluster = 0;
+      straggler.slowdown = severity;
+      plan.stragglers.push_back(straggler);
+
+      const RecoveryReport recovery = run_fault_injection(topo, plan);
+
+      table.add_row({TextTable::num(severity, 1) + "x",
+                     TextTable::num(recovery.fault_free.throughput, 2),
+                     TextTable::num(recovery.faulted.throughput, 2),
+                     TextTable::num(recovery.replanned.throughput, 2),
+                     TextTable::num(recovery.recovery_ratio, 3)});
+      const std::string prefix = "severity" + TextTable::num(severity, 1);
+      report.set(prefix + "/faulted_throughput",
+                 recovery.faulted.throughput);
+      report.set(prefix + "/replanned_throughput",
+                 recovery.replanned.throughput);
+      report.set(prefix + "/recovery_ratio", recovery.recovery_ratio);
+    }
+    table.print();
+    std::cout << "\nThe recovery ratio is (replanned - faulted) / "
+                 "(fault_free - faulted) throughput:\nthe share of the "
+                 "straggler's damage the measured-speed re-partition "
+                 "undoes.\n";
+  });
+  return report.write();
+}

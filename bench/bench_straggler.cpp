@@ -2,12 +2,19 @@
 /// framework to a straggler node, and how far a speed-aware re-partition
 /// (the self-adapting machinery driven by *measured* stage speeds instead
 /// of NIC classes) recovers the loss.
+///
+/// The straggler is expressed as a `holmes.fault_plan.v1` document scoped
+/// to the first node of the RoCE cluster — resolved from the topology, not
+/// hard-coded ranks — and lowered through core/faults.h, so the bench
+/// exercises exactly the machinery `holmes_cli inject` drives. The 2.0x
+/// plan is printed at the end, ready to pipe into `holmes_cli inject`.
 
 #include <iostream>
 #include <vector>
 
 #include "bench_json.h"
 #include "core/experiment.h"
+#include "core/faults.h"
 #include "pipeline/partition.h"
 #include "util/table.h"
 
@@ -23,12 +30,30 @@ int main(int argc, char** argv) {
     const net::Topology topo = make_environment(NicEnv::kHybrid, 4);
     const model::ParameterGroup& workload = model::parameter_group(1);
 
+    // Scope the fault to the first node of the RoCE cluster, wherever the
+    // topology puts it (falling back to the last cluster if no RoCE one
+    // exists, so the bench survives environment changes).
+    int slow_cluster = static_cast<int>(topo.clusters().size()) - 1;
+    for (std::size_t c = 0; c < topo.clusters().size(); ++c) {
+      if (topo.clusters()[c].nic == net::NicType::kRoCE) {
+        slow_cluster = static_cast<int>(c);
+        break;
+      }
+    }
+    const auto make_plan = [&](double slowdown) {
+      FaultPlan plan;
+      ComputeStraggler straggler;
+      straggler.cluster = slow_cluster;
+      straggler.node_in_cluster = 0;
+      straggler.slowdown = slowdown;
+      plan.stragglers.push_back(straggler);
+      return plan;
+    };
+
     TextTable table({"Slowdown", "Holmes thr", "Megatron-LM thr",
                      "Holmes + measured re-partition"});
     for (double slowdown : {1.0, 1.2, 1.5, 2.0}) {
-      Perturbations perturb;
-      // Node 2 (first RoCE node, ranks 16-23) is throttled.
-      for (int r = 16; r < 24; ++r) perturb.device_slowdown[r] = slowdown;
+      const Perturbations perturb = lower_fault_plan(make_plan(slowdown), topo);
 
       const TrainingPlan holmes_plan = Planner(FrameworkConfig::holmes())
                                            .plan(topo, workload);
@@ -40,14 +65,19 @@ int main(int argc, char** argv) {
       const double lm =
           TrainingSimulator{}.run(topo, lm_plan, 3, perturb).throughput;
 
-      // Speed-aware re-partition: stage 1 hosts the throttled node, so its
-      // measured speed shrinks by the straggler factor (half its devices run
-      // slow; the stage paces at the slowest device).
+      // Speed-aware re-partition: the slow cluster's stage hosts the
+      // throttled node, so its measured speed shrinks by the straggler
+      // factor (the stage paces at the slowest device).
       TrainingPlan tuned = holmes_plan;
       const pipeline::StageSpeeds nic_speeds;
-      std::vector<double> measured = {
-          nic_speeds.of(holmes_plan.stage_nics[0]),
-          nic_speeds.of(holmes_plan.stage_nics[1]) / slowdown};
+      std::vector<double> measured;
+      measured.reserve(holmes_plan.stage_nics.size());
+      for (std::size_t s = 0; s < holmes_plan.stage_nics.size(); ++s) {
+        const double speed = nic_speeds.of(holmes_plan.stage_nics[s]);
+        measured.push_back(static_cast<int>(s) == slow_cluster
+                               ? speed / slowdown
+                               : speed);
+      }
       tuned.partition = pipeline::proportional_partition(
           workload.config.layers, measured, 1.0);
       const double repartitioned =
@@ -64,7 +94,10 @@ int main(int argc, char** argv) {
     table.print();
     std::cout << "\nA measured-speed re-partition moves layers off the "
                  "throttled stage, recovering much of the loss —\nthe "
-                 "self-adapting mechanism generalizes beyond NIC classes.\n";
+                 "self-adapting mechanism generalizes beyond NIC classes.\n"
+              << "\nEquivalent holmes.fault_plan.v1 (2.0x), for `holmes_cli "
+                 "inject --fault-plan`:\n"
+              << fault_plan_json(make_plan(2.0)) << "\n";
   });
   return report.write();
 }

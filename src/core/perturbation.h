@@ -1,22 +1,42 @@
 #pragma once
 
 /// \file perturbation.h
-/// Runtime perturbations: stragglers and compute jitter.
+/// Runtime perturbations: stragglers, compute jitter, and transient NIC
+/// degradation windows.
 ///
 /// The paper assumes "communication between devices is stable and all
 /// devices are consistently online" and names fault handling as future
-/// work. This module takes the first step: deterministic (seeded)
-/// perturbation of the simulated execution, so the sensitivity of each
-/// scheduling policy to slow devices can be measured — see
-/// bench_straggler.
+/// work. This module is the runtime half of that story: deterministic
+/// (seeded) perturbation of the simulated execution — per-rank compute
+/// slowdowns, jitter, and time-windowed bandwidth degradation — so the
+/// sensitivity of each scheduling policy to slow devices and flaky fabrics
+/// can be measured. bench_straggler covers the static slowdowns;
+/// core/faults.h builds full fault schedules (holmes.fault_plan.v1) on top
+/// and docs/robustness.md describes the model.
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/units.h"
 
 namespace holmes::core {
+
+/// Transient NIC degradation: a time-windowed bandwidth multiplier scoped
+/// to a cluster (or one node within it). Models PFC pause storms and
+/// congested uplinks — the affected devices' RDMA ports serve traffic at
+/// `bandwidth_factor` of nominal inside [begin_s, end_s). Lowered by
+/// TrainingSimulator into a sim::RateTimeline on the ports of every rank in
+/// scope (the node-shared Ethernet ports degrade instead when the scoped
+/// cluster has Ethernet-only NICs).
+struct NicDegradation {
+  int cluster = -1;          ///< cluster index; -1 = every cluster
+  int node_in_cluster = -1;  ///< 0-based node within the cluster; -1 = all
+  double begin_s = 0;        ///< window start, simulated seconds
+  double end_s = 0;          ///< window end (exclusive), simulated seconds
+  double bandwidth_factor = 1.0;  ///< achievable fraction inside the window
+};
 
 struct Perturbations {
   /// Per-rank compute slowdown multipliers (> 1 = straggler). Ranks not
@@ -27,11 +47,18 @@ struct Perturbations {
   /// by a factor drawn uniformly from [1, 1 + compute_jitter]. 0 disables.
   double compute_jitter = 0.0;
 
+  /// Transient NIC degradation windows (fault injection; see
+  /// core/faults.h). Active windows force the simulator to bypass any
+  /// shared SimMemo — execution-time rates are not part of the memo key —
+  /// and the bypass is counted in the engine self-profile.
+  std::vector<NicDegradation> nic_degradation;
+
   /// Seed for the jitter stream; identical seeds reproduce identical runs.
   std::uint64_t seed = 0x5EED;
 
   bool empty() const {
-    return device_slowdown.empty() && compute_jitter == 0.0;
+    return device_slowdown.empty() && compute_jitter == 0.0 &&
+           nic_degradation.empty();
   }
 
   /// Effective multiplier for one compute task on `rank`. `rng` must be the

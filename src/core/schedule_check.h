@@ -47,6 +47,13 @@ struct ScheduleCheckOptions {
   /// simulations compared in seed order, so the report is byte-identical at
   /// any thread count (sim::ScenarioRunner's contract).
   std::size_t threads = 1;
+  /// Perturbations applied identically to the canonical run and every tie
+  /// permutation — a fault plan's degradation windows and stragglers lower
+  /// to these (core/faults.h), so `holmes_cli check --fault-plan` proves the
+  /// determinism contract holds *with the faults active*. When NIC windows
+  /// are present the HV402 cross-check tolerates stretched busy time
+  /// (verify::FlowLintOptions::allow_stretched).
+  Perturbations perturbations;
 };
 
 /// Everything one check run produces: the merged lint report (HV4xx flow

@@ -13,6 +13,7 @@
 #include "optimizer/dp_strategy.h"
 #include "pipeline/schedule.h"
 #include "sim/executor.h"
+#include "sim/rate_timeline.h"
 #include "sim/scenario_runner.h"
 #include "sim/trace.h"
 #include "util/error.h"
@@ -164,6 +165,41 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
 
   const optimizer::DpSyncConfig& sync = plan.framework.dp_sync;
   const int buckets = sync.effective_buckets();
+
+  // Transient NIC degradation (fault injection): lower the scoped windows
+  // onto the affected ranks' fabric port resources as a time-varying rate
+  // timeline. Ranks on an RDMA cluster degrade their dedicated NIC ports;
+  // Ethernet-only clusters degrade the node-shared Ethernet ports (each
+  // shared port exactly once per window, not once per rank riding it).
+  sim::RateTimeline rate_timeline;
+  sim::ExecutorOptions exec_options = exec_options_;
+  if (!perturbations.nic_degradation.empty()) {
+    for (const NicDegradation& window : perturbations.nic_degradation) {
+      std::vector<sim::ResourceId> affected;
+      for (int rank = 0; rank < n; ++rank) {
+        const net::DeviceInfo& device = topo.device(rank);
+        if (window.cluster >= 0 && device.cluster != window.cluster) continue;
+        if (window.node_in_cluster >= 0 &&
+            device.node_in_cluster != window.node_in_cluster) {
+          continue;
+        }
+        const net::FabricKind fabric =
+            device.nic == net::NicType::kEthernet
+                ? net::FabricKind::kEthernet
+                : net::rdma_fabric(device.nic);
+        affected.push_back(ports.tx(rank, fabric));
+        affected.push_back(ports.rx(rank, fabric));
+      }
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()),
+                     affected.end());
+      for (sim::ResourceId port : affected) {
+        rate_timeline.add_window(port, window.begin_s, window.end_s,
+                                 window.bandwidth_factor);
+      }
+    }
+    exec_options.rates = &rate_timeline;
+  }
 
   // Seeded perturbation stream: compute durations are scaled per task in
   // deterministic creation order, so runs reproduce exactly per seed.
@@ -446,17 +482,24 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
   // functions of the structure the memo key hashes. The executor accounts
   // its own dispatch loop as event_loop_s (memo hits skip it entirely).
   sim::SimResult result = [&]() -> sim::SimResult {
-    if (memo_ != nullptr && observer == nullptr) {
-      const sim::SimMemo::Key key = sim::SimMemo::key(graph, exec_options_);
+    // An active rate timeline forces a bypass: the memo key hashes graph
+    // structure and tie-break options, not execution-time rates, so two
+    // scenarios differing only in their fault windows would collide.
+    const bool rates_active = exec_options.rates != nullptr;
+    if (memo_ != nullptr && observer == nullptr && !rates_active) {
+      const sim::SimMemo::Key key = sim::SimMemo::key(graph, exec_options);
       if (std::shared_ptr<const sim::SimResult> cached = memo_->find(key)) {
         return *cached;
       }
       auto fresh = std::make_shared<const sim::SimResult>(
-          sim::TaskGraphExecutor{exec_options_}.run(graph, nullptr));
+          sim::TaskGraphExecutor{exec_options}.run(graph, nullptr));
       memo_->store(key, fresh);
       return *fresh;
     }
-    return sim::TaskGraphExecutor{exec_options_}.run(graph, observer);
+    if (memo_ != nullptr && observer == nullptr && rates_active) {
+      prof::count(&obs::SelfProfileCounters::memo_bypass);
+    }
+    return sim::TaskGraphExecutor{exec_options}.run(graph, observer);
   }();
   if (chrome_trace != nullptr) {
     sim::write_chrome_trace(*chrome_trace, graph, result);

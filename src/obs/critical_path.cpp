@@ -13,23 +13,11 @@ namespace holmes::obs {
 
 namespace {
 
-/// Serialization seconds of a task: the time its ports are occupied.
-SimTime serialization(const sim::Task& task) {
-  if (task.kind != sim::TaskKind::kTransfer || task.bytes <= 0) return 0;
-  return static_cast<double>(task.bytes) / task.bandwidth;
-}
-
-/// The instant `task` releases its serial resources. Mirrors the executor
-/// exactly (same floating-point expressions), so comparisons against start
-/// times are exact: a transfer's ports free after serialization, before the
-/// propagation latency elapses.
-SimTime release_time(const sim::Task& task, const sim::TaskTiming& timing) {
-  switch (task.kind) {
-    case sim::TaskKind::kCompute: return timing.finish;
-    case sim::TaskKind::kTransfer: return timing.start + serialization(task);
-    case sim::TaskKind::kNoop: return timing.start;
-  }
-  return timing.start;
+/// The instant `task` releases its serial resources — the executor's own
+/// recorded ports_free, so comparisons against start times are exact even
+/// when a fault timeline stretched the occupancy beyond bytes/bandwidth.
+SimTime release_time(const sim::Task& /*task*/, const sim::TaskTiming& timing) {
+  return timing.ports_free;
 }
 
 /// When `task`'s dependencies had all finished (the executor's ready time).

@@ -42,6 +42,7 @@ SelfProfile delta(const SelfProfile& before, const SelfProfile& after) {
   c.arena_bytes -= b.arena_bytes;
   c.memo_hits -= b.memo_hits;
   c.memo_misses -= b.memo_misses;
+  c.memo_bypass -= b.memo_bypass;
   c.scenarios_run -= b.scenarios_run;
   d.phases.graph_build_s -= before.phases.graph_build_s;
   d.phases.event_loop_s -= before.phases.event_loop_s;
@@ -85,6 +86,7 @@ std::string counters_json(const SelfProfileCounters& c) {
       << ",\"arena_bytes\":" << c.arena_bytes
       << ",\"memo_hits\":" << c.memo_hits
       << ",\"memo_misses\":" << c.memo_misses
+      << ",\"memo_bypass\":" << c.memo_bypass
       << ",\"scenarios_run\":" << c.scenarios_run << "}";
   return out.str();
 }
@@ -119,7 +121,8 @@ void print_text(std::ostream& out, const SelfProfile& profile) {
       << format_bytes(static_cast<std::int64_t>(c.arena_bytes))
       << " bump-allocated\n"
       << "  memo        " << c.memo_hits << " hits, " << c.memo_misses
-      << " misses (" << c.scenarios_run << " scenarios)\n"
+      << " misses, " << c.memo_bypass << " bypassed ("
+      << c.scenarios_run << " scenarios)\n"
       << "  cost model  " << c.cost_model_evals << " evaluations\n"
       << "  peak RSS    " << format_bytes(profile.peak_rss_bytes) << "\n";
 }

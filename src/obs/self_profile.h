@@ -70,6 +70,10 @@ struct SelfProfileCounters {
   // owners and flushed to the orchestrating thread's profile.
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
+  /// Runs that could have used a shared memo but were forced around it
+  /// because an active fault timeline is not part of the memo key (see
+  /// core/faults.h and sim/rate_timeline.h).
+  std::uint64_t memo_bypass = 0;
   std::uint64_t scenarios_run = 0;
 };
 

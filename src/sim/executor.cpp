@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/self_profile.h"
+#include "sim/rate_timeline.h"
 #include "util/error.h"
 #include "util/quad_heap.h"
 #include "util/rng.h"
@@ -191,6 +192,12 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
   std::size_t completed = 0;
   SimTime makespan = 0;
 
+  // Time-varying rates (fault injection): hoisted to one pointer so the
+  // fixed-rate hot path pays a single perfectly predicted branch per task.
+  const RateTimeline* const rates =
+      options_.rates != nullptr && !options_.rates->empty() ? options_.rates
+                                                            : nullptr;
+
   // Places one ready task: claims its resources, fixes start/finish, and
   // hands newly released dependents to `emit(ready, id)` — the ordered
   // drivers push straight into their heap, the pool driver buffers. Shared
@@ -216,15 +223,23 @@ SimResult TaskGraphExecutor::run(const TaskGraph& graph,
     SimTime& src = resource_avail[static_cast<std::size_t>(task.resource)];
     SimTime& dst = resource_avail[static_cast<std::size_t>(task.dst_port)];
     const SimTime start = std::max(ready_at, std::max(src, dst));
-    const SimTime ports_free = start + task.cost;
-    const SimTime finish = (start + task.latency) + task.cost;
+    // Occupancy equals declared cost unless a rate timeline stretches it —
+    // a pure function of (resources, start, cost), so placement of
+    // resource-disjoint tasks still commutes and the tie-break determinism
+    // contract survives fault injection.
+    const SimTime occupancy =
+        rates == nullptr
+            ? task.cost
+            : rates->stretched(task.resource, task.dst_port, start, task.cost);
+    const SimTime ports_free = start + occupancy;
+    const SimTime finish = (start + task.latency) + occupancy;
     src = ports_free;
     dst = ports_free;
-    resource_busy[static_cast<std::size_t>(task.resource)] += task.cost;
+    resource_busy[static_cast<std::size_t>(task.resource)] += occupancy;
     resource_busy[static_cast<std::size_t>(task.dst_port)] +=
-        task.dst_port != task.resource ? task.cost : 0.0;
+        task.dst_port != task.resource ? occupancy : 0.0;
 
-    timing[static_cast<std::size_t>(id)] = {start, finish};
+    timing[static_cast<std::size_t>(id)] = {start, finish, ports_free};
     makespan = std::max(makespan, finish);
     ++completed;
     if (observer != nullptr) {

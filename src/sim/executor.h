@@ -27,6 +27,12 @@ namespace holmes::sim {
 struct TaskTiming {
   SimTime start = 0;
   SimTime finish = 0;
+  /// Instant the task's serial resources freed: start plus the (possibly
+  /// rate-stretched) occupancy. `finish` additionally includes the
+  /// propagation latency, so consumers reconstructing port release times
+  /// must use this field — recomputing bytes/bandwidth from the task is
+  /// wrong whenever a fault timeline stretched the occupancy.
+  SimTime ports_free = 0;
 };
 
 class SimResult;
@@ -109,10 +115,19 @@ enum class TieBreak {
   kPermuteAll,
 };
 
+class RateTimeline;
+
 struct ExecutorOptions {
   TieBreak tie_break = TieBreak::kCanonical;
   /// Seed for the permuting policies; ignored by kCanonical.
   std::uint64_t tie_seed = 0;
+  /// Optional time-varying resource rates (see sim/rate_timeline.h): a
+  /// task's occupancy stretches while any of its resources is degraded.
+  /// Not owned; must outlive the run. Null (the default) keeps the
+  /// fixed-rate fast path byte-for-byte unchanged. Runs with a timeline
+  /// must bypass SimMemo — the memo key hashes graph structure and
+  /// tie-break options only, not execution-time rates.
+  const RateTimeline* rates = nullptr;
 };
 
 class TaskGraphExecutor {

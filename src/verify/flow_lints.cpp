@@ -297,10 +297,18 @@ LintReport lint_flow(const TaskSetRef& view, const sim::SimResult* result,
                      format_seconds(result->makespan()) + " s");
       }
       const double busy = result->resource_busy(id);
-      if (!near(load, busy, options.tolerance)) {
+      // Under an active fault timeline the executor legitimately accounts
+      // more busy time than the static load (degraded resources stretch
+      // occupancy); only below-load accounting is impossible then.
+      const bool busy_ok = options.allow_stretched
+                               ? ge(busy, load, options.tolerance)
+                               : near(load, busy, options.tolerance);
+      if (!busy_ok) {
         emit(id, "static aggregate occupancy " + format_seconds(load) +
                      " s disagrees with the executor's accounted busy time " +
-                     format_seconds(busy) + " s");
+                     format_seconds(busy) + " s" +
+                     (options.allow_stretched ? " (stretching tolerated)"
+                                              : ""));
       }
     }
   }
@@ -411,12 +419,15 @@ LintReport check_determinism(const sim::TaskGraph& graph,
                              const DeterminismCheckOptions& options) {
   LintReport report;
   report.mark_checked(kRuleScheduleRace);
-  const sim::SimResult baseline = sim::TaskGraphExecutor{}.run(graph);
+  sim::ExecutorOptions canonical;
+  canonical.rates = options.rates;
+  const sim::SimResult baseline = sim::TaskGraphExecutor{canonical}.run(graph);
   std::size_t findings = 0;
   for (int k = 0; k < options.permutations; ++k) {
     sim::ExecutorOptions exec;
     exec.tie_break = options.tie_break;
     exec.tie_seed = options.base_seed + static_cast<std::uint64_t>(k);
+    exec.rates = options.rates;
     const sim::SimResult permuted = sim::TaskGraphExecutor{exec}.run(graph);
 
     // Bitwise comparison: identical placement arithmetic in identical order

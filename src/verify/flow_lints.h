@@ -86,6 +86,12 @@ struct FlowLintOptions {
   std::vector<int> resource_cluster;
   /// Cap on diagnostics emitted per rule.
   std::size_t max_diagnostics_per_rule = 8;
+  /// The run executed under an active sim::RateTimeline (fault injection):
+  /// degraded resources serve declared cost over a longer occupancy, so
+  /// HV402 only requires accounted busy time >= static load instead of
+  /// equality. HV401's chain bound stays exact — stretching never shrinks
+  /// any task's span, so the fault-free chain is still a valid lower bound.
+  bool allow_stretched = false;
 };
 
 /// Flow rules HV401..HV404. `result` may be null: the cross-check rules
@@ -106,6 +112,10 @@ struct DeterminismCheckOptions {
   sim::TieBreak tie_break = sim::TieBreak::kPermuteDisjoint;
   /// Cap on diagnostics emitted.
   std::size_t max_diagnostics_per_rule = 8;
+  /// Fault timeline active on every run (canonical and permuted alike), so
+  /// HV405 checks determinism *of the faulted schedule*. Not owned; must
+  /// outlive the call. Null = fault-free.
+  const sim::RateTimeline* rates = nullptr;
 };
 
 /// Schedule-race rule HV405: simulates `graph` canonically, then under

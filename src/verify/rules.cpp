@@ -14,6 +14,8 @@ std::string to_string(RuleFamily family) {
       return "execution";
     case RuleFamily::kFlow:
       return "flow";
+    case RuleFamily::kFault:
+      return "fault";
   }
   return "unknown";
 }
@@ -114,6 +116,26 @@ const std::vector<RuleInfo>& rule_catalog() {
        "Simulated results changed when equal-ready-time ties were reordered "
        "under a seeded permutation: the schedule depends on tie order, which "
        "the determinism contract forbids."},
+      {kRuleFaultWindowSane, RuleFamily::kFault, Severity::kError,
+       "fault-window-sane",
+       "A NIC degradation window is malformed (negative start, end not after "
+       "begin, or a non-positive bandwidth factor), or it opens after the "
+       "simulation horizon and can never take effect."},
+      {kRuleFaultScopeValid, RuleFamily::kFault, Severity::kError,
+       "fault-scope-valid",
+       "A fault's scope resolves to no device in the topology: unknown "
+       "cluster, node index outside the cluster, straggler rank outside the "
+       "world, or a node-loss event naming a non-existent node."},
+      {kRuleCheckpointModelSane, RuleFamily::kFault, Severity::kError,
+       "checkpoint-model-sane",
+       "The checkpoint/restart cost model is unusable: checkpoint period "
+       "not positive, negative save/restart cost, or a node-loss event "
+       "scheduled without a checkpoint model to recover from."},
+      {kRuleRecoveryInvariant, RuleFamily::kFault, Severity::kError,
+       "recovery-invariant",
+       "The recovered run finished faster than its own fault-free flow "
+       "lower bound (HV401's critical chain): elastic re-planning cannot "
+       "beat physics, so the recovery accounting is wrong."},
   };
   return catalog;
 }

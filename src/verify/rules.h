@@ -12,7 +12,9 @@
 /// *graph* lints (structural checks on a built TaskGraph), HV3xx are
 /// *execution* lints (conservation checks on a SimResult), HV4xx are *flow*
 /// lints (simulation-free bounds on a TaskGraph cross-checked against
-/// executed results, plus the schedule-race determinism check).
+/// executed results, plus the schedule-race determinism check), HV5xx are
+/// *fault* lints (fault-plan sanity before injection plus the recovery
+/// invariant after it — see core/faults.h and docs/robustness.md).
 
 #include <iosfwd>
 #include <string_view>
@@ -22,7 +24,7 @@
 
 namespace holmes::verify {
 
-enum class RuleFamily { kPlan, kGraph, kExecution, kFlow };
+enum class RuleFamily { kPlan, kGraph, kExecution, kFlow, kFault };
 
 std::string to_string(RuleFamily family);
 
@@ -75,5 +77,11 @@ inline constexpr const char* kRuleFlowResourceBound = "HV402";
 inline constexpr const char* kRuleFlowMemoryWatermark = "HV403";
 inline constexpr const char* kRuleChannelCutBalance = "HV404";
 inline constexpr const char* kRuleScheduleRace = "HV405";
+
+// ---- Fault family ----
+inline constexpr const char* kRuleFaultWindowSane = "HV501";
+inline constexpr const char* kRuleFaultScopeValid = "HV502";
+inline constexpr const char* kRuleCheckpointModelSane = "HV503";
+inline constexpr const char* kRuleRecoveryInvariant = "HV504";
 
 }  // namespace holmes::verify

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/faults.h"
 #include "core/framework.h"
 #include "core/run_stats.h"
 #include "model/gpt_zoo.h"
@@ -136,6 +137,48 @@ TEST(EngineEquivalence, MatchesSeedGoldens) {
   }
 }
 
+// The faulted fixture: the canonical fault plan (a 2.0x straggler on the
+// RoCE cluster's first node plus a NIC degradation window) lowered onto the
+// hybrid config. Exercises the rate-timeline executor path — stretched
+// occupancies, ports_free timings, stretch-aware critical path — which the
+// clean matrix above never enters.
+std::string run_faulted_hybrid() {
+  const net::Topology topo = make_environment(NicEnv::kHybrid, 2);
+  const TrainingPlan plan =
+      Planner(FrameworkConfig::holmes()).plan(topo, model::parameter_group(1));
+  FaultPlan faults;
+  ComputeStraggler straggler;
+  straggler.cluster = 1;
+  straggler.node_in_cluster = 0;
+  straggler.slowdown = 2.0;
+  faults.stragglers.push_back(straggler);
+  NicDegradation window;
+  window.cluster = 1;
+  window.begin_s = 1.0;
+  window.end_s = 10.0;
+  window.bandwidth_factor = 0.5;
+  faults.nic_degradation.push_back(window);
+  const Perturbations perturb = lower_fault_plan(faults, topo);
+
+  TrainingSimulator simulator;
+  SimArtifacts artifacts;
+  const IterationMetrics metrics =
+      simulator.run(topo, plan, 3, perturb, nullptr, &artifacts);
+  std::ostringstream out;
+  out << "{\"run_summary\":";
+  obs::write_json(out, build_run_summary(topo, plan, metrics, artifacts));
+  out << ",\"critical_path\":";
+  obs::write_json(out,
+                  build_critical_path_summary(topo, plan, metrics, artifacts));
+  out << "}\n";
+  return out.str();
+}
+
+TEST(EngineEquivalence, FaultedHybridMatchesGolden) {
+  compare_or_regen({NicEnv::kHybrid, 1, "holmes_faulted"},
+                   run_faulted_hybrid());
+}
+
 // The parallel fan-out must be observably identical to the serial loop:
 // the same 36 configs, simulated across >= 4 ScenarioRunner threads, must
 // reproduce the same golden bytes (this is the suite the tsan CI matrix
@@ -143,15 +186,20 @@ TEST(EngineEquivalence, MatchesSeedGoldens) {
 TEST(EngineEquivalence, ParallelScenarioRunnerMatchesSeedGoldens) {
   if (regen_requested()) GTEST_SKIP() << "goldens regenerate serially";
   const std::vector<Config> configs = fixture_configs();
-  std::vector<std::string> actual(configs.size());
+  // +1: the faulted hybrid config rides along, so the rate-timeline path is
+  // also proven race-free under the pool.
+  std::vector<std::string> actual(configs.size() + 1);
   sim::ScenarioRunner runner(4);
-  runner.run_all(configs.size(),
-                 [&](std::size_t i) { actual[i] = run_config(configs[i]); });
+  runner.run_all(actual.size(), [&](std::size_t i) {
+    actual[i] =
+        i < configs.size() ? run_config(configs[i]) : run_faulted_hybrid();
+  });
   EXPECT_GE(runner.threads(), 4u);
   for (std::size_t i = 0; i < configs.size(); ++i) {
     SCOPED_TRACE(golden_name(configs[i]));
     compare_or_regen(configs[i], actual[i]);
   }
+  compare_or_regen({NicEnv::kHybrid, 1, "holmes_faulted"}, actual.back());
 }
 
 }  // namespace

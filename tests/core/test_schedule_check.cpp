@@ -105,6 +105,61 @@ TEST(ScheduleCheck, ParallelFanOutMatchesSerialReportBytes) {
   EXPECT_EQ(b.diverged, 0);
 }
 
+// A representative fault schedule: a straggler node plus a NIC degradation
+// window, i.e. both the duration-perturbing and the rate-timeline paths.
+Perturbations faulted_perturbations() {
+  Perturbations perturb;
+  for (int rank = 8; rank < 16; ++rank) perturb.device_slowdown[rank] = 2.0;
+  NicDegradation window;
+  window.cluster = 1;
+  window.begin_s = 1.0;
+  window.end_s = 10.0;
+  window.bandwidth_factor = 0.5;
+  perturb.nic_degradation.push_back(window);
+  return perturb;
+}
+
+TEST(ScheduleCheck, FaultedRunStaysDeterministicAcrossPermutations) {
+  // Byte-identity is part of the fault-injection contract: degradation
+  // windows stretch occupancies but must not open scheduling races.
+  const net::Topology topo = net::Topology::hybrid_two_clusters(1);
+  const TrainingPlan plan = plan_for(FrameworkConfig::holmes(), topo);
+  ScheduleCheckOptions options = quick_options();
+  options.perturbations = faulted_perturbations();
+  const ScheduleCheckResult result =
+      check_schedule_determinism(topo, plan, options);
+  EXPECT_EQ(result.permutations, 2);
+  EXPECT_EQ(result.diverged, 0);
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_FALSE(result.report.fired(verify::kRuleScheduleRace));
+}
+
+TEST(ScheduleCheck, FaultedParallelFanOutMatchesSerialReportBytes) {
+  const net::Topology topo = net::Topology::hybrid_two_clusters(1);
+  const TrainingPlan plan = plan_for(FrameworkConfig::holmes(), topo);
+  ScheduleCheckOptions serial = quick_options();
+  serial.permutations = 4;
+  serial.perturbations = faulted_perturbations();
+  ScheduleCheckOptions parallel = serial;
+  parallel.threads = 4;
+  const ScheduleCheckResult a = check_schedule_determinism(topo, plan, serial);
+  const ScheduleCheckResult b =
+      check_schedule_determinism(topo, plan, parallel);
+  std::ostringstream sa;
+  std::ostringstream sb;
+  write_check_report_json(sa, a, current_build_info());
+  write_check_report_json(sb, b, current_build_info());
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_EQ(b.diverged, 0);
+
+  // The faults actually bit: the checked makespan differs from fault-free.
+  ScheduleCheckOptions clean = quick_options();
+  clean.permutations = 1;
+  const ScheduleCheckResult baseline =
+      check_schedule_determinism(topo, plan, clean);
+  EXPECT_GT(a.makespan_s, baseline.makespan_s);
+}
+
 TEST(ScheduleCheck, TieBreakNamesAreStable) {
   EXPECT_EQ(to_string(sim::TieBreak::kCanonical), "canonical");
   EXPECT_EQ(to_string(sim::TieBreak::kPermuteDisjoint), "disjoint");

@@ -1,0 +1,104 @@
+#include "sim/rate_timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace holmes::sim {
+namespace {
+
+TEST(RateTimeline, EmptyTimelineIsExactIdentity) {
+  RateTimeline rates;
+  EXPECT_TRUE(rates.empty());
+  EXPECT_EQ(rates.window_count(), 0u);
+  // Bit-exact passthrough, not merely approximate: the executor relies on
+  // occupancy == cost whenever no window intersects.
+  const double cost = 0.1 + 0.2;  // a value with FP representation slack
+  EXPECT_EQ(rates.stretched(0, 1, 5.0, cost), cost);
+  EXPECT_EQ(rates.rate_at(0, 0.0), 1.0);
+  EXPECT_EQ(rates.rate_at(12345, 1e9), 1.0);
+}
+
+TEST(RateTimeline, WindowHalvesServiceRateInsideItsSpan) {
+  RateTimeline rates;
+  rates.add_window(0, 1.0, 3.0, 0.5);
+  EXPECT_FALSE(rates.empty());
+  EXPECT_EQ(rates.rate_at(0, 0.5), 1.0);
+  EXPECT_EQ(rates.rate_at(0, 1.0), 0.5);  // [begin, end): begin inclusive
+  EXPECT_EQ(rates.rate_at(0, 2.9), 0.5);
+  EXPECT_EQ(rates.rate_at(0, 3.0), 1.0);  // end exclusive
+  // Cost 4 starting at 0: 1 declared second before the window, then the
+  // window's 2 wall seconds deliver only 1, then 2 more after -> 5 wall.
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 0, 0.0, 4.0), 5.0);
+}
+
+TEST(RateTimeline, WorkOutsideWindowsIsExactlyUnstretched) {
+  RateTimeline rates;
+  rates.add_window(0, 100.0, 200.0, 0.25);
+  const double cost = 1.0 / 3.0;
+  EXPECT_EQ(rates.stretched(0, 0, 0.0, cost), cost);   // ends before
+  EXPECT_EQ(rates.stretched(0, 0, 250.0, cost), cost); // starts after
+  EXPECT_EQ(rates.stretched(7, 7, 150.0, cost), cost); // other resource
+}
+
+TEST(RateTimeline, OverlappingWindowsCompoundMultiplicatively) {
+  RateTimeline rates;
+  rates.add_window(0, 0.0, 10.0, 0.5);
+  rates.add_window(0, 0.0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(rates.rate_at(0, 5.0), 0.25);
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 0, 0.0, 1.0), 4.0);
+}
+
+TEST(RateTimeline, TransferIsPacedByTheSlowerEndpoint) {
+  RateTimeline rates;
+  rates.add_window(1, 0.0, 100.0, 0.5);  // only the destination degrades
+  // A paused receiver back-pressures the sender: min(rate(a), rate(b)).
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 1, 0.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(rates.stretched(1, 0, 0.0, 2.0), 4.0);
+  // Both endpoints degraded does not double-count.
+  rates.add_window(0, 0.0, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 1, 0.0, 2.0), 4.0);
+}
+
+TEST(RateTimeline, FactorsAboveOneNeverBeatNominalService) {
+  RateTimeline rates;
+  rates.add_window(0, 0.0, 10.0, 2.0);
+  // rate_at reports the raw compound factor...
+  EXPECT_DOUBLE_EQ(rates.rate_at(0, 5.0), 2.0);
+  // ...but service is capped at nominal: hardware cannot run faster than
+  // its data sheet, so a "recovery" window only cancels degradation.
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 0, 0.0, 4.0), 4.0);
+  // A 2.0 burst overlapping a 0.5 degradation restores nominal exactly.
+  rates.add_window(0, 0.0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 0, 0.0, 4.0), 4.0);
+}
+
+TEST(RateTimeline, TinyFactorIsClampedSoProgressContinues) {
+  RateTimeline rates;
+  rates.add_window(0, 0.0, 1e-3, 1e-12);
+  const double occupancy = rates.stretched(0, 0, 0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(occupancy));
+  EXPECT_GT(occupancy, 1.0);
+}
+
+TEST(RateTimeline, RejectsDegenerateWindows) {
+  RateTimeline rates;
+  EXPECT_THROW(rates.add_window(0, 2.0, 2.0, 0.5), ConfigError);   // empty
+  EXPECT_THROW(rates.add_window(0, 3.0, 2.0, 0.5), ConfigError);   // inverted
+  EXPECT_THROW(rates.add_window(0, -1.0, 2.0, 0.5), ConfigError);  // negative
+  EXPECT_THROW(rates.add_window(0, 0.0, 2.0, 0.0), ConfigError);   // rate 0
+  EXPECT_THROW(rates.add_window(0, 0.0, 2.0, -1.0), ConfigError);  // negative
+  EXPECT_THROW(rates.add_window(-1, 0.0, 2.0, 0.5), ConfigError);  // resource
+  EXPECT_TRUE(rates.empty()) << "rejected windows must not be recorded";
+}
+
+TEST(RateTimeline, ZeroCostTaskIsUntouched) {
+  RateTimeline rates;
+  rates.add_window(0, 0.0, 10.0, 0.5);
+  EXPECT_EQ(rates.stretched(0, 0, 5.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace holmes::sim

@@ -8,9 +8,9 @@
 namespace holmes::verify {
 namespace {
 
-TEST(RuleCatalog, HasTwentyOneRulesWithUniqueAscendingIds) {
+TEST(RuleCatalog, HasTwentyFiveRulesWithUniqueAscendingIds) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 21u);
+  EXPECT_EQ(catalog.size(), 25u);
   std::set<std::string> ids;
   std::string prev;
   for (const RuleInfo& rule : catalog) {
@@ -38,6 +38,9 @@ TEST(RuleCatalog, FamiliesMatchIdNumbering) {
       case '4':
         EXPECT_EQ(rule.family, RuleFamily::kFlow) << id;
         break;
+      case '5':
+        EXPECT_EQ(rule.family, RuleFamily::kFault) << id;
+        break;
       default:
         FAIL() << "unknown family digit in " << id;
     }
@@ -59,7 +62,9 @@ TEST(RuleCatalog, ConstantsResolve) {
         kRuleDepsValid, kRuleTaskFields, kRuleSerialOrder,
         kRuleChannelConservation, kRuleTimingMonotone, kRuleResourceExclusive,
         kRuleResultComplete, kRuleFlowChainBound, kRuleFlowResourceBound,
-        kRuleFlowMemoryWatermark, kRuleChannelCutBalance, kRuleScheduleRace}) {
+        kRuleFlowMemoryWatermark, kRuleChannelCutBalance, kRuleScheduleRace,
+        kRuleFaultWindowSane, kRuleFaultScopeValid, kRuleCheckpointModelSane,
+        kRuleRecoveryInvariant}) {
     EXPECT_NE(find_rule(id), nullptr) << id << " missing from the catalog";
   }
 }

@@ -92,6 +92,24 @@
 ///                        byte-identical at any thread count)
 ///       --json[=FILE]    stable holmes.check_report.v1 document
 ///       --strict         promote warnings to errors
+///       --fault-plan FILE  holmes.fault_plan.v1 document; its degradation
+///                        windows and stragglers are active during the
+///                        canonical run and every permutation, proving the
+///                        determinism contract holds with faults injected
+///
+///   holmes_cli inject <topology> <group> --fault-plan FILE [options]
+///       Fault injection + elastic recovery (docs/robustness.md): lint the
+///       holmes.fault_plan.v1 document (HV501-503), then simulate the job
+///       three ways — fault-free, faulted with the static partition, and
+///       faulted with a partition re-planned from per-stage speeds measured
+///       on the executed graph. Reports the recovered throughput fraction,
+///       the checkpoint-replay downtime of a node loss, and the
+///       critical-path attribution delta. Exit codes as for lint.
+///       --fault-plan FILE  the fault schedule (required)
+///       --framework F    as for simulate          (default holmes)
+///       --iterations N   simulated iterations     (default 3)
+///       --json[=FILE]    unstamped holmes.recovery_report.v1 document
+///                        (byte-stable across machines, CI-diffable)
 ///
 ///   holmes_cli bench [binaries...] [options]
 ///       Perf-trajectory harness (docs/observability.md): runs bench
@@ -153,6 +171,7 @@
 #include "core/autotune.h"
 #include "core/preflight.h"
 #include "core/experiment.h"
+#include "core/faults.h"
 #include "core/schedule_check.h"
 #include "core/report.h"
 #include "core/run_stats.h"
@@ -200,6 +219,7 @@ std::string usage_text() {
       "  diff     <before> <after>      compare two emitted JSON documents\n"
       "  lint     <topology> <group>    static verifier (or lint --rules)\n"
       "  check    <topology> <group>    schedule-race determinism check\n"
+      "  inject   <topology> <group>    fault injection + elastic recovery\n"
       "  bench    [binaries...]         perf-trajectory harness over the "
       "bench binaries\n"
       "  envs                           list named environments\n"
@@ -316,6 +336,13 @@ Perturbations resolve_perturbations(const Args& args) {
         std::stod(spec.substr(colon + 1));
   }
   return perturb;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open " + path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
 }
 
 /// `--json[=FILE]` convention: absent -> no JSON; "" or "-" -> stdout
@@ -890,7 +917,7 @@ int cmd_check(const Args& args) {
     throw ConfigError(
         "usage: holmes_cli check <topology> <group> [--permutations N] "
         "[--seed S] [--policy disjoint|all] [--framework F] [--iterations N] "
-        "[--threads N] [--json[=FILE]] [--strict]");
+        "[--threads N] [--json[=FILE]] [--strict] [--fault-plan FILE]");
   }
   const net::Topology topo = resolve_topology(args.positional[0]);
   const int group = std::stoi(args.positional[1]);
@@ -924,6 +951,23 @@ int cmd_check(const Args& args) {
       throw ConfigError("unknown --policy '" + policy->second +
                         "' (disjoint|all)");
     }
+  }
+
+  // A fault plan's runtime faults (degradation windows, stragglers) are
+  // lowered to perturbations active in the canonical run and every
+  // permutation alike — the check then proves byte-determinism *with the
+  // faults injected*. A plan that fails its own HV501-503 lint gates here.
+  const auto fault_plan = args.options.find("fault-plan");
+  if (fault_plan != args.options.end()) {
+    const FaultPlan faults =
+        parse_fault_plan(read_text_file(fault_plan->second));
+    const verify::LintReport plan_lint = lint_fault_plan(faults, topo);
+    if (!plan_lint.ok()) {
+      std::cout << "fault plan " << fault_plan->second << " failed lint:\n";
+      verify::print_text(std::cout, plan_lint);
+      return verdict_exit_code(plan_lint);
+    }
+    options.perturbations = lower_fault_plan(faults, topo);
   }
 
   const TrainingPlan plan =
@@ -961,6 +1005,34 @@ int cmd_check(const Args& args) {
     write_check_report_json(out, result, current_build_info());
   });
   return verdict_exit_code(result.report);
+}
+
+int cmd_inject(const Args& args) {
+  if (args.positional.size() < 2 || !args.options.count("fault-plan")) {
+    throw ConfigError(
+        "usage: holmes_cli inject <topology> <group> --fault-plan FILE "
+        "[--framework F] [--iterations N] [--json[=FILE]]");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  RecoveryOptions options;
+  options.group_id = std::stoi(args.positional[1]);
+  options.framework = resolve_framework(args);
+  options.iterations = option_int(args, "iterations", 3);
+
+  const FaultPlan plan =
+      parse_fault_plan(read_text_file(args.options.at("fault-plan")));
+  const RecoveryReport report = run_fault_injection(topo, plan, options);
+
+  if (json_dest(args) == JsonDest::kStdout) {
+    write_recovery_report_json(std::cout, report);
+    std::cout << "\n";
+    return verdict_exit_code(report.lint);
+  }
+  print_recovery_report(std::cout, report);
+  emit_json(args, "recovery report", [&](std::ostream& out) {
+    write_recovery_report_json(out, report);
+  });
+  return verdict_exit_code(report.lint);
 }
 
 /// Timing leaves get the noise floor; everything else (self-profile
@@ -1149,6 +1221,7 @@ int cmd_bench(const Args& args) {
       suite_profile->counters.scenarios_run = d.scenarios_run;
       suite_profile->counters.memo_hits = d.memo_hits;
       suite_profile->counters.memo_misses = d.memo_misses;
+      suite_profile->counters.memo_bypass = d.memo_bypass;
     }
     const SampleStats stats = summarize_samples(std::move(wall));
     std::vector<JsonValue> metrics;
@@ -1181,6 +1254,7 @@ int cmd_bench(const Args& args) {
     metric("counters/scenarios_run", static_cast<double>(c.scenarios_run));
     metric("counters/memo_hits", static_cast<double>(c.memo_hits));
     metric("counters/memo_misses", static_cast<double>(c.memo_misses));
+    metric("counters/memo_bypass", static_cast<double>(c.memo_bypass));
     metric("iteration_time_s", last_metrics.iteration_time);
     metric("task_count", static_cast<double>(last_metrics.task_count));
     benches.insert(
@@ -1351,6 +1425,7 @@ int main(int argc, char** argv) {
     if (args.command == "diff") return cmd_diff(args);
     if (args.command == "lint") return cmd_lint(args);
     if (args.command == "check") return cmd_check(args);
+    if (args.command == "inject") return cmd_inject(args);
     if (args.command == "bench") return cmd_bench(args);
     if (args.command == "envs") return cmd_envs();
     throw ConfigError("unknown command '" + args.command + "'\n" +
