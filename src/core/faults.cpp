@@ -10,6 +10,7 @@
 
 #include "core/run_stats.h"
 #include "model/gpt_zoo.h"
+#include "obs/timeline.h"
 #include "net/nic.h"
 #include "pipeline/partition.h"
 #include "util/error.h"
@@ -636,6 +637,53 @@ RecoveryReport run_fault_injection(const net::Topology& topo,
     delta.delta_s = delta.faulted_s - delta.fault_free_s;
     report.bucket_deltas.push_back(delta);
   }
+
+  // Per-NIC-class occupancy shape delta, each leg bucketed over its own
+  // full run so the curves compare even though faults stretch the span.
+  const auto class_occupancy = [](const SimArtifacts& artifacts) {
+    const obs::Timeline timeline = obs::extract_timeline(
+        artifacts.graph, *artifacts.result, {},
+        [](const std::string& name) -> std::string {
+          if (name.find(".compute") != std::string::npos) return "compute";
+          return nic_class_of(name);
+        });
+    std::map<std::string, std::vector<double>> curves;
+    for (const obs::ClassTimeline& cls : timeline.classes) {
+      std::vector<double> values =
+          cls.busy_ports.bucketize(timeline.window.begin, timeline.window.end,
+                                   RecoveryReport::kTimelineBuckets);
+      if (cls.ports > 0) {
+        for (double& v : values) v /= static_cast<double>(cls.ports);
+      }
+      curves[cls.nic_class] = std::move(values);
+    }
+    return curves;
+  };
+  const std::map<std::string, std::vector<double>> ff_curves =
+      class_occupancy(ff_artifacts);
+  const std::map<std::string, std::vector<double>> fs_curves =
+      class_occupancy(fs_artifacts);
+  std::map<std::string, RecoveryReport::ClassOccupancyDelta> shapes;
+  for (const auto& [name, curve] : ff_curves) {
+    shapes[name].nic_class = name;
+    shapes[name].fault_free = curve;
+  }
+  for (const auto& [name, curve] : fs_curves) {
+    shapes[name].nic_class = name;
+    shapes[name].faulted = curve;
+  }
+  for (auto& [name, shape] : shapes) {
+    const std::vector<double> zeros(RecoveryReport::kTimelineBuckets, 0.0);
+    if (shape.fault_free.empty()) shape.fault_free = zeros;
+    if (shape.faulted.empty()) shape.faulted = zeros;
+    shape.delta.resize(RecoveryReport::kTimelineBuckets);
+    for (int b = 0; b < RecoveryReport::kTimelineBuckets; ++b) {
+      shape.delta[static_cast<std::size_t>(b)] =
+          shape.faulted[static_cast<std::size_t>(b)] -
+          shape.fault_free[static_cast<std::size_t>(b)];
+    }
+    report.timeline_deltas.push_back(shape);
+  }
   return report;
 }
 
@@ -684,6 +732,15 @@ void write_recovery_report_json(std::ostream& out,
         << ",\"faulted_s\":" << json_number(d.faulted_s)
         << ",\"delta_s\":" << json_number(d.delta_s) << "}";
   }
+  out << "],\"timeline_delta\":[";
+  for (std::size_t i = 0; i < report.timeline_deltas.size(); ++i) {
+    const RecoveryReport::ClassOccupancyDelta& d = report.timeline_deltas[i];
+    if (i > 0) out << ",";
+    out << "{\"class\":\"" << json_escape(d.nic_class)
+        << "\",\"fault_free\":" << json_num_array(d.fault_free)
+        << ",\"faulted\":" << json_num_array(d.faulted)
+        << ",\"delta\":" << json_num_array(d.delta) << "}";
+  }
   out << "],\"lint\":";
   verify::write_json(out, report.lint);
   out << "}";
@@ -723,6 +780,18 @@ void print_recovery_report(std::ostream& out, const RecoveryReport& report) {
     } else {
       out << "  unrecoverable: " << report.unrecoverable_reason << "\n";
     }
+  }
+  for (const RecoveryReport::ClassOccupancyDelta& d : report.timeline_deltas) {
+    double ff = 0;
+    double fs = 0;
+    for (double v : d.fault_free) ff += v;
+    for (double v : d.faulted) fs += v;
+    ff /= RecoveryReport::kTimelineBuckets;
+    fs /= RecoveryReport::kTimelineBuckets;
+    out << "  " << d.nic_class << " occupancy: fault-free "
+        << format_seconds(ff * 100) << "%, faulted "
+        << format_seconds(fs * 100)
+        << "% (shape curves in the JSON timeline_delta)\n";
   }
   verify::print_text(out, report.lint);
 }

@@ -185,6 +185,22 @@ struct RecoveryReport {
     double delta_s = 0;
   };
   std::vector<BucketDelta> bucket_deltas;
+
+  /// Per-NIC-class occupancy timelines (busy ports / class ports) of the
+  /// faulted vs fault-free legs, each bucketed over its own [0, makespan)
+  /// so the *shapes* compare even though faults stretch the run (see
+  /// obs/timeline.h). Joined by class name; a class absent from one leg
+  /// contributes zeros. The fallback fabric filling up while grad-sync is
+  /// degraded — the paper's Fig. 3 — shows here as a positive Ethernet
+  /// delta hump.
+  static constexpr int kTimelineBuckets = 16;
+  struct ClassOccupancyDelta {
+    std::string nic_class;
+    std::vector<double> fault_free;  ///< kTimelineBuckets occupancy means
+    std::vector<double> faulted;
+    std::vector<double> delta;       ///< faulted - fault_free, per bucket
+  };
+  std::vector<ClassOccupancyDelta> timeline_deltas;
 };
 
 /// Runs the full injection experiment described in the file comment.

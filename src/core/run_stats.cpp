@@ -23,22 +23,6 @@ std::string format_billions(double billions) {
   return buf;
 }
 
-std::string workload_label(const TrainingPlan& plan) {
-  return "group " + std::to_string(plan.workload.id) + " (" +
-         format_billions(plan.workload.nominal_billions) + "B params)";
-}
-
-/// NIC class of a port resource; the PortMap bakes the fabric name into
-/// every port's resource name ("gpu3.RoCE.tx", "node0.Ethernet0.rx").
-const char* nic_class_of(const std::string& resource_name) {
-  static constexpr const char* kClasses[] = {"NVLink", "PCIe", "InfiniBand",
-                                             "RoCE", "Ethernet"};
-  for (const char* cls : kClasses) {
-    if (resource_name.find(cls) != std::string::npos) return cls;
-  }
-  return "unknown";
-}
-
 /// Communicator kind of a transfer, from its canonical per-iteration tag
 /// (tag = base + iteration * kIterationStride); falls back to the channel
 /// name for transfers outside the canonical set.
@@ -58,16 +42,41 @@ std::string comm_kind_of(const sim::TaskGraph& graph, const sim::Task& task) {
 
 }  // namespace
 
+const char* nic_class_of(const std::string& resource_name) {
+  static constexpr const char* kClasses[] = {"NVLink", "PCIe", "InfiniBand",
+                                             "RoCE", "Ethernet"};
+  for (const char* cls : kClasses) {
+    if (resource_name.find(cls) != std::string::npos) return cls;
+  }
+  return "unknown";
+}
+
+std::string workload_label(const TrainingPlan& plan) {
+  return "group " + std::to_string(plan.workload.id) + " (" +
+         format_billions(plan.workload.nominal_billions) + "B params)";
+}
+
 obs::RunSummary build_run_summary(const net::Topology& topo,
                                   const TrainingPlan& plan,
                                   const IterationMetrics& metrics,
-                                  const SimArtifacts& artifacts) {
+                                  const SimArtifacts& artifacts,
+                                  const RunSummaryOptions& options) {
   HOLMES_CHECK_MSG(artifacts.result.has_value(),
                    "run summary needs populated artifacts (pass a "
                    "SimArtifacts* to TrainingSimulator::run)");
   const sim::TaskGraph& graph = artifacts.graph;
   const sim::SimResult& result = *artifacts.result;
-  const obs::Window window{artifacts.window_begin(), artifacts.window_end()};
+  obs::Window window{artifacts.window_begin(), artifacts.window_end()};
+  if (options.override_window) {
+    // explain's clipping semantics, shared verbatim: clip to the run and
+    // reject windows that end up empty.
+    const double begin = std::max(0.0, options.window_begin);
+    const double end = options.window_end < 0
+                           ? result.makespan()
+                           : std::min(options.window_end, result.makespan());
+    HOLMES_CHECK_MSG(begin < end, "stats window is empty (begin >= end)");
+    window = {begin, end};
+  }
   const int last = artifacts.iterations - 1;
   auto last_tag = [last](sim::TaskTag base) {
     return tags::for_iteration(base, last);

@@ -19,14 +19,38 @@
 
 namespace holmes::core {
 
+/// NIC class of a port resource ("NVLink", "PCIe", "InfiniBand", "RoCE",
+/// "Ethernet", or "unknown"); the PortMap bakes the fabric name into every
+/// port's resource name ("gpu3.RoCE.tx", "node0.Ethernet0.rx"). Shared by
+/// the critical-path buckets, the timeline report, and the saturation lint
+/// so every surface classifies fabrics identically.
+const char* nic_class_of(const std::string& resource_name);
+
+/// Workload identity string shared by every report surface, e.g.
+/// "group 2 (175B params)".
+std::string workload_label(const TrainingPlan& plan);
+
+/// Options for build_run_summary (holmes_cli stats' knobs).
+struct RunSummaryOptions {
+  /// When true, accounting is clipped to [max(0, window_begin),
+  /// window_end < 0 ? makespan : min(window_end, makespan)) — the same
+  /// clipping semantics `explain --window` applies — instead of the
+  /// default steady-state window. Throws when the clipped window is empty.
+  bool override_window = false;
+  double window_begin = 0;
+  double window_end = -1;
+};
+
 /// Derives the full run summary. `artifacts` must be populated (run with a
 /// non-null artifacts pointer); throws otherwise. All breakdowns are
-/// restricted to the steady-state window (warm-up excluded); per-stage and
-/// overlap accounting use the final measured iteration's tags.
+/// restricted to the steady-state window (warm-up excluded) unless
+/// `options` overrides it; per-stage and overlap accounting use the final
+/// measured iteration's tags.
 obs::RunSummary build_run_summary(const net::Topology& topo,
                                   const TrainingPlan& plan,
                                   const IterationMetrics& metrics,
-                                  const SimArtifacts& artifacts);
+                                  const SimArtifacts& artifacts,
+                                  const RunSummaryOptions& options = {});
 
 /// Options for build_critical_path_summary (holmes_cli explain's knobs).
 struct CriticalPathOptions {

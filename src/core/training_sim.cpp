@@ -502,7 +502,9 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
     return sim::TaskGraphExecutor{exec_options}.run(graph, observer);
   }();
   if (chrome_trace != nullptr) {
-    sim::write_chrome_trace(*chrome_trace, graph, result);
+    sim::TraceOptions trace_options;
+    trace_options.rates = exec_options.rates;
+    sim::write_chrome_trace(*chrome_trace, graph, result, trace_options);
   }
 
   prof::PhaseTimer accounting_timer(&obs::SelfProfilePhases::accounting_s);
@@ -571,6 +573,7 @@ IterationMetrics TrainingSimulator::run(const net::Topology& topo,
     }
     artifacts->iteration_markers = std::move(iteration_markers);
     artifacts->iterations = iterations;
+    artifacts->rates = std::move(rate_timeline);
     artifacts->result = std::move(result);
     artifacts->graph = std::move(graph);  // last: invalidates graph
   }

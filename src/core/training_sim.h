@@ -18,6 +18,7 @@
 #include "core/plan.h"
 #include "obs/self_profile.h"
 #include "sim/executor.h"
+#include "sim/rate_timeline.h"
 #include "sim/task_graph.h"
 #include "util/units.h"
 
@@ -69,6 +70,12 @@ struct SimArtifacts {
   /// Engine self-profile of this run (holmes.self_profile.v1), populated
   /// only when an obs::SelfProfiler was active on the calling thread.
   std::optional<obs::SelfProfile> self_profile;
+
+  /// The rate timeline the run executed under — empty unless a perturbation
+  /// carried NIC degradation windows. Persisted so post-hoc consumers
+  /// (timeline overlays, trace rate tracks) can chart effective-vs-nominal
+  /// rates without re-lowering the fault plan.
+  sim::RateTimeline rates;
 
   /// Steady-state observation window [first marker finish, last marker
   /// finish) — the warm-up iteration is excluded.

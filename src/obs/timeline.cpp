@@ -1,0 +1,684 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "sim/rate_timeline.h"
+#include "sim/scenario_runner.h"
+#include "util/error.h"
+
+namespace holmes::obs {
+
+namespace {
+
+/// Serialization time of a transfer as the executor scheduled it — the
+/// ports' occupancy interval, including any RateTimeline stretching (the
+/// executor folded it into finish/ports_free; recomputing bytes/bandwidth
+/// would be wrong under a fault window). Identical to the accounting
+/// layer's helper.
+SimTime serialization_of(const sim::Task& task,
+                         const sim::TaskTiming& timing) {
+  return std::max(0.0, timing.finish - timing.start - task.latency);
+}
+
+using Deltas = std::vector<std::pair<SimTime, double>>;
+
+/// Visits the constant segments of a step series restricted to [begin, end).
+template <typename Fn>
+void for_each_segment(const std::vector<SimTime>& times,
+                      const std::vector<double>& values, SimTime begin,
+                      SimTime end, Fn&& fn) {
+  if (end <= begin) return;
+  if (times.empty()) {
+    fn(begin, end, 0.0);
+    return;
+  }
+  std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(times.begin(), times.end(), begin) - times.begin());
+  SimTime lo = begin;
+  while (lo < end) {
+    const SimTime hi = i < times.size() ? std::min(times[i], end) : end;
+    const double value = i == 0 ? 0.0 : values[i - 1];
+    if (hi > lo) fn(lo, hi, value);
+    lo = hi;
+    if (i >= times.size()) break;
+    ++i;
+  }
+}
+
+/// One occupancy interval of a serial resource.
+struct Interval {
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+
+/// (time, bytes) events of one channel, in emission (task-id) order.
+using ByteEvents = std::vector<std::pair<SimTime, double>>;
+
+/// LSD radix sort on the IEEE-754 bit patterns (sign-flipped so the integer
+/// order matches the double order for every finite value, -0.0 included).
+/// Comparison sorts run at ~n log n branchy compares; the big per-class
+/// event lists here are worth the four counting passes instead.
+void radix_sort_times(std::vector<SimTime>& v) {
+  const std::size_t n = v.size();
+  // Reused per worker thread: the big per-class lists would otherwise pay
+  // fresh page faults on every call.
+  thread_local std::vector<std::uint64_t> keys;
+  thread_local std::vector<std::uint64_t> scratch;
+  keys.resize(n);
+  scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(SimTime));
+    std::memcpy(&bits, &v[i], sizeof(bits));
+    bits ^= (bits >> 63) != 0 ? ~std::uint64_t{0} : std::uint64_t{1} << 63;
+    keys[i] = bits;
+  }
+  thread_local std::vector<std::uint64_t> counts(1 << 16);
+  for (int pass = 0; pass < 4; ++pass) {
+    const int shift = pass * 16;
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[(keys[i] >> shift) & 0xFFFF]++;
+    }
+    std::uint64_t offset = 0;
+    for (std::uint64_t& c : counts) {
+      const std::uint64_t count = c;
+      c = offset;
+      offset += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch[counts[(keys[i] >> shift) & 0xFFFF]++] = keys[i];
+    }
+    keys.swap(scratch);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits = keys[i];
+    bits ^= (bits >> 63) != 0 ? std::uint64_t{1} << 63 : ~std::uint64_t{0};
+    std::memcpy(&v[i], &bits, sizeof(bits));
+  }
+}
+
+/// Time-sorts an event list unless the id-ordered emission already left it
+/// sorted (graph builders lay tasks down in rough time order, so the check
+/// usually saves the sort). Every consumer below coalesces equal-time
+/// events into one commutative integer-valued sum, so the output does not
+/// depend on how — or whether — the equal-key sort ran.
+void sort_times(std::vector<SimTime>& v) {
+  if (std::is_sorted(v.begin(), v.end())) return;
+  if (v.size() >= 4096) {
+    radix_sort_times(v);
+  } else {
+    std::sort(v.begin(), v.end());
+  }
+}
+
+void sort_events(ByteEvents& v) {
+  const auto before = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  if (!std::is_sorted(v.begin(), v.end(), before)) {
+    std::sort(v.begin(), v.end(), before);
+  }
+}
+
+void sort_intervals(std::vector<Interval>& v) {
+  const auto before = [](const Interval& a, const Interval& b) {
+    return a.begin < b.begin;
+  };
+  if (!std::is_sorted(v.begin(), v.end(), before)) {
+    std::stable_sort(v.begin(), v.end(), before);
+  }
+}
+
+/// Merges a +1 and a -1 event stream (each time-sorted) into the step
+/// series StepSeries::from_deltas would build from the union, in linear
+/// time. The deltas are integer-valued, so the running sum is bit-exact
+/// regardless of equal-time consumption order.
+StepSeries merge_counts(const std::vector<SimTime>& up,
+                        const std::vector<SimTime>& down) {
+  std::vector<SimTime> times;
+  std::vector<double> values;
+  times.reserve(up.size() + down.size());
+  values.reserve(up.size() + down.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double value = 0;
+  while (i < up.size() || j < down.size()) {
+    const SimTime t = j >= down.size() ? up[i]
+                      : i >= up.size() ? down[j]
+                                       : std::min(up[i], down[j]);
+    while (i < up.size() && up[i] == t) {
+      value += 1.0;
+      ++i;
+    }
+    while (j < down.size() && down[j] == t) {
+      value -= 1.0;
+      ++j;
+    }
+    times.push_back(t);
+    values.push_back(value);
+  }
+  return StepSeries::from_levels(std::move(times), std::move(values));
+}
+
+/// merge_counts with per-event byte weights (channel in-flight curves).
+/// Byte counts are integers well under 2^53, so the running sum stays
+/// exact here too.
+StepSeries merge_bytes(const ByteEvents& up, const ByteEvents& down) {
+  std::vector<SimTime> times;
+  std::vector<double> values;
+  times.reserve(up.size() + down.size());
+  values.reserve(up.size() + down.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double value = 0;
+  while (i < up.size() || j < down.size()) {
+    const SimTime t = j >= down.size() ? up[i].first
+                      : i >= up.size() ? down[j].first
+                                       : std::min(up[i].first, down[j].first);
+    while (i < up.size() && up[i].first == t) {
+      value += up[i].second;
+      ++i;
+    }
+    while (j < down.size() && down[j].first == t) {
+      value -= down[j].second;
+      ++j;
+    }
+    times.push_back(t);
+    values.push_back(value);
+  }
+  return StepSeries::from_levels(std::move(times), std::move(values));
+}
+
+/// Running sum of a time-sorted byte-event stream (cumulative delivery).
+StepSeries accumulate_bytes(const ByteEvents& events) {
+  std::vector<SimTime> times;
+  std::vector<double> values;
+  times.reserve(events.size());
+  values.reserve(events.size());
+  double value = 0;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const SimTime t = events[i].first;
+    while (i < events.size() && events[i].first == t) {
+      value += events[i].second;
+      ++i;
+    }
+    times.push_back(t);
+    values.push_back(value);
+  }
+  return StepSeries::from_levels(std::move(times), std::move(values));
+}
+
+/// 0/1 occupancy of a serial resource from its start-sorted intervals. The
+/// executor never overlaps tasks on one resource, so the series falls out
+/// of a single walk that coalesces back-to-back intervals (exactly the
+/// breakpoints from_deltas keeps). Should the disjointness invariant ever
+/// break, the general delta path reproduces from_deltas semantics bit for
+/// bit.
+StepSeries busy_from_intervals(const std::vector<Interval>& intervals) {
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].begin < intervals[i - 1].end) {
+      Deltas deltas;
+      deltas.reserve(intervals.size() * 2);
+      for (const Interval& w : intervals) {
+        deltas.emplace_back(w.begin, 1.0);
+        deltas.emplace_back(w.end, -1.0);
+      }
+      return StepSeries::from_deltas(std::move(deltas));
+    }
+  }
+  std::vector<SimTime> times;
+  std::vector<double> values;
+  times.reserve(intervals.size() * 2);
+  values.reserve(intervals.size() * 2);
+  std::size_t i = 0;
+  while (i < intervals.size()) {
+    const SimTime begin = intervals[i].begin;
+    SimTime end = intervals[i].end;
+    ++i;
+    while (i < intervals.size() && intervals[i].begin == end) {
+      end = intervals[i].end;
+      ++i;
+    }
+    times.push_back(begin);
+    values.push_back(1.0);
+    times.push_back(end);
+    values.push_back(0.0);
+  }
+  return StepSeries::from_levels(std::move(times), std::move(values));
+}
+
+}  // namespace
+
+StepSeries StepSeries::from_deltas(
+    std::vector<std::pair<SimTime, double>> deltas) {
+  StepSeries series;
+  if (deltas.empty()) return series;
+  // Stable by time: insertion order (one deterministic id-ordered pass)
+  // breaks ties, so the summation order — and with it the exact floating-
+  // point value at every breakpoint — is reproducible.
+  std::stable_sort(deltas.begin(), deltas.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  series.times_.reserve(deltas.size());
+  series.values_.reserve(deltas.size());
+  double value = 0;
+  std::size_t i = 0;
+  while (i < deltas.size()) {
+    const SimTime at = deltas[i].first;
+    while (i < deltas.size() && deltas[i].first == at) {
+      value += deltas[i].second;
+      ++i;
+    }
+    const double previous =
+        series.values_.empty() ? 0.0 : series.values_.back();
+    if (value == previous) continue;  // breakpoint changes nothing
+    series.times_.push_back(at);
+    series.values_.push_back(value);
+  }
+  return series;
+}
+
+StepSeries StepSeries::from_levels(std::vector<SimTime> times,
+                                   std::vector<double> values) {
+  StepSeries series;
+  for (std::size_t i = 0; i < times.size() && i < values.size(); ++i) {
+    const double previous =
+        series.values_.empty() ? 0.0 : series.values_.back();
+    if (values[i] == previous) continue;
+    series.times_.push_back(times[i]);
+    series.values_.push_back(values[i]);
+  }
+  return series;
+}
+
+double StepSeries::value_at(SimTime t) const {
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return 0.0;
+  return values_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+double StepSeries::maximum(SimTime begin, SimTime end) const {
+  double best = 0.0;
+  for_each_segment(times_, values_, begin, end,
+                   [&](SimTime, SimTime, double v) {
+                     best = std::max(best, v);
+                   });
+  return best;
+}
+
+SimTime StepSeries::maximum_at(SimTime begin, SimTime end) const {
+  double best = 0.0;
+  SimTime at = begin;
+  bool found = false;
+  for_each_segment(times_, values_, begin, end,
+                   [&](SimTime lo, SimTime, double v) {
+                     if (!found || v > best) {
+                       best = v;
+                       at = lo;
+                       found = true;
+                     }
+                   });
+  return at;
+}
+
+double StepSeries::integral(SimTime begin, SimTime end) const {
+  double total = 0.0;
+  for_each_segment(times_, values_, begin, end,
+                   [&](SimTime lo, SimTime hi, double v) {
+                     total += v * (hi - lo);
+                   });
+  return total;
+}
+
+double StepSeries::average(SimTime begin, SimTime end) const {
+  return end > begin ? integral(begin, end) / (end - begin) : 0.0;
+}
+
+std::vector<double> StepSeries::bucketize(SimTime begin, SimTime end,
+                                          int buckets) const {
+  std::vector<double> out;
+  if (buckets <= 0 || end <= begin) return out;
+  out.reserve(static_cast<std::size_t>(buckets));
+  const SimTime width = end - begin;
+  for (int b = 0; b < buckets; ++b) {
+    const SimTime lo = begin + width * b / buckets;
+    const SimTime hi = b + 1 == buckets ? end : begin + width * (b + 1) / buckets;
+    out.push_back(average(lo, hi));
+  }
+  return out;
+}
+
+std::vector<std::pair<SimTime, SimTime>> StepSeries::intervals_at_least(
+    double threshold, SimTime begin, SimTime end) const {
+  std::vector<std::pair<SimTime, SimTime>> intervals;
+  for_each_segment(times_, values_, begin, end,
+                   [&](SimTime lo, SimTime hi, double v) {
+                     if (v < threshold) return;
+                     if (!intervals.empty() && intervals.back().second == lo) {
+                       intervals.back().second = hi;  // contiguous: extend
+                     } else {
+                       intervals.emplace_back(lo, hi);
+                     }
+                   });
+  return intervals;
+}
+
+Timeline extract_timeline(const sim::TaskGraph& graph,
+                          const sim::SimResult& result,
+                          const TimelineOptions& options,
+                          const ResourceClassifier& classify,
+                          const sim::RateTimeline* rates) {
+  Timeline timeline;
+  timeline.makespan = result.makespan();
+  timeline.window.begin = std::max(0.0, options.window.begin);
+  timeline.window.end =
+      std::min(options.window.end, timeline.makespan);
+  if (timeline.window.end < timeline.window.begin) {
+    timeline.window.end = timeline.window.begin;
+  }
+  const Window& window = timeline.window;
+
+  // Every phase below fans independent slots over one shared pool when the
+  // caller asked for threads; each slot is a pure function of its inputs,
+  // so serial and fanned extraction are byte-identical.
+  std::unique_ptr<sim::ScenarioRunner> pool;
+  if (options.threads > 1) {
+    pool = std::make_unique<sim::ScenarioRunner>(
+        static_cast<std::size_t>(options.threads));
+  }
+  const auto fan = [&](std::size_t slots,
+                       const std::function<void(std::size_t)>& fn) {
+    if (pool != nullptr && slots > 1) {
+      pool->run_all(slots, fn);
+    } else {
+      for (std::size_t slot = 0; slot < slots; ++slot) fn(slot);
+    }
+  };
+
+  // Aggregates come straight from the accounting layer: same per-task
+  // arithmetic, same id iteration order, so the timeline's totals are
+  // bit-identical to what `stats` reports for this window. Callers that
+  // already ran accounting over the resolved window pass the results in;
+  // otherwise the two independent passes are computed (and fanned) here.
+  std::vector<ResourceAccount> own_accounts;
+  std::vector<ChannelAccount> own_channels;
+  const bool need_resources = options.resource_accounts == nullptr;
+  const bool need_channels = options.channel_accounts == nullptr;
+  if (need_resources || need_channels) {
+    fan(2, [&](std::size_t slot) {
+      if (slot == 0 && need_resources) {
+        own_accounts = account_resources(graph, result, window);
+      }
+      if (slot == 1 && need_channels) {
+        own_channels = account_channels(graph, result, window);
+      }
+    });
+  }
+  const std::vector<ResourceAccount>& accounts =
+      need_resources ? own_accounts : *options.resource_accounts;
+  const std::vector<ChannelAccount>& channel_accounts =
+      need_channels ? own_channels : *options.channel_accounts;
+  HOLMES_CHECK_MSG(accounts.size() == graph.resource_count(),
+                   "resource accounts do not match the task graph");
+
+  timeline.resources.resize(accounts.size());
+  timeline.channels.resize(channel_accounts.size());
+
+  // Resource metadata, link classes, and the resource -> class slot map.
+  std::map<std::string, std::size_t> class_index;
+  for (std::size_t r = 0; r < accounts.size(); ++r) {
+    ResourceTimeline& res = timeline.resources[r];
+    res.id = accounts[r].id;
+    res.name = accounts[r].name;
+    res.nic_class = classify ? classify(res.name) : std::string("unknown");
+    res.is_device = accounts[r].is_device;
+    res.is_link = accounts[r].is_link;
+    res.busy_total = accounts[r].busy;
+    res.waiting_total = accounts[r].waiting;
+    res.bytes = accounts[r].bytes;
+    res.tasks = accounts[r].tasks;
+    if (res.is_link) class_index.emplace(res.nic_class, 0);
+  }
+  timeline.classes.resize(class_index.size());
+  {
+    std::size_t next = 0;
+    for (auto& [name, index] : class_index) {
+      index = next;
+      timeline.classes[next].nic_class = name;
+      ++next;
+    }
+  }
+  constexpr std::size_t kNoClass = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> res_class(accounts.size(), kNoClass);
+  for (std::size_t r = 0; r < accounts.size(); ++r) {
+    const ResourceTimeline& res = timeline.resources[r];
+    if (!res.is_link) continue;
+    const std::size_t cls = class_index[res.nic_class];
+    res_class[r] = cls;
+    timeline.classes[cls].ports += 1;
+    timeline.classes[cls].busy_total += res.busy_total;
+  }
+
+  // One id-ordered O(V + E) pass derives each task's ready instant (latest
+  // dependency finish) and busy-interval end — the `ports_free` stretching
+  // for transfers, via the accounting layer's serialization helper — and
+  // appends its events to per-resource / per-class / per-channel lists.
+  // The lists inherit id order; time-sorting them is deferred into the
+  // per-slot finalizers (where it usually reduces to an is_sorted check).
+  struct PortEvents {
+    std::vector<Interval> busy;       ///< occupancy intervals
+    std::vector<SimTime> queue_up;    ///< +1 at ready
+    std::vector<SimTime> queue_down;  ///< -1 at start
+  };
+  struct ClassEvents {
+    std::vector<SimTime> up;    ///< +1 at busy start
+    std::vector<SimTime> down;  ///< -1 at busy end
+  };
+  struct ChannelEvents {
+    ByteEvents start;   ///< +bytes at start (in-flight rise)
+    ByteEvents finish;  ///< -bytes at finish; cumulative delivery
+  };
+  std::vector<PortEvents> ports(accounts.size());
+  std::vector<ClassEvents> class_events(timeline.classes.size());
+  std::vector<ChannelEvents> channel_events(channel_accounts.size());
+
+  const auto each_port = [&](const sim::Task& task, auto&& fn) {
+    if (task.kind == sim::TaskKind::kCompute) {
+      fn(static_cast<std::size_t>(task.resource));
+      return;
+    }
+    fn(static_cast<std::size_t>(task.src_port));
+    if (task.dst_port != task.src_port) {
+      fn(static_cast<std::size_t>(task.dst_port));
+    }
+  };
+
+  const std::size_t task_count = graph.task_count();
+  for (std::size_t i = 0; i < task_count; ++i) {
+    const sim::Task& task = graph.tasks()[i];
+    if (task.kind == sim::TaskKind::kNoop) continue;
+    const auto id = static_cast<sim::TaskId>(i);
+    const sim::TaskTiming& timing = result.timing(id);
+    SimTime ready = 0;
+    for (sim::TaskId dep : graph.deps(id)) {
+      ready = std::max(ready, result.timing(dep).finish);
+    }
+    const SimTime end_busy =
+        task.kind == sim::TaskKind::kCompute
+            ? timing.finish
+            : timing.start + serialization_of(task, timing);
+    if (end_busy > timing.start) {
+      each_port(task, [&](std::size_t port) {
+        ports[port].busy.push_back({timing.start, end_busy});
+        if (res_class[port] != kNoClass) {
+          class_events[res_class[port]].up.push_back(timing.start);
+          class_events[res_class[port]].down.push_back(end_busy);
+        }
+      });
+    }
+    if (timing.start > ready) {
+      each_port(task, [&](std::size_t port) {
+        ports[port].queue_up.push_back(ready);
+        ports[port].queue_down.push_back(timing.start);
+      });
+    }
+    if (task.kind == sim::TaskKind::kTransfer &&
+        task.channel != sim::kInvalidChannel) {
+      ChannelEvents& chan =
+          channel_events[static_cast<std::size_t>(task.channel)];
+      if (timing.finish > timing.start) {
+        chan.start.emplace_back(timing.start,
+                                static_cast<double>(task.bytes));
+      }
+      chan.finish.emplace_back(timing.finish,
+                               static_cast<double>(task.bytes));
+    }
+  }
+
+  // Effective-rate overlays: one per resource a rate window touched.
+  std::vector<sim::RateTimeline::AppliedWindow> rate_windows;
+  if (rates != nullptr && !rates->empty()) rate_windows = rates->windows();
+  std::vector<std::pair<sim::ResourceId, Deltas>> overlay_events;
+  for (std::size_t i = 0; i < rate_windows.size();) {
+    const sim::ResourceId resource = rate_windows[i].resource;
+    // Breakpoints where the compound factor may change; the effective rate
+    // on each segment is min(1, product of active factors), the exact
+    // pacing `stretched` integrates through (modulo its 1e-6 floor, far
+    // below any factor a fault plan admits).
+    std::vector<SimTime> bps;
+    const std::size_t first = i;
+    while (i < rate_windows.size() && rate_windows[i].resource == resource) {
+      bps.push_back(rate_windows[i].begin);
+      bps.push_back(rate_windows[i].end);
+      ++i;
+    }
+    std::sort(bps.begin(), bps.end());
+    bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+    Deltas levels;  // encoded as (time, level) pairs, converted below
+    for (SimTime t : bps) {
+      double factor = 1.0;
+      for (std::size_t w = first; w < i; ++w) {
+        if (rate_windows[w].begin <= t && t < rate_windows[w].end) {
+          factor *= rate_windows[w].factor;
+        }
+      }
+      levels.emplace_back(t, std::min(1.0, factor));
+    }
+    overlay_events.emplace_back(resource, std::move(levels));
+  }
+  timeline.overlays.resize(overlay_events.size());
+
+  // Finalize: every slot below is an independent pure function of the
+  // event lists above (including its own deferred time-sort).
+  const std::size_t resource_slots = accounts.size();
+  const std::size_t channel_slots = channel_accounts.size();
+  const std::size_t class_slots = timeline.classes.size();
+  const std::size_t overlay_slots = overlay_events.size();
+  const std::size_t total_slots =
+      resource_slots + channel_slots + class_slots + overlay_slots;
+  auto run_slot = [&](std::size_t slot) {
+    if (slot < resource_slots) {
+      ResourceTimeline& res = timeline.resources[slot];
+      PortEvents& events = ports[slot];
+      sort_intervals(events.busy);
+      sort_times(events.queue_up);
+      sort_times(events.queue_down);
+      res.busy = busy_from_intervals(events.busy);
+      res.queue = merge_counts(events.queue_up, events.queue_down);
+      return;
+    }
+    slot -= resource_slots;
+    if (slot < channel_slots) {
+      ChannelTimeline& chan = timeline.channels[slot];
+      ChannelEvents& events = channel_events[slot];
+      sort_events(events.start);
+      sort_events(events.finish);
+      chan.id = channel_accounts[slot].id;
+      chan.name = channel_accounts[slot].name;
+      chan.bytes = channel_accounts[slot].bytes;
+      chan.transfers = channel_accounts[slot].transfers;
+      chan.busy_total = channel_accounts[slot].busy;
+      chan.in_flight = merge_bytes(events.start, events.finish);
+      chan.cumulative = accumulate_bytes(events.finish);
+      chan.peak_in_flight = chan.in_flight.maximum(window.begin, window.end);
+      chan.peak_at = chan.in_flight.maximum_at(window.begin, window.end);
+      return;
+    }
+    slot -= channel_slots;
+    if (slot < class_slots) {
+      ClassTimeline& cls = timeline.classes[slot];
+      ClassEvents& events = class_events[slot];
+      sort_times(events.up);
+      sort_times(events.down);
+      cls.busy_ports = merge_counts(events.up, events.down);
+      const double bar =
+          options.saturation_threshold * static_cast<double>(cls.ports);
+      cls.saturated =
+          cls.busy_ports.intervals_at_least(bar, window.begin, window.end);
+      cls.saturated_total = 0;
+      for (const auto& [lo, hi] : cls.saturated) {
+        cls.saturated_total += hi - lo;
+      }
+      return;
+    }
+    slot -= class_slots;
+    RateOverlay& overlay = timeline.overlays[slot];
+    overlay.resource = overlay_events[slot].first;
+    overlay.name = graph.resource_name(overlay_events[slot].first);
+    std::vector<SimTime> times;
+    std::vector<double> values;
+    times.push_back(0.0);
+    values.push_back(1.0);
+    for (const auto& [t, level] : overlay_events[slot].second) {
+      times.push_back(t);
+      values.push_back(level);
+    }
+    overlay.effective = StepSeries::from_levels(std::move(times),
+                                               std::move(values));
+    // Degraded time = window measure where the effective rate sits below 1.
+    overlay.degraded_total = 0;
+    for_each_segment(overlay.effective.times(), overlay.effective.values(),
+                     window.begin, window.end,
+                     [&](SimTime lo, SimTime hi, double v) {
+                       if (v < 1.0) overlay.degraded_total += hi - lo;
+                     });
+  };
+  fan(total_slots, run_slot);
+
+  // Top talkers: links ranked by window bytes (descending, id ascending).
+  Bytes total_link_bytes = 0;
+  for (const ResourceTimeline& res : timeline.resources) {
+    if (res.is_link) total_link_bytes += res.bytes;
+  }
+  for (const ResourceTimeline& res : timeline.resources) {
+    if (!res.is_link || res.bytes <= 0) continue;
+    TopTalker talker;
+    talker.resource = res.id;
+    talker.name = res.name;
+    talker.nic_class = res.nic_class;
+    talker.bytes = res.bytes;
+    talker.busy = res.busy_total;
+    talker.share = total_link_bytes > 0
+                       ? static_cast<double>(res.bytes) /
+                             static_cast<double>(total_link_bytes)
+                       : 0.0;
+    timeline.top_talkers.push_back(std::move(talker));
+  }
+  std::stable_sort(timeline.top_talkers.begin(), timeline.top_talkers.end(),
+                   [](const TopTalker& a, const TopTalker& b) {
+                     if (a.bytes != b.bytes) return a.bytes > b.bytes;
+                     return a.resource < b.resource;
+                   });
+  return timeline;
+}
+
+}  // namespace holmes::obs

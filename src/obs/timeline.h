@@ -1,0 +1,201 @@
+#pragma once
+
+/// \file timeline.h
+/// Exact time-resolved telemetry derived from executed TaskTiming records.
+///
+/// Every artifact the observability layer emitted before this file is an
+/// aggregate over the whole run (or a single window): utilizations, bubble
+/// fractions, critical-path buckets. This file adds the *time axis back*:
+///
+///  - per-resource busy occupancy (0/1 for a serial resource) and
+///    ready-queue depth as piecewise-constant step series;
+///  - per-channel in-flight bytes and cumulative delivered-byte curves;
+///  - per-NIC-class busy-port counts with saturation-interval extraction
+///    (maximal intervals where at least `threshold` of the class's ports
+///    are simultaneously busy — the paper's Fig. 3 "the Ethernet fallback
+///    is the binding constraint *while* grad-sync is in flight" made
+///    machine-checkable);
+///  - effective-vs-nominal rate overlays wherever a sim::RateTimeline
+///    degraded a resource (fault windows become visible dips);
+///  - per-link "top talker" ranking and per-channel burst/peak detection.
+///
+/// Exactness contract: every aggregate (busy seconds, waiting seconds,
+/// bytes, task counts) is copied from obs/accounting.h — the same per-task
+/// arithmetic in the same task-id iteration order — so the timeline's
+/// totals equal the accounting layer's *bit for bit*. Occupancy intervals
+/// use the executor's `ports_free` stretching via serialization_of, never a
+/// recomputed bytes/bandwidth. The step series are built from four
+/// (key, id)-sorted views of the executed tasks — by start, by busy end, by
+/// ready instant, by channel finish — followed by linear walks and
+/// two-pointer merges; every delta is integer-valued, so the merged running
+/// sums match an id-ordered from_deltas construction bit for bit.
+/// Extraction is optionally fanned across threads per sort/output slot and
+/// stays byte-identical because each slot is an independent pure function
+/// of its inputs.
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/accounting.h"
+#include "sim/executor.h"
+#include "sim/task_graph.h"
+
+namespace holmes::sim {
+class RateTimeline;
+}  // namespace holmes::sim
+
+namespace holmes::obs {
+
+/// Piecewise-constant step series: value is values()[i] on
+/// [times()[i], times()[i+1]) and values().back() from times().back() on;
+/// 0.0 before the first breakpoint (and everywhere when empty).
+class StepSeries {
+ public:
+  StepSeries() = default;
+
+  /// Builds from (time, delta) events: the value at t is the sum of every
+  /// delta stamped <= t. Events are stable-sorted by time (insertion order
+  /// breaks ties, keeping construction deterministic for the id-ordered
+  /// passes that feed it); equal-time deltas coalesce into one breakpoint
+  /// and breakpoints that do not change the value are dropped.
+  static StepSeries from_deltas(std::vector<std::pair<SimTime, double>> deltas);
+
+  /// Builds from explicit breakpoints: `values[i]` holds on
+  /// [times[i], times[i+1]). Times must be strictly increasing.
+  static StepSeries from_levels(std::vector<SimTime> times,
+                                std::vector<double> values);
+
+  bool empty() const { return times_.empty(); }
+  std::size_t breakpoints() const { return times_.size(); }
+  const std::vector<SimTime>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Value at time `t` (0.0 before the first breakpoint).
+  double value_at(SimTime t) const;
+
+  /// Maximum value attained anywhere in [begin, end); 0 when the window is
+  /// empty or the series is silent there.
+  double maximum(SimTime begin, SimTime end) const;
+
+  /// First instant in [begin, end) at which `maximum` is attained (begin
+  /// when the series is silent).
+  SimTime maximum_at(SimTime begin, SimTime end) const;
+
+  /// Integral of the series over [begin, end).
+  double integral(SimTime begin, SimTime end) const;
+
+  /// Time-weighted mean over [begin, end); 0 for an empty window.
+  double average(SimTime begin, SimTime end) const;
+
+  /// `buckets` time-weighted means tiling [begin, end) into equal buckets.
+  std::vector<double> bucketize(SimTime begin, SimTime end,
+                                int buckets) const;
+
+  /// Maximal intervals inside [begin, end) where the value is >=
+  /// `threshold`, in time order.
+  std::vector<std::pair<SimTime, SimTime>> intervals_at_least(
+      double threshold, SimTime begin, SimTime end) const;
+
+ private:
+  std::vector<SimTime> times_;
+  std::vector<double> values_;
+};
+
+/// Classifies a resource name into a reporting class (e.g. "Ethernet",
+/// "InfiniBand", "compute"). Supplied by the core layer, which owns the
+/// naming scheme; an empty function classifies everything as "unknown".
+using ResourceClassifier = std::function<std::string(const std::string&)>;
+
+struct TimelineOptions {
+  /// Observation window for the aggregates, saturation extraction, and
+  /// derived analysis. The step series always cover the whole run.
+  Window window = {};
+  /// An instant is *saturated* for a class when at least this fraction of
+  /// the class's ports are simultaneously busy (1.0 = every port).
+  double saturation_threshold = 1.0;
+  /// Extraction threads; 1 = serial. Output is byte-identical regardless.
+  int threads = 1;
+  /// Precomputed accounting aggregates to copy instead of re-deriving them.
+  /// The exactness contract is on the caller: these must come from
+  /// account_resources / account_channels over this extraction's *resolved*
+  /// window (see Timeline::window), or the copied totals will not match the
+  /// step series. Null (the default): accounting runs inside extraction.
+  const std::vector<ResourceAccount>* resource_accounts = nullptr;
+  const std::vector<ChannelAccount>* channel_accounts = nullptr;
+};
+
+struct ResourceTimeline {
+  sim::ResourceId id = -1;
+  std::string name;
+  std::string nic_class;   ///< classifier output ("compute" for devices)
+  bool is_device = false;
+  bool is_link = false;
+  SimTime busy_total = 0;     ///< accounting-exact, window-clipped
+  SimTime waiting_total = 0;  ///< accounting-exact, window-clipped
+  Bytes bytes = 0;
+  std::size_t tasks = 0;
+  StepSeries busy;   ///< 0/1 occupancy (serial resources never overlap)
+  StepSeries queue;  ///< ready-but-blocked task count for this resource
+};
+
+struct ChannelTimeline {
+  sim::ChannelId id = -1;
+  std::string name;
+  Bytes bytes = 0;  ///< accounting-exact, start-in-window attribution
+  std::size_t transfers = 0;
+  SimTime busy_total = 0;
+  StepSeries in_flight;   ///< bytes in flight (start..finish of members)
+  StepSeries cumulative;  ///< bytes delivered (steps up at each finish)
+  double peak_in_flight = 0;  ///< max in-flight bytes inside the window
+  SimTime peak_at = 0;        ///< first instant the peak is attained
+};
+
+struct ClassTimeline {
+  std::string nic_class;
+  std::size_t ports = 0;   ///< link resources in the class
+  SimTime busy_total = 0;  ///< sum of member busy totals, id order
+  StepSeries busy_ports;   ///< simultaneously busy port count
+  /// Maximal saturated intervals inside the window (see
+  /// TimelineOptions::saturation_threshold), and their total measure.
+  std::vector<std::pair<SimTime, SimTime>> saturated;
+  SimTime saturated_total = 0;
+};
+
+struct RateOverlay {
+  sim::ResourceId resource = -1;
+  std::string name;
+  StepSeries effective;       ///< min(1, compound factor), breakpoint-exact
+  SimTime degraded_total = 0; ///< seconds with effective rate < 1 in-window
+};
+
+struct TopTalker {
+  sim::ResourceId resource = -1;
+  std::string name;
+  std::string nic_class;
+  Bytes bytes = 0;
+  SimTime busy = 0;
+  double share = 0;  ///< bytes / total link bytes (0 when no link traffic)
+};
+
+struct Timeline {
+  Window window;        ///< resolved: end clipped to the makespan
+  SimTime makespan = 0;
+  std::vector<ResourceTimeline> resources;  ///< index == ResourceId
+  std::vector<ChannelTimeline> channels;    ///< index == ChannelId
+  std::vector<ClassTimeline> classes;       ///< link classes, sorted by name
+  std::vector<RateOverlay> overlays;        ///< resources a rate window hit
+  std::vector<TopTalker> top_talkers;       ///< links by bytes desc, id asc
+};
+
+/// Extracts the full time-resolved telemetry of one executed run. `rates`
+/// (optional) contributes the effective-rate overlays; `classify` names the
+/// NIC class of each resource.
+Timeline extract_timeline(const sim::TaskGraph& graph,
+                          const sim::SimResult& result,
+                          const TimelineOptions& options = {},
+                          const ResourceClassifier& classify = {},
+                          const sim::RateTimeline* rates = nullptr);
+
+}  // namespace holmes::obs

@@ -22,8 +22,13 @@ void RateTimeline::add_window(ResourceId resource, SimTime begin, SimTime end,
                               double factor) {
   if (resource < 0) throw ConfigError("rate window needs a valid resource");
   if (!(begin >= 0)) throw ConfigError("rate window begins before time zero");
-  if (!(end > begin)) throw ConfigError("rate window must end after it begins");
+  if (!(end >= begin)) {
+    throw ConfigError("rate window must end after it begins");
+  }
   if (!(factor > 0)) throw ConfigError("rate window factor must be positive");
+  // A zero-length window covers no time: accept it as a no-op so generated
+  // fault schedules may degenerate to empty intervals without special cases.
+  if (end == begin) return;
   const auto r = static_cast<std::size_t>(resource);
   if (r >= per_resource_.size()) per_resource_.resize(r + 1);
   per_resource_[r].push_back({begin, end, factor});
@@ -36,6 +41,17 @@ void RateTimeline::add_window(ResourceId resource, SimTime begin, SimTime end,
               return a.factor < b.factor;
             });
   ++window_count_;
+}
+
+std::vector<RateTimeline::AppliedWindow> RateTimeline::windows() const {
+  std::vector<AppliedWindow> out;
+  out.reserve(window_count_);
+  for (std::size_t r = 0; r < per_resource_.size(); ++r) {
+    for (const Window& w : per_resource_[r]) {
+      out.push_back({static_cast<ResourceId>(r), w.begin, w.end, w.factor});
+    }
+  }
+  return out;  // per-resource lists are kept sorted; ids ascend by loop order
 }
 
 const std::vector<RateTimeline::Window>* RateTimeline::windows_of(

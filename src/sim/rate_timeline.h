@@ -34,9 +34,12 @@ class RateTimeline {
   /// Scales `resource`'s service rate by `factor` inside [begin, end).
   /// `factor` must be > 0 (0.25 = quarter speed; values > 1 model recovery
   /// bursts) and is clamped below at 1e-6 so progress is always possible.
-  /// Overlapping windows on one resource compound multiplicatively.
-  /// Throws holmes::ConfigError on a degenerate window (end <= begin,
-  /// negative begin, non-positive factor, negative resource).
+  /// Overlapping windows on one resource compound multiplicatively;
+  /// back-to-back adjacent windows ([a,b) then [b,c)) stretch continuously
+  /// with no gap or double-count at the shared boundary. A zero-length
+  /// window (end == begin) covers no time and is accepted as a no-op:
+  /// nothing is recorded. Throws holmes::ConfigError on a degenerate window
+  /// (end < begin, negative begin, non-positive factor, negative resource).
   void add_window(ResourceId resource, SimTime begin, SimTime end,
                   double factor);
 
@@ -57,6 +60,19 @@ class RateTimeline {
   /// `cost` when no window intersects the occupancy interval.
   SimTime stretched(ResourceId a, ResourceId b, SimTime start,
                     SimTime cost) const;
+
+  /// One recorded window with its resource, for consumers that need the
+  /// breakpoint structure itself (trace counter tracks, timeline overlays).
+  struct AppliedWindow {
+    ResourceId resource = 0;
+    SimTime begin = 0;
+    SimTime end = 0;
+    double factor = 1.0;
+  };
+
+  /// Every recorded window, sorted by (resource, begin, end, factor) — the
+  /// same deterministic order regardless of insertion order.
+  std::vector<AppliedWindow> windows() const;
 
  private:
   struct Window {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/rate_timeline.h"
 #include "util/json.h"
 
 namespace holmes::sim {
@@ -196,6 +197,51 @@ void write_chrome_trace(std::ostream& out, const TaskGraph& graph,
     compute_track.emit(out, options.pid, &first);
     link_track.emit(out, options.pid, &first);
     bytes_track.emit(out, options.pid, &first);
+  }
+
+  // Effective-rate tracks: one breakpoint-exact staircase per resource a
+  // rate window degraded, charting min(1, compound factor) — the pacing the
+  // executor actually integrated through — so fault windows read as dips
+  // right next to the slices they stretch.
+  if (options.rates != nullptr && !options.rates->empty()) {
+    const std::vector<RateTimeline::AppliedWindow> windows =
+        options.rates->windows();
+    auto emit_counter = [&](const std::string& name, SimTime at,
+                            double value) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n{\"name\":\"" << json_escape(name)
+          << "\",\"ph\":\"C\",\"pid\":" << options.pid << ",\"ts\":" << at * 1e6
+          << ",\"args\":{\"rate\":" << json_number(value) << "}}";
+    };
+    for (std::size_t i = 0; i < windows.size();) {
+      const ResourceId resource = windows[i].resource;
+      const std::size_t begin = i;
+      std::vector<SimTime> bps;
+      while (i < windows.size() && windows[i].resource == resource) {
+        bps.push_back(windows[i].begin);
+        bps.push_back(windows[i].end);
+        ++i;
+      }
+      std::sort(bps.begin(), bps.end());
+      bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+      const std::string track =
+          "rate " + graph.resource_name(resource);
+      double last = 1.0;
+      emit_counter(track, 0.0, 1.0);
+      for (SimTime t : bps) {
+        double factor = 1.0;
+        for (std::size_t w = begin; w < i; ++w) {
+          if (windows[w].begin <= t && t < windows[w].end) {
+            factor *= windows[w].factor;
+          }
+        }
+        const double effective = std::min(1.0, factor);
+        if (effective == last) continue;
+        emit_counter(track, t, effective);
+        last = effective;
+      }
+    }
   }
   out << "\n]";
 }

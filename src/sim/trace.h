@@ -23,6 +23,8 @@
 
 namespace holmes::sim {
 
+class RateTimeline;
+
 struct TraceOptions {
   /// Tasks shorter than this (seconds) are dropped to keep files small
   /// (noops and empty transfers are invisible in a viewer anyway).
@@ -45,6 +47,12 @@ struct TraceOptions {
   /// = resource count), e.g. obs::CriticalPath::tasks. Slices there carry
   /// cat "critical" so the lane is filterable.
   std::vector<TaskId> critical_tasks;
+  /// Optional rate timeline the run executed under (see
+  /// sim/rate_timeline.h). When set and non-empty, one breakpoint-exact
+  /// "rate <resource>" counter track per degraded resource charts the
+  /// effective service rate (min(1, compound factor)) so fault windows are
+  /// visible as dips right next to the slices they stretch. Not owned.
+  const RateTimeline* rates = nullptr;
 };
 
 /// Writes the trace of `graph` as executed in `result`. Transfers appear on

@@ -1,0 +1,31 @@
+#include "util/window_spec.h"
+
+#include <exception>
+
+#include "util/error.h"
+
+namespace holmes {
+
+WindowSpec parse_window_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw ConfigError("--window expects BEGIN:END seconds, got '" + spec +
+                      "'");
+  }
+  WindowSpec window;
+  try {
+    window.begin = std::stod(spec.substr(0, colon));
+    const std::string end = spec.substr(colon + 1);
+    window.end = end.empty() ? -1 : std::stod(end);
+  } catch (const std::exception&) {
+    throw ConfigError("--window expects BEGIN:END seconds, got '" + spec +
+                      "'");
+  }
+  if (window.end >= 0 && window.begin >= window.end) {
+    throw ConfigError("--window is empty: got '" + spec +
+                      "' (need BEGIN < END)");
+  }
+  return window;
+}
+
+}  // namespace holmes

@@ -116,6 +116,13 @@ const std::vector<RuleInfo>& rule_catalog() {
        "Simulated results changed when equal-ready-time ties were reordered "
        "under a seeded permutation: the schedule depends on tie order, which "
        "the determinism contract forbids."},
+      {kRuleFabricSaturation, RuleFamily::kFlow, Severity::kWarning,
+       "fallback-fabric-saturation",
+       "The cross-cluster fallback fabric (Ethernet-class ports) sits at or "
+       "above the saturation threshold for more than the configured share "
+       "of the observed window: the fallback NIC, not compute, bounds the "
+       "iteration (the paper's Fig. 3 diagnosis, machine-checked from the "
+       "executed occupancy timeline)."},
       {kRuleFaultWindowSane, RuleFamily::kFault, Severity::kError,
        "fault-window-sane",
        "A NIC degradation window is malformed (negative start, end not after "

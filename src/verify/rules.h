@@ -12,7 +12,8 @@
 /// *graph* lints (structural checks on a built TaskGraph), HV3xx are
 /// *execution* lints (conservation checks on a SimResult), HV4xx are *flow*
 /// lints (simulation-free bounds on a TaskGraph cross-checked against
-/// executed results, plus the schedule-race determinism check), HV5xx are
+/// executed results, the schedule-race determinism check, and the
+/// fallback-fabric saturation diagnosis over executed timelines), HV5xx are
 /// *fault* lints (fault-plan sanity before injection plus the recovery
 /// invariant after it — see core/faults.h and docs/robustness.md).
 
@@ -77,6 +78,7 @@ inline constexpr const char* kRuleFlowResourceBound = "HV402";
 inline constexpr const char* kRuleFlowMemoryWatermark = "HV403";
 inline constexpr const char* kRuleChannelCutBalance = "HV404";
 inline constexpr const char* kRuleScheduleRace = "HV405";
+inline constexpr const char* kRuleFabricSaturation = "HV406";
 
 // ---- Fault family ----
 inline constexpr const char* kRuleFaultWindowSane = "HV501";

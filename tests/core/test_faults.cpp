@@ -331,6 +331,54 @@ TEST(FaultMemo, ActiveRateTimelineBypassesTheMemoAndCounts) {
   EXPECT_GE(counters.memo_hits, 1u);
 }
 
+TEST(FaultMemo, BypassCountEqualsRateActiveRunsInMixedBatch) {
+  const net::Topology topo = hybrid();
+  const TrainingPlan plan =
+      Planner(FrameworkConfig::holmes()).plan(topo, model::parameter_group(1));
+
+  FaultPlan faults;
+  NicDegradation window;
+  window.cluster = 1;
+  window.begin_s = 1.0;
+  window.end_s = 10.0;
+  window.bandwidth_factor = 0.5;
+  faults.nic_degradation.push_back(window);
+  const Perturbations degraded = lower_fault_plan(faults, topo);
+
+  // A straggler perturbs durations but installs no rate timeline, so it
+  // must take the memo path (distinct key), never the bypass.
+  Perturbations straggler;
+  straggler.device_slowdown[0] = 2.0;
+
+  obs::SelfProfiler profiler;
+  sim::SimMemo memo;
+  TrainingSimulator simulator;
+  simulator.set_memo(&memo);
+
+  // Mixed batch: faulted (rate-active) and unfaulted scenarios interleaved.
+  // Exactly the rate-active runs bypass — no more (clean/straggler runs
+  // must not inflate the counter), no fewer (every degraded run counts,
+  // memo warm or cold).
+  const std::vector<const Perturbations*> batch = {
+      nullptr, &degraded, nullptr, &straggler, &degraded, &degraded, nullptr,
+  };
+  std::size_t rate_active = 0;
+  for (const Perturbations* perturb : batch) {
+    simulator.run(topo, plan, 2, perturb == nullptr ? Perturbations{} : *perturb);
+    if (perturb == &degraded) ++rate_active;
+  }
+
+  memo.flush_profile();
+  const obs::SelfProfileCounters& counters = profiler.snapshot().counters;
+  EXPECT_EQ(counters.memo_bypass, rate_active)
+      << "memo_bypass must equal the rate-active run count exactly";
+  // Two distinct structural keys entered the memo: clean and straggler.
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(counters.memo_misses, 2u);
+  // 3 clean runs (1 miss, 2 hits) + 1 straggler run (1 miss, 0 hits).
+  EXPECT_EQ(counters.memo_hits, 2u);
+}
+
 TEST(FaultMemo, DifferentFaultSchedulesNeverCollide) {
   const net::Topology topo = hybrid();
   const TrainingPlan plan =

@@ -85,13 +85,62 @@ TEST(RateTimeline, TinyFactorIsClampedSoProgressContinues) {
 
 TEST(RateTimeline, RejectsDegenerateWindows) {
   RateTimeline rates;
-  EXPECT_THROW(rates.add_window(0, 2.0, 2.0, 0.5), ConfigError);   // empty
   EXPECT_THROW(rates.add_window(0, 3.0, 2.0, 0.5), ConfigError);   // inverted
   EXPECT_THROW(rates.add_window(0, -1.0, 2.0, 0.5), ConfigError);  // negative
   EXPECT_THROW(rates.add_window(0, 0.0, 2.0, 0.0), ConfigError);   // rate 0
   EXPECT_THROW(rates.add_window(0, 0.0, 2.0, -1.0), ConfigError);  // negative
   EXPECT_THROW(rates.add_window(-1, 0.0, 2.0, 0.5), ConfigError);  // resource
   EXPECT_TRUE(rates.empty()) << "rejected windows must not be recorded";
+}
+
+TEST(RateTimeline, ZeroLengthWindowIsAcceptedAsNoOp) {
+  RateTimeline rates;
+  // A window covering no time is legal (generated schedules may degenerate
+  // to empty intervals) but records nothing: the timeline stays empty and
+  // the fast bit-exact passthrough stays in force.
+  rates.add_window(0, 2.0, 2.0, 0.5);
+  EXPECT_TRUE(rates.empty());
+  EXPECT_EQ(rates.window_count(), 0u);
+  EXPECT_TRUE(rates.windows().empty());
+  EXPECT_EQ(rates.rate_at(0, 2.0), 1.0);
+  const double cost = 1.0 / 3.0;
+  EXPECT_EQ(rates.stretched(0, 0, 1.5, cost), cost);
+}
+
+TEST(RateTimeline, BackToBackAdjacentWindowsStretchContinuously) {
+  RateTimeline rates;
+  rates.add_window(0, 1.0, 2.0, 0.5);
+  rates.add_window(0, 2.0, 3.0, 0.5);
+  // The shared boundary belongs to exactly one window ([begin, end) is
+  // half-open): no instant is uncovered and none is double-counted, so the
+  // pair behaves exactly like a single [1, 3) half-rate window. 3 declared
+  // seconds from t=0: one at full rate, one at half rate (2 wall seconds,
+  // filling [1, 3) exactly), one at full rate again — 4 wall seconds.
+  EXPECT_EQ(rates.rate_at(0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 0, 0.0, 3.0), 4.0);
+  // Work finishing exactly on the boundary is stable too: 0.5 declared
+  // seconds at half rate fill [1, 2) precisely.
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 0, 1.0, 0.5), 1.0);
+  // A boundary-straddling task crosses without a seam: 1 declared second at
+  // half rate takes 2 wall seconds regardless of where it starts in [1, 3).
+  EXPECT_DOUBLE_EQ(rates.stretched(0, 0, 1.5, 0.5), 1.0);
+}
+
+TEST(RateTimeline, WindowsEnumerationIsSortedAndComplete) {
+  RateTimeline rates;
+  rates.add_window(3, 5.0, 6.0, 0.25);
+  rates.add_window(1, 2.0, 4.0, 0.75);
+  rates.add_window(1, 0.0, 2.0, 0.5);
+  const auto windows = rates.windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].resource, 1);
+  EXPECT_EQ(windows[0].begin, 0.0);
+  EXPECT_EQ(windows[0].end, 2.0);
+  EXPECT_EQ(windows[0].factor, 0.5);
+  EXPECT_EQ(windows[1].resource, 1);
+  EXPECT_EQ(windows[1].begin, 2.0);
+  EXPECT_EQ(windows[2].resource, 3);
+  EXPECT_EQ(windows[2].factor, 0.25);
 }
 
 TEST(RateTimeline, ZeroCostTaskIsUntouched) {

@@ -1,0 +1,45 @@
+#include "util/window_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace holmes {
+namespace {
+
+TEST(WindowSpec, ParsesBeginAndEnd) {
+  const WindowSpec w = parse_window_spec("1.5:4.25");
+  EXPECT_DOUBLE_EQ(w.begin, 1.5);
+  EXPECT_DOUBLE_EQ(w.end, 4.25);
+}
+
+TEST(WindowSpec, EmptyEndMeansUnbounded) {
+  const WindowSpec w = parse_window_spec("2:");
+  EXPECT_DOUBLE_EQ(w.begin, 2.0);
+  EXPECT_LT(w.end, 0.0);
+}
+
+TEST(WindowSpec, ZeroBeginToEnd) {
+  const WindowSpec w = parse_window_spec("0:10");
+  EXPECT_DOUBLE_EQ(w.begin, 0.0);
+  EXPECT_DOUBLE_EQ(w.end, 10.0);
+}
+
+TEST(WindowSpec, RejectsMissingColon) {
+  EXPECT_THROW(parse_window_spec("3.5"), ConfigError);
+}
+
+TEST(WindowSpec, RejectsNonNumeric) {
+  EXPECT_THROW(parse_window_spec("a:b"), ConfigError);
+  EXPECT_THROW(parse_window_spec(":2"), ConfigError);
+}
+
+TEST(WindowSpec, RejectsEmptyWindow) {
+  // stats and explain share these exact semantics: BEGIN must precede a
+  // bounded END; "5:" stays legal (unbounded).
+  EXPECT_THROW(parse_window_spec("5:5"), ConfigError);
+  EXPECT_THROW(parse_window_spec("6:5"), ConfigError);
+}
+
+}  // namespace
+}  // namespace holmes

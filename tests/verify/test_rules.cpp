@@ -8,9 +8,9 @@
 namespace holmes::verify {
 namespace {
 
-TEST(RuleCatalog, HasTwentyFiveRulesWithUniqueAscendingIds) {
+TEST(RuleCatalog, HasTwentySixRulesWithUniqueAscendingIds) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 25u);
+  EXPECT_EQ(catalog.size(), 26u);
   std::set<std::string> ids;
   std::string prev;
   for (const RuleInfo& rule : catalog) {

@@ -29,6 +29,9 @@
 ///       --framework F    as for simulate          (default holmes)
 ///       --iterations N   simulated iterations     (default 3)
 ///       --json[=FILE]    stable JSON run summary (see JSON output below)
+///       --window A:B     clip the accounting to [A, B] seconds (explain's
+///                        clipping semantics) instead of the steady-state
+///                        window
 ///       --straggler R:F  slow rank R down by factor F (repeatable)
 ///       --self-profile[=FILE]  engine self-profile of the run: bare, an
 ///                        extra text section; =FILE, holmes.self_profile.v1
@@ -47,6 +50,36 @@
 ///       --trace FILE     Chrome trace with flow arrows + critical lane
 ///       --straggler R:F  slow rank R down by factor F (repeatable)
 ///       --self-profile[=FILE]  as for stats
+///
+///   holmes_cli timeline <topology> <group> [options]
+///       Simulate one scenario and print its exact time-resolved fabric
+///       telemetry (docs/observability.md): per-NIC-class occupancy
+///       sparklines with saturation intervals, per-link top talkers,
+///       per-channel in-flight byte peaks, and effective-rate overlays for
+///       degraded resources. The JSON document (holmes.timeline.v1) is
+///       byte-identical at any --threads count and across disjoint tie
+///       seeds. Fires HV406 when the Ethernet fallback fabric is saturated
+///       beyond --warn-share of the window; exit codes as for lint.
+///       --framework F    as for simulate          (default holmes)
+///       --iterations N   simulated iterations     (default 3)
+///       --window A:B     observe [A, B] seconds   (default the full run)
+///       --buckets N      curve resolution         (default 48)
+///       --resource S     keep only resources whose name contains S
+///       --top N          top talkers shown        (default 8)
+///       --saturation F   busy-port fraction that counts as saturated
+///                        (default 1.0 = every port)
+///       --warn-share F   saturated share of the window above which HV406
+///                        fires                    (default 0.25)
+///       --threads N      extraction fan-out workers (default 1 = serial,
+///                        0 = hardware concurrency)
+///       --seed S         nonzero: re-run under the disjoint tie
+///                        permutation seeded S (byte-identity probe)
+///       --fault-plan FILE  inject a holmes.fault_plan.v1 schedule; its
+///                        degradation windows become rate overlays
+///       --trace FILE     Chrome trace with "rate <resource>" counter
+///                        tracks at breakpoint resolution
+///       --json[=FILE]    stable holmes.timeline.v1 document
+///       --straggler R:F  slow rank R down by factor F (repeatable)
 ///
 ///   holmes_cli diff <before.json> <after.json> [options]
 ///       Compare two JSON documents emitted by this tool (run summaries,
@@ -175,6 +208,7 @@
 #include "core/schedule_check.h"
 #include "core/report.h"
 #include "core/run_stats.h"
+#include "core/timeline_report.h"
 #include "model/memory.h"
 #include "net/topology_parse.h"
 #include "obs/critical_path.h"
@@ -190,6 +224,7 @@
 #include "util/sample_stats.h"
 #include "util/table.h"
 #include "util/units.h"
+#include "util/window_spec.h"
 #include "verify/rules.h"
 
 using namespace holmes;
@@ -216,6 +251,8 @@ std::string usage_text() {
       "  analytic <topology> <group>    closed-form iteration breakdown\n"
       "  stats    <topology> <group>    observability breakdown of one run\n"
       "  explain  <topology> <group>    critical-path makespan attribution\n"
+      "  timeline <topology> <group>    time-resolved fabric telemetry of "
+      "one run\n"
       "  diff     <before> <after>      compare two emitted JSON documents\n"
       "  lint     <topology> <group>    static verifier (or lint --rules)\n"
       "  check    <topology> <group>    schedule-race determinism check\n"
@@ -578,6 +615,15 @@ int cmd_stats(const Args& args) {
   const int iterations = option_int(args, "iterations", 3);
   const Perturbations perturb = resolve_perturbations(args);
 
+  RunSummaryOptions options;
+  const auto window = args.options.find("window");
+  if (window != args.options.end()) {
+    const WindowSpec spec = parse_window_spec(window->second);
+    options.override_window = true;
+    options.window_begin = spec.begin;
+    options.window_end = spec.end;
+  }
+
   const TrainingPlan plan =
       Planner(framework).plan(topo, model::parameter_group(group));
   // SelfProfiler is in-place only (the thread-local points at its member).
@@ -588,7 +634,7 @@ int cmd_stats(const Args& args) {
       TrainingSimulator{}.run(topo, plan, iterations, perturb,
                               /*chrome_trace=*/nullptr, &artifacts);
   const obs::RunSummary summary =
-      build_run_summary(topo, plan, m, artifacts);
+      build_run_summary(topo, plan, m, artifacts, options);
 
   if (json_dest(args) == JsonDest::kStdout) {
     obs::write_json(std::cout, summary);
@@ -688,23 +734,9 @@ int cmd_explain(const Args& args) {
   options.top_segments = static_cast<std::size_t>(top);
   const auto window = args.options.find("window");
   if (window != args.options.end()) {
-    const std::size_t colon = window->second.find(':');
-    if (colon == std::string::npos) {
-      throw ConfigError("--window expects BEGIN:END seconds, got '" +
-                        window->second + "'");
-    }
-    try {
-      options.window_begin = std::stod(window->second.substr(0, colon));
-      const std::string end = window->second.substr(colon + 1);
-      options.window_end = end.empty() ? -1 : std::stod(end);
-    } catch (const std::exception&) {
-      throw ConfigError("--window expects BEGIN:END seconds, got '" +
-                        window->second + "'");
-    }
-    if (options.window_end >= 0 && options.window_begin >= options.window_end) {
-      throw ConfigError("--window is empty: got '" + window->second +
-                        "' (need BEGIN < END)");
-    }
+    const WindowSpec spec = parse_window_spec(window->second);
+    options.window_begin = spec.begin;
+    options.window_end = spec.end;
   }
 
   const TrainingPlan plan =
@@ -725,6 +757,7 @@ int cmd_explain(const Args& args) {
     if (!out) throw ConfigError("cannot open " + trace->second);
     sim::TraceOptions trace_options;
     trace_options.critical_tasks = path.tasks;
+    if (!artifacts.rates.empty()) trace_options.rates = &artifacts.rates;
     sim::write_chrome_trace(out, artifacts.graph, *artifacts.result,
                             trace_options);
   }
@@ -743,6 +776,150 @@ int cmd_explain(const Args& args) {
   emit_json(args, "JSON summary",
             [&](std::ostream& out) { obs::write_json(out, summary); });
   return 0;
+}
+
+/// Graded verdict exit code shared by `lint`, `check`, and `timeline`:
+/// 0 clean (notes never gate), 1 warnings only, 2 errors. Internal
+/// failures exit 3 via main()'s catch.
+int verdict_exit_code(const verify::LintReport& report) {
+  if (report.count(verify::Severity::kError) > 0) return 2;
+  if (report.count(verify::Severity::kWarning) > 0) return 1;
+  return 0;
+}
+
+int cmd_timeline(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw ConfigError(
+        "usage: holmes_cli timeline <topology> <group> [--framework F] "
+        "[--iterations N] [--window A:B] [--buckets N] [--resource S] "
+        "[--top N] [--saturation F] [--warn-share F] [--threads N] "
+        "[--seed S] [--fault-plan FILE] [--trace FILE] [--json[=FILE]]");
+  }
+  const net::Topology topo = resolve_topology(args.positional[0]);
+  const int group = std::stoi(args.positional[1]);
+  const FrameworkConfig framework = resolve_framework(args);
+  const int iterations = option_int(args, "iterations", 3);
+  Perturbations perturb = resolve_perturbations(args);
+
+  TimelineReportOptions options;
+  const auto window = args.options.find("window");
+  if (window != args.options.end()) {
+    const WindowSpec spec = parse_window_spec(window->second);
+    options.override_window = true;
+    options.window_begin = spec.begin;
+    options.window_end = spec.end;
+  }
+  options.buckets = option_int(args, "buckets", 48);
+  if (options.buckets < 1) throw ConfigError("--buckets expects a positive count");
+  options.top_talkers = option_int(args, "top", 8);
+  if (options.top_talkers < 0) throw ConfigError("--top expects a non-negative count");
+  const auto resource = args.options.find("resource");
+  if (resource != args.options.end()) options.resource_filter = resource->second;
+  const auto saturation = args.options.find("saturation");
+  if (saturation != args.options.end()) {
+    try {
+      options.saturation_threshold = std::stod(saturation->second);
+    } catch (const std::exception&) {
+      throw ConfigError("--saturation expects a fraction, got '" +
+                        saturation->second + "'");
+    }
+    if (options.saturation_threshold <= 0 || options.saturation_threshold > 1) {
+      throw ConfigError("--saturation expects a fraction in (0, 1]");
+    }
+  }
+  const auto warn_share = args.options.find("warn-share");
+  if (warn_share != args.options.end()) {
+    try {
+      options.saturation_warn_share = std::stod(warn_share->second);
+    } catch (const std::exception&) {
+      throw ConfigError("--warn-share expects a fraction, got '" +
+                        warn_share->second + "'");
+    }
+    if (options.saturation_warn_share < 0) {
+      throw ConfigError("--warn-share expects a non-negative fraction");
+    }
+  }
+  int threads = option_int(args, "threads", 1);
+  if (threads < 0) throw ConfigError("--threads expects a non-negative count");
+  if (threads == 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  options.threads = threads;
+
+  // A fault plan's runtime faults become perturbations; the lowered
+  // degradation windows then surface as effective-rate overlays. A plan
+  // that fails its own HV501-503 lint gates here, as in `check`.
+  const auto fault_plan = args.options.find("fault-plan");
+  if (fault_plan != args.options.end()) {
+    const FaultPlan faults =
+        parse_fault_plan(read_text_file(fault_plan->second));
+    const verify::LintReport plan_lint = lint_fault_plan(faults, topo);
+    if (!plan_lint.ok()) {
+      std::cout << "fault plan " << fault_plan->second << " failed lint:\n";
+      verify::print_text(std::cout, plan_lint);
+      return verdict_exit_code(plan_lint);
+    }
+    perturb = lower_fault_plan(faults, topo);
+  }
+
+  const TrainingPlan plan =
+      Planner(framework).plan(topo, model::parameter_group(group));
+  TrainingSimulator simulator;
+  const auto seed = args.options.find("seed");
+  if (seed != args.options.end()) {
+    std::uint64_t tie_seed = 0;
+    try {
+      tie_seed = std::stoull(seed->second, nullptr, 0);
+    } catch (const std::exception&) {
+      throw ConfigError("--seed expects an integer, got '" + seed->second +
+                        "'");
+    }
+    if (tie_seed != 0) {
+      // The disjoint permutation must be byte-identical to canonical at any
+      // seed (the HV405 contract) — CI byte-compares timeline documents
+      // across seeds on exactly this path.
+      sim::ExecutorOptions exec;
+      exec.tie_break = sim::TieBreak::kPermuteDisjoint;
+      exec.tie_seed = tie_seed;
+      simulator.set_executor_options(exec);
+    }
+  }
+
+  SimArtifacts artifacts;
+  IterationMetrics m;
+  const auto trace = args.options.find("trace");
+  if (trace != args.options.end()) {
+    std::ofstream out(trace->second);
+    if (!out) throw ConfigError("cannot open " + trace->second);
+    m = simulator.run(topo, plan, iterations, perturb, &out, &artifacts);
+  } else {
+    m = simulator.run(topo, plan, iterations, perturb,
+                      /*chrome_trace=*/nullptr, &artifacts);
+  }
+  const TimelineSummary summary =
+      build_timeline_summary(topo, plan, m, artifacts, options);
+
+  if (json_dest(args) == JsonDest::kStdout) {
+    write_timeline_json(std::cout, summary);
+    std::cout << "\n";
+    return verdict_exit_code(summary.lint);
+  }
+  print_timeline(std::cout, summary);
+  if (trace != args.options.end()) {
+    std::cout << "\ntrace written to " << trace->second << "\n";
+  }
+  emit_json(args, "timeline", [&](std::ostream& out) {
+    write_timeline_json(out, summary);
+  });
+  return verdict_exit_code(summary.lint);
+}
+
+/// Fingerprint drift (new commit, other host, fresh flags) is reported but
+/// never gates: stamped documents exist to catch result changes, not
+/// metadata changes. Shared by `diff --fail-over` and the bench gate.
+bool fingerprint_leaf(const std::string& path) {
+  return path.rfind("fingerprint", 0) == 0;
 }
 
 int cmd_diff(const Args& args) {
@@ -832,22 +1009,33 @@ int cmd_diff(const Args& args) {
     out << "]}";
   });
 
-  if (threshold >= 0 && diff.over_threshold(threshold)) {
-    std::cerr << "diff exceeds --fail-over threshold ("
-              << TextTable::num(diff.max_rel_change() * 100, 3) << "% > "
-              << TextTable::num(threshold * 100, 3) << "% or structure "
-              << "changed)\n";
-    return 2;
+  if (threshold >= 0) {
+    // over_threshold minus the fingerprint subtree: a golden re-stamped by
+    // a different build must not trip a result gate.
+    bool structure = false;
+    for (const std::string& path : diff.removed) {
+      structure = structure || !fingerprint_leaf(path);
+    }
+    for (const std::string& path : diff.added) {
+      structure = structure || !fingerprint_leaf(path);
+    }
+    for (const std::string& path : diff.changed) {
+      structure = structure || !fingerprint_leaf(path);
+    }
+    double max_rel = 0;
+    for (const JsonDelta& delta : diff.deltas) {
+      if (fingerprint_leaf(delta.path)) continue;
+      if (std::fabs(delta.abs_change()) <= 1e-12) continue;
+      max_rel = std::max(max_rel, std::fabs(delta.rel_change()));
+    }
+    if (structure || max_rel > threshold) {
+      std::cerr << "diff exceeds --fail-over threshold ("
+                << TextTable::num(max_rel * 100, 3) << "% > "
+                << TextTable::num(threshold * 100, 3) << "% or structure "
+                << "changed)\n";
+      return 2;
+    }
   }
-  return 0;
-}
-
-/// Graded verdict exit code shared by `lint` and `check`: 0 clean (notes
-/// never gate), 1 warnings only, 2 errors. Internal failures exit 3 via
-/// main()'s catch.
-int verdict_exit_code(const verify::LintReport& report) {
-  if (report.count(verify::Severity::kError) > 0) return 2;
-  if (report.count(verify::Severity::kWarning) > 0) return 1;
   return 0;
 }
 
@@ -1041,12 +1229,6 @@ bool bench_timing_leaf(const std::string& path) {
   return path.find("wall_s") != std::string::npos ||
          path.find("time_s/") != std::string::npos ||
          path.find("phases") != std::string::npos;
-}
-
-/// Fingerprint drift (new commit, other host) is reported but never gates:
-/// the trajectory exists to catch perf changes, not metadata changes.
-bool bench_fingerprint_leaf(const std::string& path) {
-  return path.rfind("fingerprint", 0) == 0;
 }
 
 /// Spread and max are noise statistics — over a handful of repeats their
@@ -1334,17 +1516,17 @@ int cmd_bench(const Args& args) {
 
   std::vector<std::string> structural;
   for (const std::string& path : diff.removed) {
-    if (!bench_fingerprint_leaf(path)) structural.push_back("removed: " + path);
+    if (!fingerprint_leaf(path)) structural.push_back("removed: " + path);
   }
   for (const std::string& path : diff.added) {
-    if (!bench_fingerprint_leaf(path)) structural.push_back("added: " + path);
+    if (!fingerprint_leaf(path)) structural.push_back("added: " + path);
   }
   for (const std::string& path : diff.changed) {
-    if (!bench_fingerprint_leaf(path)) structural.push_back("changed: " + path);
+    if (!fingerprint_leaf(path)) structural.push_back("changed: " + path);
   }
   std::vector<JsonDelta> moved;  // descending |rel_change|, like diff.deltas
   for (const JsonDelta& delta : diff.deltas) {
-    if (!bench_fingerprint_leaf(delta.path) && delta.before != delta.after) {
+    if (!fingerprint_leaf(delta.path) && delta.before != delta.after) {
       moved.push_back(delta);
     }
   }
@@ -1422,6 +1604,7 @@ int main(int argc, char** argv) {
     if (args.command == "analytic") return cmd_analytic(args);
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "explain") return cmd_explain(args);
+    if (args.command == "timeline") return cmd_timeline(args);
     if (args.command == "diff") return cmd_diff(args);
     if (args.command == "lint") return cmd_lint(args);
     if (args.command == "check") return cmd_check(args);
